@@ -1,0 +1,169 @@
+package power10sim_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// toggles one POWER10 mechanism and reports the performance (and where
+// relevant, power) delta on a sensitive workload. These quantify how much
+// each individual decision buys, complementing the cumulative Fig. 4 ladder.
+
+import (
+	"testing"
+
+	"power10sim/internal/isa"
+	"power10sim/internal/power"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func runFor(b *testing.B, cfg *uarch.Config, w *workloads.Workload) (*uarch.Activity, *power.Report) {
+	b.Helper()
+	res, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(w.Prog, w.Budget)},
+		50_000_000, uarch.WithWarmup(w.Warmup))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &res.Activity, power.NewModel(cfg).Report(&res.Activity)
+}
+
+func BenchmarkAblationFusion(b *testing.B) {
+	// The dependent ALU pair is loop-carried, so fusing it halves the
+	// critical path ("reduced or zero latency for dependent operations")
+	// and halves the internal ops (energy).
+	bb := isa.NewBuilder("fuse-pairs")
+	bb.Li(isa.GPR(1), 0)
+	bb.Li(isa.GPR(2), 6000)
+	bb.Label("top")
+	bb.Addi(isa.GPR(10), isa.GPR(10), 1)
+	bb.Add(isa.GPR(10), isa.GPR(10), isa.GPR(11)) // fused with the addi
+	bb.Addi(isa.GPR(1), isa.GPR(1), 1)
+	bb.Bc(isa.CondLT, isa.GPR(1), isa.GPR(2), "top")
+	bb.Halt()
+	w := &workloads.Workload{Name: "fuse-pairs", Prog: bb.MustBuild(), Budget: 25_000}
+	for i := 0; i < b.N; i++ {
+		on, onRep := runFor(b, uarch.POWER10(), w)
+		off := uarch.POWER10()
+		off.FusionEnabled = false
+		noFuse, offRep := runFor(b, off, w)
+		b.ReportMetric(on.IPC()/noFuse.IPC(), "fusion-speedup-x")
+		// Energy per instruction = power / IPC; fusion wins on both axes.
+		b.ReportMetric((offRep.Total/noFuse.IPC())/(onRep.Total/on.IPC()), "fusion-energy-saving-x")
+		b.ReportMetric(float64(on.FusedPairs)/float64(on.Instructions)*100, "fused-%")
+	}
+}
+
+func BenchmarkAblationEATagging(b *testing.B) {
+	w := workloads.Compress()
+	for i := 0; i < b.N; i++ {
+		_, ea := runFor(b, uarch.POWER10(), w)
+		ra := uarch.POWER10()
+		ra.EATaggedL1 = false
+		raAct, raRep := runFor(b, ra, w)
+		_ = raAct
+		b.ReportMetric(raRep.Component("mmu-derat")/max(ea.Component("mmu-derat"), 1e-9), "derat-power-x")
+	}
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkAblationMMAForwarding(b *testing.B) {
+	// A 2-accumulator ger chain: without internal accumulator forwarding
+	// each dependent ger waits the full MMA latency; with it they chain
+	// back to back (the paper's "efficient back-to-back execution").
+	bb := isa.NewBuilder("ger-chain")
+	bb.Li(isa.GPR(1), 0)
+	bb.Li(isa.GPR(2), 4000)
+	bb.Label("top")
+	bb.Xvf64gerpp(isa.ACC(0), isa.VSR(0), isa.VSR(2))
+	bb.Xvf64gerpp(isa.ACC(1), isa.VSR(1), isa.VSR(3))
+	bb.Addi(isa.GPR(1), isa.GPR(1), 1)
+	bb.Bc(isa.CondLT, isa.GPR(1), isa.GPR(2), "top")
+	bb.Halt()
+	w := &workloads.Workload{Name: "ger-chain", Prog: bb.MustBuild(), Budget: 40_000}
+	for i := 0; i < b.N; i++ {
+		fwd, _ := runFor(b, uarch.POWER10(), w)
+		noFwd := uarch.POWER10()
+		noFwd.MMAAccumForwarding = false
+		slow, _ := runFor(b, noFwd, w)
+		b.ReportMetric(fwd.FlopsPerCycle()/slow.FlopsPerCycle(), "acc-fwd-speedup-x")
+	}
+}
+
+func BenchmarkAblationStoreGather(b *testing.B) {
+	// Bursts of consecutive stores (memset/struct-init style): gathering
+	// retires two store-queue entries per cycle to the L1.
+	bb := isa.NewBuilder("store-burst")
+	bb.Li(isa.GPR(1), 0x9000)
+	bb.Li(isa.GPR(2), 0)
+	bb.Li(isa.GPR(3), 2000)
+	bb.Label("top")
+	for k := 0; k < 8; k++ {
+		bb.St(isa.GPR(4), isa.GPR(1), int64(k*8))
+	}
+	bb.Addi(isa.GPR(2), isa.GPR(2), 1)
+	bb.Bc(isa.CondLT, isa.GPR(2), isa.GPR(3), "top")
+	bb.Halt()
+	w := &workloads.Workload{Name: "store-burst", Prog: bb.MustBuild(), Budget: 24_000}
+	for i := 0; i < b.N; i++ {
+		on, _ := runFor(b, uarch.POWER10(), w)
+		off := uarch.POWER10()
+		off.StoreGather = false
+		noGather, _ := runFor(b, off, w)
+		// Gathering halves the L1 store commits (a switching-energy win);
+		// drain bandwidth usually hides the latency effect.
+		b.ReportMetric(float64(noGather.L1DAccesses)/float64(on.L1DAccesses), "l1d-store-access-x")
+		b.ReportMetric(float64(on.SQGathered), "gathered-entries")
+	}
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	w := workloads.MediaVec()
+	for i := 0; i < b.N; i++ {
+		on, _ := runFor(b, uarch.POWER10(), w)
+		off := uarch.POWER10()
+		off.PrefetchStreams = 0
+		noPf, _ := runFor(b, off, w)
+		b.ReportMetric(on.IPC()/noPf.IPC(), "prefetch-speedup-x")
+	}
+}
+
+func BenchmarkAblationIndirectPredictor(b *testing.B) {
+	w := workloads.Interp()
+	for i := 0; i < b.N; i++ {
+		on, _ := runFor(b, uarch.POWER10(), w)
+		off := uarch.POWER10()
+		off.BPred.IndirEntries = 0
+		noInd, _ := runFor(b, off, w)
+		b.ReportMetric(on.IPC()/noInd.IPC(), "indirect-pred-speedup-x")
+		b.ReportMetric(noInd.MispredictsPerKI()-on.MispredictsPerKI(), "MPKI-saved")
+	}
+}
+
+func BenchmarkAblationMMAPowerGate(b *testing.B) {
+	// Leakage reclaimed by gating the idle MMA on an integer workload.
+	w := workloads.IntCompute()
+	for i := 0; i < b.N; i++ {
+		_, gated := runFor(b, uarch.POWER10(), w)
+		act, _ := runFor(b, uarch.POWER10(), w)
+		busy := *act
+		busy.MMAActiveCycles = busy.Cycles
+		ungated := power.NewModel(uarch.POWER10()).Report(&busy)
+		b.ReportMetric((ungated.Leakage-gated.Leakage)/gated.Total*100, "leak-reclaim-%")
+	}
+}
+
+func BenchmarkFutureWorkConfig(b *testing.B) {
+	// The paper's closing future-work projection as an ablation.
+	w := workloads.Compress()
+	for i := 0; i < b.N; i++ {
+		p10, rep10 := runFor(b, uarch.POWER10(), w)
+		next, repNext := runFor(b, uarch.POWER10Next(), w)
+		perf := next.IPC() / p10.IPC()
+		pw := repNext.Total / rep10.Total
+		b.ReportMetric(perf/pw, "future-perfW-x")
+	}
+}

@@ -1,0 +1,210 @@
+package power10sim_test
+
+// The benchmark harness: one benchmark per paper table/figure. Each runs the
+// corresponding experiment at reduced ("quick") budgets and reports the
+// headline metrics the paper quotes, so `go test -bench=. -benchmem`
+// regenerates the whole evaluation.
+
+import (
+	"testing"
+
+	"power10sim/internal/experiments"
+)
+
+var quick = experiments.Options{Quick: true}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableI(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Headline.PerfPerWatt, "perf/W-gain")
+		b.ReportMetric(r.SocketEfficiency, "socket-eff")
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Headline(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SpeedupST, "speedup-ST")
+		b.ReportMetric(r.PowerRatio, "power-ratio")
+		b.ReportMetric(r.FlushReduction*100, "flush-red-%")
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Optima[len(r.Optima)-1]), "optimal-FO4")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, g := range r.GainSMT8 {
+			sum += g
+		}
+		b.ReportMetric(sum*100, "sum-gain-%")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[1].RelFlops, "P10-VSU-x")
+		b.ReportMetric(r.Rows[2].RelFlops, "P10-MMA-x")
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Models[0].Rows[2].Speedup, "resnet-mma-x")
+		b.ReportMetric(r.Models[1].Rows[2].Speedup, "bert-mma-x")
+		b.ReportMetric(r.SocketINT8["ResNet-50"], "socket-int8-x")
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var memBound int
+		for _, p := range r.Points {
+			if p.MemBound {
+				memBound++
+			}
+		}
+		b.ReportMetric(float64(memBound), "mem-bound-wl")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Curves["ols"][24], "err-at-24-inputs-%")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanAbsDiffPct, "model-diff-%")
+		b.ReportMetric(float64(r.BottomUpEvents), "events")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Reports)), "testcases")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((r.P10.RuntimeDerating[90]-r.P9.RuntimeDerating[90])*100, "gap-VT90-%")
+	}
+}
+
+func BenchmarkFig15a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SelectedError, "proxy-err-%")
+	}
+}
+
+func BenchmarkFig15b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ErrorByGranularity[50], "err-50cyc-%")
+		b.ReportMetric(r.ErrorByGranularity[10], "err-10cyc-%")
+	}
+}
+
+func BenchmarkProxyExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ProxyStats(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.TotalProxies), "proxies")
+		b.ReportMetric(r.MeanCoverage*100, "coverage-%")
+	}
+}
+
+func BenchmarkAPEXSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.APEXSpeedup(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup, "speedup-x")
+	}
+}
+
+func BenchmarkWOF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.WOF(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxBoost float64
+		for _, row := range r.Rows {
+			if row.Boost > maxBoost {
+				maxBoost = row.Boost
+			}
+		}
+		b.ReportMetric(maxBoost, "max-boost-x")
+	}
+}
+
+func BenchmarkSocket(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Socket(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Efficiency.Gain, "socket-eff-x")
+		b.ReportMetric(r.CLY15of16*100, "CLY-%")
+	}
+}

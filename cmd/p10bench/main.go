@@ -1,0 +1,100 @@
+// Command p10bench regenerates the paper's tables and figures from the
+// simulation substrate.
+//
+// Usage:
+//
+//	p10bench                 # run everything
+//	p10bench -exp fig5       # one experiment
+//	p10bench -quick          # reduced budgets
+//	p10bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"power10sim/internal/experiments"
+)
+
+type renderer interface{ Table() string }
+
+type experiment struct {
+	name, title string
+	run         func(experiments.Options) (renderer, error)
+}
+
+func wrap[T renderer](f func(experiments.Options) (T, error)) func(experiments.Options) (renderer, error) {
+	return func(o experiments.Options) (renderer, error) {
+		r, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{"tableI", "Table I: chip features & efficiency projections", wrap(experiments.TableI)},
+		{"headline", "Section II-B headline: 1.3x perf at 0.5x power (2.6x perf/W)", wrap(experiments.Headline)},
+		{"fig2", "Fig. 2: optimal pipeline depth analysis", wrap(experiments.Fig2)},
+		{"fig4", "Fig. 4: per-unit design-change performance contributions", wrap(experiments.Fig4)},
+		{"fig5", "Fig. 5: DGEMM flops/cycle and core power (VSU vs MMA)", wrap(experiments.Fig5)},
+		{"fig6", "Fig. 6: ResNet-50 / BERT-Large end-to-end inference", wrap(experiments.Fig6)},
+		{"fig10", "Fig. 10: APEX core model vs chip model", wrap(experiments.Fig10)},
+		{"fig11", "Fig. 11: M1-linked power-model error vs inputs", wrap(experiments.Fig11)},
+		{"fig12", "Fig. 12: top-down vs bottom-up power models", wrap(experiments.Fig12)},
+		{"fig13", "Fig. 13: latch derating across testcase suites", wrap(experiments.Fig13)},
+		{"fig14", "Fig. 14: POWER9 vs POWER10 derating", wrap(experiments.Fig14)},
+		{"fig15", "Fig. 15: core power proxy accuracy and granularity", wrap(experiments.Fig15)},
+		{"proxies", "Section III-A: Chopstix-style proxy extraction", wrap(experiments.ProxyStats)},
+		{"apex", "Section III-C: APEX speedup and accuracy", wrap(experiments.APEXSpeedup)},
+		{"wof", "Section IV: Workload Optimized Frequency and droop control", wrap(experiments.WOF)},
+		{"socket", "Socket level: PFLY/CLY yield and up-to-3x efficiency", wrap(experiments.Socket)},
+	}
+}
+
+func main() {
+	var (
+		expName = flag.String("exp", "", "experiment to run (default: all)")
+		quick   = flag.Bool("quick", false, "reduced budgets")
+		list    = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+	cat := catalog()
+	if *list {
+		names := make([]string, len(cat))
+		for i, e := range cat {
+			names[i] = fmt.Sprintf("%-10s %s", e.name, e.title)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	opt := experiments.Options{Quick: *quick}
+	ran := 0
+	for _, e := range cat {
+		if *expName != "" && e.name != *expName {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s ===\n", e.title)
+		start := time.Now()
+		r, err := e.run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Table())
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expName)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+// Command p10sim runs one workload on a core configuration and prints a
+// performance (and, when available, power) report.
+//
+// Usage:
+//
+//	p10sim -workload dgemm-mma -config POWER10 -smt 1
+//	p10sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"power10sim/internal/isa"
+	"power10sim/internal/power"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func catalog() map[string]*workloads.Workload {
+	m := map[string]*workloads.Workload{}
+	add := func(w *workloads.Workload, err error) {
+		if err != nil {
+			panic(err)
+		}
+		m[w.Name] = w
+	}
+	for _, w := range workloads.SPECintSuite() {
+		m[w.Name] = w
+	}
+	gd := workloads.GEMMSize{M: 16, N: 64, K: 256}
+	wv, _, err := workloads.DGEMMVSU(gd)
+	add(wv, err)
+	wm, _, err := workloads.DGEMMMMA(gd)
+	add(wm, err)
+	gs := workloads.GEMMSize{M: 32, N: 64, K: 64}
+	sv, _, err := workloads.SGEMMVSU(gs)
+	add(sv, err)
+	sm, _, err := workloads.SGEMMMMA(gs)
+	add(sm, err)
+	i8, err := workloads.GEMMInt8MMA(gs)
+	add(i8, err)
+	add(workloads.ResNet50(false))
+	add(workloads.ResNet50(true))
+	add(workloads.BERTLarge(false))
+	add(workloads.BERTLarge(true))
+	cw, _, err := workloads.Conv2DMMA(workloads.ConvShape{H: 6, W: 6, C: 4, K: 3, F: 16})
+	add(cw, err)
+	dw, _, err := workloads.DFTMMA(16, 16)
+	add(dw, err)
+	tw, _, err := workloads.TRSVUnitLower(64)
+	add(tw, err)
+	m["daxpy"] = workloads.Daxpy(4096, 12)
+	m["stressmark"] = workloads.Stressmark(false)
+	m["stressmark-mma"] = workloads.Stressmark(true)
+	m["active-idle"] = workloads.ActiveIdle()
+	return m
+}
+
+func configByName(name string) *uarch.Config {
+	switch name {
+	case "POWER9", "p9":
+		return uarch.POWER9()
+	case "POWER10", "p10":
+		return uarch.POWER10()
+	case "POWER10-noMMA", "p10-nomma":
+		return uarch.POWER10NoMMA()
+	}
+	return nil
+}
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "intcompute", "workload name (see -list)")
+		cfgName = flag.String("config", "POWER10", "POWER9 | POWER10 | POWER10-noMMA")
+		smt     = flag.Int("smt", 1, "number of hardware threads (copies of the workload)")
+		budget  = flag.Uint64("budget", 0, "dynamic instruction budget per thread (0 = workload default)")
+		list    = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	cat := catalog()
+	if *list {
+		var names []string
+		for n := range cat {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-16s %s\n", n, cat[n].Category)
+		}
+		return
+	}
+	w, ok := cat[*wlName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wlName)
+		os.Exit(1)
+	}
+	cfg := configByName(*cfgName)
+	if cfg == nil {
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *cfgName)
+		os.Exit(1)
+	}
+	if w.Prog == nil {
+		fmt.Fprintln(os.Stderr, "workload has no program")
+		os.Exit(1)
+	}
+	bud := w.Budget
+	if *budget > 0 {
+		bud = *budget
+	}
+	var streams []trace.Stream
+	for i := 0; i < *smt; i++ {
+		streams = append(streams, trace.NewVMStream(w.Prog, bud))
+	}
+	res, err := uarch.Simulate(cfg, streams, 50_000_000, uarch.WithWarmup(w.Warmup*uint64(*smt)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	a := &res.Activity
+	fmt.Printf("workload        %s (SMT%d) on %s\n", w.Name, *smt, cfg.Name)
+	fmt.Printf("cycles          %d\n", a.Cycles)
+	fmt.Printf("instructions    %d\n", a.Instructions)
+	fmt.Printf("internal ops    %d (fused pairs %d)\n", a.InternalOps, a.FusedPairs)
+	fmt.Printf("IPC             %.3f   CPI %.3f\n", a.IPC(), a.CPI())
+	fmt.Printf("flops/cycle     %.2f   (total %d)\n", a.FlopsPerCycle(), a.Flops)
+	fmt.Printf("branch MPKI     %.2f   wrong-path slots %d\n", a.MispredictsPerKI(), a.WrongPathSlots)
+	fmt.Printf("L1D miss rate   %.4f  (%d/%d)\n",
+		float64(a.L1DMisses)/max1(a.L1DAccesses), a.L1DMisses, a.L1DAccesses)
+	fmt.Printf("L2 miss rate    %.4f  L3 acc %d  mem acc %d\n",
+		float64(a.L2Misses)/max1(a.L2Accesses), a.L3Accesses, a.MemAccesses)
+	fmt.Printf("DERAT lookups   %d   TLB misses %d\n", a.DERATLookups, a.TLBMisses)
+	fmt.Printf("MMA ops         %d   active cycles %d\n", a.MMAOps, a.MMAActiveCycles)
+
+	mdl := power.NewModel(cfg)
+	rep := mdl.Report(a)
+	fmt.Printf("power (total)   %.3f  [clock %.3f switch %.3f array %.3f leak %.3f]\n",
+		rep.Total, rep.Clock, rep.Switching, rep.Array, rep.Leakage)
+	fmt.Printf("perf/W (norm)   %.4f\n", a.IPC()/rep.Total)
+	_ = isa.NumOpcodes
+}
+
+func max1(v uint64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return float64(v)
+}

@@ -1,0 +1,146 @@
+// Command p10trace runs the trace-generation methodologies of Section III-A
+// on a workload: Chopstix-style proxy extraction, or Tracepoints selection
+// with the Simpoint baseline comparison.
+//
+// Usage:
+//
+//	p10trace -workload compress -mode proxies
+//	p10trace -workload interp -mode tracepoints
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"power10sim/internal/isa"
+	"power10sim/internal/proxy"
+	"power10sim/internal/trace"
+	"power10sim/internal/tracepoints"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "compress", "SPECint-like workload name")
+		mode   = flag.String("mode", "proxies", "proxies | tracepoints | emit")
+		outDir = flag.String("out", ".", "output directory for -mode emit")
+	)
+	flag.Parse()
+
+	var w *workloads.Workload
+	for _, cand := range workloads.SPECintSuite() {
+		if cand.Name == *wlName {
+			w = cand
+		}
+	}
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use a SPECint-suite name)\n", *wlName)
+		os.Exit(1)
+	}
+
+	switch *mode {
+	case "proxies":
+		res, err := proxy.Extract(w, proxy.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark %s: %d proxies, %.1f%% coverage of %d dynamic instructions\n",
+			res.Source, len(res.Proxies), res.Coverage*100, res.TotalDynamic)
+		for _, p := range res.Proxies {
+			fmt.Printf("  %-22s region [%4d,%4d)  %6d insts  weight %.3f\n",
+				p.Name, p.Start, p.End, p.Len(), p.Weight)
+		}
+	case "tracepoints":
+		cfg := uarch.POWER10()
+		prof, err := tracepoints.Collect(w, cfg, 2000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("profiled %s: %d epochs over %d instructions, CPI %.3f\n",
+			w.Name, len(prof.Epochs), len(prof.Recs), prof.Total.CPI())
+		tp, err := tracepoints.SelectTracepoints(prof, 4)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sp, err := tracepoints.SelectSimpoints(prof, 5000, len(tp.Segments))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		te, err := tp.CPIError(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		se, err := sp.CPIError(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("tracepoints: %2d segments, CPI projection error %.2f%%\n", len(tp.Segments), te*100)
+		fmt.Printf("simpoints:   %2d segments, CPI projection error %.2f%%\n", len(sp.Segments), se*100)
+	case "emit":
+		// Serialize the program object and its dynamic trace, then verify
+		// both by reading them back.
+		img, err := isa.EncodeProgram(w.Prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		objPath := *outDir + "/" + w.Name + ".p10a"
+		if err := os.WriteFile(objPath, img, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		recs, err := trace.Capture(w.Prog, w.Budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		trcPath := *outDir + "/" + w.Name + ".p10t"
+		tf, err := os.Create(trcPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteTrace(tf, w.Name, recs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Verification pass.
+		prog2, err := isa.DecodeProgram(img)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		rf, err := os.Open(trcPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer rf.Close()
+		_, recs2, err := trace.ReadTrace(rf, prog2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		if len(recs2) != len(recs) {
+			fmt.Fprintln(os.Stderr, "verify: record count mismatch")
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes) and %s (%d records), verified\n",
+			objPath, len(img), trcPath, len(recs2))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,15 @@
+// Package power10sim reproduces "Energy Efficiency Boost in the AI-Infused
+// POWER10 Processor" (ISCA 2021) as a from-scratch simulation ecosystem:
+// a cycle-level POWER9/POWER10 core model, a latch-activity RTL abstraction
+// with an Einspower-style power model, the APEX accelerated power extractor,
+// Chopstix-style proxy workloads, the Tracepoints trace methodology,
+// counter-based power models, SERMiner derating analysis, and the WOF /
+// throttling / power-proxy management stack.
+//
+// The public surface is the command-line tools under cmd/ and the runnable
+// examples under examples/; the library packages live under internal/ and
+// are exercised end to end by the benchmark harness in bench_test.go, which
+// regenerates every table and figure of the paper's evaluation. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package power10sim

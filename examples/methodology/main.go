@@ -1,0 +1,66 @@
+// Methodology: walk the paper's pre-silicon flow end to end on one
+// benchmark — profile it, extract Chopstix-style proxies, replay a proxy on
+// the timing model, cross-check APEX's fast power path against the detailed
+// flow, and fit a counter power model from epoch samples. This is Figs. 7-9
+// as a program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"power10sim/internal/apex"
+	"power10sim/internal/mlfit"
+	"power10sim/internal/powermodel"
+	"power10sim/internal/proxy"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func main() {
+	cfg := uarch.POWER10()
+	w := workloads.Compress()
+
+	// 1. Chopstix: extract hot-region proxies from the functional profile.
+	pres, err := proxy.Extract(w, proxy.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. proxies: %d snippets covering %.1f%% of %q\n",
+		len(pres.Proxies), pres.Coverage*100, w.Name)
+
+	// 2. Replay a proxy as an L1-contained endless loop on the core model.
+	p := pres.Proxies[0]
+	rep, err := uarch.Simulate(cfg, []trace.Stream{p.Stream(40_000)}, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. proxy %s replay: IPC %.3f over %d instructions\n",
+		p.Name, rep.IPC(), rep.Activity.Instructions)
+
+	// 3. APEX: batch-extract LFSR switching counters; the on-the-fly power
+	//    must match the detailed reference flow exactly.
+	run, err := apex.Extract(cfg, []trace.Stream{trace.NewVMStream(w.Prog, w.Budget)},
+		5000, 50_000_000, uarch.WithWarmup(w.Warmup))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3. APEX: %d extractions, %.0fx speedup, fast %.4f == reference %.4f\n",
+		len(run.Extractions), run.Speedup(), run.AveragePower(), run.ReferencePower())
+
+	// 4. M1-linked counter power model from epoch samples.
+	ds, err := powermodel.Collect(cfg, []*workloads.Workload{
+		workloads.Compress(), workloads.IntCompute(), workloads.MediaVec(),
+	}, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	td, err := powermodel.FitTopDown(ds, 8, mlfit.Options{Intercept: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4. counter power model: %d inputs, %.2f%% active-power error over %d samples\n",
+		td.Inputs, td.TrainError, len(ds.Samples))
+	fmt.Println("\nflow complete: workload -> proxies -> timing replay -> APEX power -> counter model")
+}

@@ -1,0 +1,88 @@
+// WOF: exercise the core power-management stack — characterize the power
+// envelope with the stressmark, compute deterministic Workload Optimized
+// Frequency boosts for a set of workloads, design the 16-counter power
+// proxy, and demonstrate the Digital Droop Sensor on an abrupt load step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"power10sim/internal/pmgmt"
+	"power10sim/internal/power"
+	"power10sim/internal/powermodel"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func report(cfg *uarch.Config, w *workloads.Workload) *power.Report {
+	res, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(w.Prog, w.Budget)},
+		50_000_000, uarch.WithWarmup(w.Warmup))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return power.NewModel(cfg).Report(&res.Activity)
+}
+
+func main() {
+	cfg := uarch.POWER10()
+
+	// 1. Workload Optimized Frequency.
+	wof := pmgmt.NewWOF(report(cfg, workloads.Stressmark(true)))
+	fmt.Println("Workload Optimized Frequency boosts (deterministic):")
+	for _, w := range []*workloads.Workload{
+		workloads.Stressmark(true), workloads.IntCompute(), workloads.Compress(),
+		workloads.GraphOpt(), workloads.ActiveIdle(),
+	} {
+		rep := report(cfg, w)
+		fmt.Printf("  %-14s effcap ratio %.2f -> %.3fx frequency\n",
+			w.Name, wof.EffCapRatio(rep), wof.Boost(rep))
+	}
+
+	// 2. The hardware power proxy that feeds the management loops.
+	ds, err := powermodel.Collect(cfg, []*workloads.Workload{
+		workloads.IntCompute(), workloads.Compress(), workloads.MediaVec(),
+		workloads.Stressmark(true),
+	}, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	px, err := pmgmt.DesignProxy(ds, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n16-counter power proxy: %.1f%% active-power error\ncounters: %v\n",
+		px.ActiveError, px.Counters)
+
+	// 3. Digital Droop Sensor on an idle->stressmark current step.
+	stress := workloads.Stressmark(true)
+	series, err := pmgmt.CurrentSeries(cfg, func() trace.Stream {
+		return trace.NewVMStream(stress.Prog, stress.Budget)
+	}, 200, 50_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Normalize to the droop model's design scale and prepend a quiet phase.
+	var peak float64
+	for _, v := range series {
+		if v > peak {
+			peak = v
+		}
+	}
+	for i := range series {
+		series[i] *= 2.5 / peak
+	}
+	quiet := make([]float64, 30)
+	for i := range quiet {
+		quiet[i] = 0.2
+	}
+	series = append(quiet, series...)
+	dds := pmgmt.DefaultDDS()
+	off := dds.SimulateDroop(series, false)
+	on := dds.SimulateDroop(series, true)
+	fmt.Printf("\nDigital Droop Sensor on a load step:\n")
+	fmt.Printf("  sensor off: min margin %.3f, %d violations\n", off.MinMargin, off.Violations)
+	fmt.Printf("  sensor on:  min margin %.3f, %d violations, %d firings, %d throttled slots\n",
+		on.MinMargin, on.Violations, on.SensorFirings, on.ThrottledSlots)
+}

@@ -1,0 +1,3 @@
+module power10sim
+
+go 1.22

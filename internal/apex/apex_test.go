@@ -1,0 +1,147 @@
+package apex
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func TestLFSRMaximalPeriod(t *testing.T) {
+	seen := map[uint16]bool{}
+	s := lfsrSeed
+	for i := 0; i < LFSRPeriod; i++ {
+		if seen[s] {
+			t.Fatalf("LFSR cycle shorter than maximal: repeat at step %d", i)
+		}
+		seen[s] = true
+		s = step(s)
+	}
+	if s != lfsrSeed {
+		t.Fatal("LFSR did not return to seed after full period")
+	}
+	if s == 0 || seen[0] {
+		t.Fatal("LFSR reached the all-zero lockup state")
+	}
+}
+
+func TestLFSRDecodeRoundTrip(t *testing.T) {
+	f := func(nRaw uint32) bool {
+		n := uint64(nRaw % 200000)
+		l := NewLFSR()
+		l.TickN(n)
+		got, err := l.Decode()
+		return err == nil && got == n%LFSRPeriod
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLFSRTickMatchesTickN(t *testing.T) {
+	a, b := NewLFSR(), NewLFSR()
+	for i := 0; i < 1000; i++ {
+		a.Tick()
+	}
+	b.TickN(1000)
+	if a.state != b.state {
+		t.Error("Tick and TickN diverge")
+	}
+	a.Reset()
+	if n, err := a.Decode(); err != nil || n != 0 {
+		t.Errorf("reset decode = %d, %v", n, err)
+	}
+}
+
+func streamsFor(w *workloads.Workload) []trace.Stream {
+	return []trace.Stream{trace.NewVMStream(w.Prog, w.Budget)}
+}
+
+func TestExtractProducesConsistentWindows(t *testing.T) {
+	w := workloads.Compress()
+	run, err := Extract(uarch.POWER10(), streamsFor(w), 5000, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Extractions) < 3 {
+		t.Fatalf("only %d extractions", len(run.Extractions))
+	}
+	var cyc, insts uint64
+	for i, e := range run.Extractions {
+		cyc += e.Activity.Cycles
+		insts += e.Activity.Instructions
+		if i < len(run.Extractions)-1 && e.Activity.Cycles != 5000 {
+			t.Errorf("extraction %d spans %d cycles, want 5000", i, e.Activity.Cycles)
+		}
+		if e.Power == nil || e.Power.Total <= 0 {
+			t.Errorf("extraction %d has no power", i)
+		}
+	}
+	if cyc != run.Total.Cycles {
+		t.Errorf("extraction cycles %d != total %d", cyc, run.Total.Cycles)
+	}
+	if insts != run.Total.Instructions {
+		t.Errorf("extraction instructions %d != total %d", insts, run.Total.Instructions)
+	}
+}
+
+func TestOnTheFlyMatchesReferenceExactly(t *testing.T) {
+	// The paper: APEX provides "identical accuracy" to the detailed flow.
+	w := workloads.PathFind()
+	run, err := Extract(uarch.POWER10(), streamsFor(w), 4000, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := run.AveragePower()
+	ref := run.ReferencePower()
+	if math.Abs(fast-ref) > 1e-12*math.Abs(ref) {
+		t.Errorf("on-the-fly power %.9f != reference %.9f", fast, ref)
+	}
+}
+
+func TestSpeedupIsLarge(t *testing.T) {
+	w := workloads.IntCompute()
+	run, err := Extract(uarch.POWER10(), streamsFor(w), 5000, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := run.Speedup(); s < 50 || s > 1e6 {
+		t.Errorf("APEX speedup %.0f implausible (want ~O(100) per tracked group)", s)
+	}
+	if run.SignalsTracked <= 0 {
+		t.Error("no instrumented signals")
+	}
+}
+
+func TestCoreVsChipSeparatesMemoryBound(t *testing.T) {
+	// Fig. 10: memory-bound workloads move substantially between the core
+	// (infinite L2) and chip models; compute-bound ones barely move.
+	cfg := uarch.POWER10()
+	mkMem := func() []trace.Stream { return streamsFor(workloads.GraphOpt()) }
+	coreM, chipM, err := CoreVsChip(cfg, "graphopt", mkMem, 5000, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkInt := func() []trace.Stream { return streamsFor(workloads.IntCompute()) }
+	coreI, chipI, err := CoreVsChip(cfg, "intcompute", mkInt, 5000, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memShift := coreM.IPC / chipM.IPC
+	intShift := coreI.IPC / chipI.IPC
+	if memShift < 1.1 {
+		t.Errorf("memory-bound core/chip IPC shift %.2f, want > 1.1", memShift)
+	}
+	if intShift > 1.05 {
+		t.Errorf("compute-bound core/chip IPC shift %.2f, want ~1", intShift)
+	}
+}
+
+func TestExtractRejectsZeroInterval(t *testing.T) {
+	if _, err := Extract(uarch.POWER10(), streamsFor(workloads.IntCompute()), 0, 1000); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

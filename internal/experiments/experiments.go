@@ -1,0 +1,144 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulation substrate. Each experiment returns a typed
+// result with a text rendering; cmd/p10bench prints them and the repository
+// root's bench harness wraps them as testing benchmarks.
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"power10sim/internal/power"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Quick divides workload budgets by 4 for fast benchmark runs.
+	Quick bool
+}
+
+// scale applies the option's budget scaling.
+func (o Options) scale(budget uint64) uint64 {
+	if o.Quick {
+		budget /= 2
+	}
+	if budget < 4096 {
+		budget = 4096
+	}
+	return budget
+}
+
+// scaleWarmup leaves warmup unscaled: architectural warmup must cover the
+// workload's working set regardless of how short the measurement window is
+// (quick mode shortens only the measured region).
+func (o Options) scaleWarmup(warmup uint64) uint64 { return warmup }
+
+// maxSimCycles bounds any single simulation.
+const maxSimCycles = 80_000_000
+
+// RunOn simulates a workload on a config at an SMT level and returns the
+// activity plus its power report. In SMT mode each thread runs an equal
+// share of the budget so aggregate work stays comparable to ST.
+func RunOn(cfg *uarch.Config, w *workloads.Workload, smt int, o Options) (*uarch.Activity, *power.Report, error) {
+	if smt < 1 {
+		smt = 1
+	}
+	budget := o.scale(w.Budget) / uint64(smt)
+	warmup := o.scaleWarmup(w.Warmup)
+	if warmup >= budget*uint64(smt) {
+		warmup = budget * uint64(smt) / 2
+	}
+	var streams []trace.Stream
+	for i := 0; i < smt; i++ {
+		streams = append(streams, trace.NewVMStream(w.Prog, budget))
+	}
+	res, err := uarch.Simulate(cfg, streams, maxSimCycles, uarch.WithWarmup(warmup))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s on %s (SMT%d): %w", w.Name, cfg.Name, smt, err)
+	}
+	rep := power.NewModel(cfg).Report(&res.Activity)
+	return &res.Activity, rep, nil
+}
+
+// geomean of a slice.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// table is a tiny fixed-width text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// sortedKeys returns a map's int keys ascending.
+func sortedKeys[M ~map[int]float64](m M) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

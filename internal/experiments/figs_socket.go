@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"power10sim/internal/socket"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+// SocketResult is the chip/socket-level yield and efficiency study
+// (Sections III-C and IV-A: absolute power projections feeding WOF sort,
+// PFLY and CLY analysis).
+type SocketResult struct {
+	CLY15of16 float64 // core-limited yield selling 15 of 16 cores
+	CLY16of16 float64 // without the spare core
+	// SortHeavy/SortLight: yield-safe frequency scales for the stressmark
+	// and a memory-bound workload (the WOF spread).
+	SortHeavy, SortLight float64
+	// PFLYAtNominal is the power/frequency-limited yield at nominal
+	// frequency for the stressmark.
+	PFLYAtNominal float64
+	// Efficiency vs the POWER9 single-chip reference on SPECint-class work.
+	Efficiency socket.Efficiency
+}
+
+// Socket runs the yield and socket-efficiency analyses.
+func Socket(o Options) (*SocketResult, error) {
+	cfg10 := socket.POWER10Socket()
+	trials := 1500
+	if o.Quick {
+		trials = 400
+	}
+	res := &SocketResult{
+		CLY15of16: socket.CLY(cfg10, trials),
+	}
+	noSpare := cfg10
+	noSpare.FunctionalCores = 16
+	res.CLY16of16 = socket.CLY(noSpare, trials)
+
+	_, heavyRep, err := RunOn(uarch.POWER10(), workloads.Stressmark(true), 1, o)
+	if err != nil {
+		return nil, err
+	}
+	_, lightRep, err := RunOn(uarch.POWER10(), workloads.GraphOpt(), 1, o)
+	if err != nil {
+		return nil, err
+	}
+	res.SortHeavy = socket.SortPoint(cfg10, heavyRep, 0.9, trials/4)
+	res.SortLight = socket.SortPoint(cfg10, lightRep, 0.9, trials/4)
+	res.PFLYAtNominal = socket.PFLY(cfg10, heavyRep, 1.0, trials/4)
+
+	w := workloads.Compress()
+	a9, rep9, err := RunOn(uarch.POWER9(), w, 1, o)
+	if err != nil {
+		return nil, err
+	}
+	a10, rep10, err := RunOn(uarch.POWER10(), w, 1, o)
+	if err != nil {
+		return nil, err
+	}
+	eff, err := socket.CompareEfficiency(socket.POWER9Socket(), a9.IPC(), rep9,
+		cfg10, a10.IPC(), rep10, trials/4)
+	if err != nil {
+		return nil, err
+	}
+	res.Efficiency = eff
+	return res, nil
+}
+
+// Table renders the socket study.
+func (r *SocketResult) Table() string {
+	t := &table{header: []string{"metric", "measured", "paper / note"}}
+	t.add("CLY selling 15 of 16 cores", pct(r.CLY15of16), "the 16th core is the yield spare")
+	t.add("CLY selling 16 of 16 cores", pct(r.CLY16of16), "(why 15 functional cores ship)")
+	t.add("PFLY at nominal F (stressmark)", pct(r.PFLYAtNominal), "feeds sort selection")
+	t.add("sort point, stressmark", fmt.Sprintf("%.2fx", r.SortHeavy), "power-limited")
+	t.add("sort point, memory-bound", fmt.Sprintf("%.2fx", r.SortLight), "WOF headroom")
+	t.add("socket perf vs POWER9", fmt.Sprintf("%.2fx", r.Efficiency.PerfRatio), "2.5x cores x per-core gain")
+	t.add("socket power vs POWER9", fmt.Sprintf("%.2fx", r.Efficiency.PowerRatio), "")
+	t.add("socket efficiency gain", fmt.Sprintf("%.2fx", r.Efficiency.Gain), "up to 3x (Table I)")
+	return t.String()
+}

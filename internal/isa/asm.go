@@ -1,0 +1,371 @@
+package isa
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Textual assembly for the mini-ISA. FormatAsm and Assemble round-trip:
+//
+//	.name   compress
+//	.entry  0
+//	.base   0x10000000
+//	.gpr    10 = 7
+//	.mem    0x2000000 = 00ffa3...
+//	L0:
+//	        li      r1, 0
+//	        add     r3, r1, r2
+//	        ld      r4, 8(r1)
+//	        lxv     vs3, 16(r1)
+//	        xvf64gerpp acc0, vs0, vs2
+//	        bc      lt, r1, r2, L0
+//	        halt
+//
+// Labels are emitted for every branch target as L<index>.
+
+// FormatAsm renders a program as parseable assembly text.
+func FormatAsm(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".name %s\n", p.Name)
+	fmt.Fprintf(&b, ".entry %d\n", p.Entry)
+	if p.CodeBase != 0 {
+		fmt.Fprintf(&b, ".base %#x\n", p.CodeBase)
+	}
+	var regs []int
+	for r := range p.InitGPR {
+		regs = append(regs, r)
+	}
+	sort.Ints(regs)
+	for _, r := range regs {
+		fmt.Fprintf(&b, ".gpr %d = %d\n", r, p.InitGPR[r])
+	}
+	var addrs []uint64
+	for a := range p.InitMem {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fmt.Fprintf(&b, ".mem %#x = %s\n", a, hex.EncodeToString(p.InitMem[a]))
+	}
+	// Label every branch target.
+	targets := map[int]bool{}
+	for i := range p.Code {
+		c := p.Code[i].Class()
+		if c == ClassBranch || c == ClassCondBranch {
+			targets[p.Code[i].Target] = true
+		}
+	}
+	for i := range p.Code {
+		if targets[i] {
+			fmt.Fprintf(&b, "L%d:\n", i)
+		}
+		b.WriteString("\t")
+		b.WriteString(formatInst(&p.Code[i]))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatInst(in *Inst) string {
+	op := in.Op.String()
+	cls := in.Class()
+	switch {
+	case in.Op == OpNop || in.Op == OpHalt || in.Op == OpMMAWake:
+		return op
+	case in.Op == OpXxsetaccz:
+		return fmt.Sprintf("%s %s", op, in.Dst)
+	case in.Op == OpXxmtacc || in.Op == OpXxmfacc:
+		return fmt.Sprintf("%s %s, %s", op, in.Dst, in.A)
+	case in.Op == OpLi:
+		return fmt.Sprintf("%s %s, %d", op, in.Dst, in.Imm)
+	case in.Op == OpAddi || in.Op == OpShl || in.Op == OpShr:
+		return fmt.Sprintf("%s %s, %s, %d", op, in.Dst, in.A, in.Imm)
+	case cls == ClassBranch:
+		return fmt.Sprintf("%s L%d", op, in.Target)
+	case cls == ClassCondBranch:
+		return fmt.Sprintf("%s %s, %s, %s, L%d", op, in.Cond, in.A, in.B, in.Target)
+	case cls == ClassIndirBranch:
+		return fmt.Sprintf("%s %s", op, in.A)
+	case cls.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", op, in.B, in.Imm, in.A)
+	case cls.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", op, in.Dst, in.Imm, in.A)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", op, in.Dst, in.A, in.B)
+	}
+}
+
+// opByName maps mnemonics back to opcodes.
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var condByName = func() map[string]Cond {
+	m := map[string]Cond{}
+	for c := CondEQ; c <= CondLE; c++ {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+// parseReg parses r3 / vs17 / acc2.
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "vs"):
+		n, err := strconv.Atoi(s[2:])
+		if err != nil || n < 0 || n >= NumVSR {
+			return NoReg, fmt.Errorf("isa: bad vsr %q", s)
+		}
+		return VSR(n), nil
+	case strings.HasPrefix(s, "acc"):
+		n, err := strconv.Atoi(s[3:])
+		if err != nil || n < 0 || n >= NumACC {
+			return NoReg, fmt.Errorf("isa: bad acc %q", s)
+		}
+		return ACC(n), nil
+	case strings.HasPrefix(s, "r"):
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumGPR {
+			return NoReg, fmt.Errorf("isa: bad gpr %q", s)
+		}
+		return GPR(n), nil
+	case s == "-":
+		return NoReg, nil
+	}
+	return NoReg, fmt.Errorf("isa: bad register %q", s)
+}
+
+// parseMemOperand parses "disp(base)".
+func parseMemOperand(s string) (Reg, int64, error) {
+	open := strings.IndexByte(s, '(')
+	closeP := strings.IndexByte(s, ')')
+	if open < 0 || closeP < open {
+		return NoReg, 0, fmt.Errorf("isa: bad memory operand %q", s)
+	}
+	disp, err := strconv.ParseInt(strings.TrimSpace(s[:open]), 0, 64)
+	if err != nil {
+		return NoReg, 0, fmt.Errorf("isa: bad displacement in %q", s)
+	}
+	base, err := parseReg(s[open+1 : closeP])
+	if err != nil {
+		return NoReg, 0, err
+	}
+	return base, disp, nil
+}
+
+// Assemble parses assembly text into a program.
+func Assemble(src string) (*Program, error) {
+	p := &Program{InitGPR: map[int]uint64{}, InitMem: map[uint64][]byte{}}
+	labels := map[string]int{}
+	type fix struct {
+		at    int
+		label string
+	}
+	var fixes []fix
+
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("isa: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, ".name "):
+			p.Name = strings.TrimSpace(line[6:])
+			continue
+		case strings.HasPrefix(line, ".entry "):
+			v, err := strconv.Atoi(strings.TrimSpace(line[7:]))
+			if err != nil {
+				return nil, fail("bad entry: %v", err)
+			}
+			p.Entry = v
+			continue
+		case strings.HasPrefix(line, ".base "):
+			v, err := strconv.ParseUint(strings.TrimSpace(line[6:]), 0, 64)
+			if err != nil {
+				return nil, fail("bad base: %v", err)
+			}
+			p.CodeBase = v
+			continue
+		case strings.HasPrefix(line, ".gpr "):
+			parts := strings.SplitN(line[5:], "=", 2)
+			if len(parts) != 2 {
+				return nil, fail("bad .gpr")
+			}
+			r, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+			if err != nil || r < 0 || r >= NumGPR {
+				return nil, fail("bad .gpr register")
+			}
+			v, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 64)
+			if err != nil {
+				return nil, fail("bad .gpr value: %v", err)
+			}
+			p.InitGPR[r] = v
+			continue
+		case strings.HasPrefix(line, ".mem "):
+			parts := strings.SplitN(line[5:], "=", 2)
+			if len(parts) != 2 {
+				return nil, fail("bad .mem")
+			}
+			addr, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 0, 64)
+			if err != nil {
+				return nil, fail("bad .mem address: %v", err)
+			}
+			data, err := hex.DecodeString(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return nil, fail("bad .mem hex: %v", err)
+			}
+			p.InitMem[addr] = data
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			labels[strings.TrimSuffix(line, ":")] = len(p.Code)
+			continue
+		}
+		// Instruction.
+		var mnem, rest string
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+		} else {
+			mnem = line
+		}
+		op, ok := opByName[mnem]
+		if !ok {
+			return nil, fail("unknown mnemonic %q", mnem)
+		}
+		var ops []string
+		if rest != "" {
+			for _, o := range strings.Split(rest, ",") {
+				ops = append(ops, strings.TrimSpace(o))
+			}
+		}
+		in := Inst{Op: op, Prefixed: op == OpLxvp || op == OpStxvp}
+		cls := ClassOf(op)
+		var err error
+		switch {
+		case op == OpNop || op == OpHalt || op == OpMMAWake:
+			// no operands
+		case op == OpLi:
+			if len(ops) != 2 {
+				return nil, fail("li needs 2 operands")
+			}
+			if in.Dst, err = parseReg(ops[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+			if in.Imm, err = strconv.ParseInt(ops[1], 0, 64); err != nil {
+				return nil, fail("bad immediate: %v", err)
+			}
+		case op == OpAddi || op == OpShl || op == OpShr:
+			if len(ops) != 3 {
+				return nil, fail("%s needs 3 operands", mnem)
+			}
+			if in.Dst, err = parseReg(ops[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+			if in.A, err = parseReg(ops[1]); err != nil {
+				return nil, fail("%v", err)
+			}
+			if in.Imm, err = strconv.ParseInt(ops[2], 0, 64); err != nil {
+				return nil, fail("bad immediate: %v", err)
+			}
+		case cls == ClassBranch:
+			if len(ops) != 1 {
+				return nil, fail("%s needs a label", mnem)
+			}
+			fixes = append(fixes, fix{len(p.Code), ops[0]})
+		case cls == ClassCondBranch:
+			if len(ops) != 4 {
+				return nil, fail("bc needs cond, a, b, label")
+			}
+			c, ok := condByName[ops[0]]
+			if !ok {
+				return nil, fail("bad condition %q", ops[0])
+			}
+			in.Cond = c
+			if in.A, err = parseReg(ops[1]); err != nil {
+				return nil, fail("%v", err)
+			}
+			if in.B, err = parseReg(ops[2]); err != nil {
+				return nil, fail("%v", err)
+			}
+			fixes = append(fixes, fix{len(p.Code), ops[3]})
+		case cls == ClassIndirBranch:
+			if len(ops) != 1 {
+				return nil, fail("br needs a register")
+			}
+			if in.A, err = parseReg(ops[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+		case cls.IsMem():
+			if len(ops) != 2 {
+				return nil, fail("%s needs reg, disp(base)", mnem)
+			}
+			var val Reg
+			if val, err = parseReg(ops[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+			base, disp, err := parseMemOperand(ops[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			in.A, in.Imm = base, disp
+			if cls.IsStore() {
+				in.B = val
+			} else {
+				in.Dst = val
+			}
+		default:
+			// Register forms: operand count is op-specific.
+			want := 3
+			switch op {
+			case OpXxsetaccz:
+				want = 1
+			case OpXxmtacc, OpXxmfacc:
+				want = 2
+			}
+			if len(ops) != want {
+				return nil, fail("%s needs %d operands, got %d", mnem, want, len(ops))
+			}
+			if in.Dst, err = parseReg(ops[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+			if want >= 2 {
+				if in.A, err = parseReg(ops[1]); err != nil {
+					return nil, fail("%v", err)
+				}
+			}
+			if want == 3 {
+				if in.B, err = parseReg(ops[2]); err != nil {
+					return nil, fail("%v", err)
+				}
+			}
+		}
+		p.Code = append(p.Code, in)
+	}
+	for _, f := range fixes {
+		t, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", f.label)
+		}
+		p.Code[f.at].Target = t
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,178 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; sum 0..9
+.name sum
+.entry 0
+.gpr 9 = 7
+	li r1, 0
+	li r2, 10
+top:
+	add r3, r3, r1
+	addi r1, r1, 1
+	bc lt, r1, r2, top
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sum" || p.InitGPR[9] != 7 {
+		t.Error("directives not parsed")
+	}
+	vm := NewVM(p)
+	if _, err := vm.Run(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.GPR(3); got != 45 {
+		t.Errorf("sum = %d, want 45", got)
+	}
+}
+
+func TestAssembleMemoryAndVector(t *testing.T) {
+	src := `
+.name vec
+.mem 0x2000 = 000000000000f03f0000000000000040
+	li r1, 0x2000
+	lxv vs0, 0(r1)
+	xvadddp vs1, vs0, vs0
+	stxv vs1, 16(r1)
+	ld r2, 16(r1)
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(p)
+	if _, err := vm.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.VSRF64(1); got != [2]float64{2, 4} {
+		t.Errorf("vector = %v, want [2 4]", got)
+	}
+}
+
+func TestAssembleMMA(t *testing.T) {
+	src := `
+.name mma
+	xxsetaccz acc0
+	xvf64gerpp acc0, vs0, vs2
+	xxmfacc vs16, acc0
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Op != OpXvf64gerpp || p.Code[1].Dst != ACC(0) {
+		t.Errorf("mma decode wrong: %+v", p.Code[1])
+	}
+}
+
+func TestFormatAsmRoundTripsPrograms(t *testing.T) {
+	progs := []*Program{
+		NewBuilder("a").
+			Li(GPR(1), 0).Li(GPR(2), 16).
+			Label("x").
+			Ld(GPR(3), GPR(1), 8).
+			St(GPR(3), GPR(1), 16).
+			Lxvdsx(VSR(4), GPR(1), 0).
+			Xvmaddadp(VSR(5), VSR(4), VSR(4)).
+			Addi(GPR(1), GPR(1), 1).
+			Bc(CondLT, GPR(1), GPR(2), "x").
+			Halt().MustBuild(),
+		NewBuilder("b").
+			SetGPR(5, 123).
+			SetMem(0x4000, []byte{1, 2, 3, 4}).
+			Li(GPR(6), 2).
+			Br(GPR(6)).
+			Nop().
+			Xxsetaccz(ACC(1)).
+			Xvf32gerpp(ACC(1), VSR(0), VSR(1)).
+			Xxmfacc(VSR(8), ACC(1)).
+			Stxvp(VSR(8), GPR(5), 0).
+			Halt().MustBuild(),
+	}
+	for _, p := range progs {
+		text := FormatAsm(p)
+		q, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", p.Name, err, text)
+		}
+		if len(q.Code) != len(p.Code) {
+			t.Fatalf("%s: code length %d vs %d", p.Name, len(q.Code), len(p.Code))
+		}
+		for i := range p.Code {
+			if p.Code[i] != q.Code[i] {
+				t.Errorf("%s @%d: %+v != %+v", p.Name, i, p.Code[i], q.Code[i])
+			}
+		}
+		for r, v := range p.InitGPR {
+			if q.InitGPR[r] != v {
+				t.Errorf("%s: gpr %d lost", p.Name, r)
+			}
+		}
+		for a, d := range p.InitMem {
+			if string(q.InitMem[a]) != string(d) {
+				t.Errorf("%s: mem %#x lost", p.Name, a)
+			}
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"\tfrobnicate r1, r2",
+		"\tbc lt, r1, r2, nowhere\n\thalt",
+		"\tli r99, 0",
+		"\tld r1, zzz(r2)",
+		".gpr 99 = 1\n\thalt",
+		"\tadd r1",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("accepted %q", strings.TrimSpace(src))
+		}
+	}
+}
+
+func TestFormatAsmRoundTripsWorkloadStylePrograms(t *testing.T) {
+	// A denser program exercising every format path.
+	p := NewBuilder("dense").
+		SetGPR(8, 1).
+		Li(GPR(1), 0).
+		Li(GPR(2), 4).
+		Li(GPR(3), 0x8000).
+		Label("loop").
+		Lw(GPR(4), GPR(3), 4).
+		Stw(GPR(4), GPR(3), 12).
+		Lxvwsx(VSR(2), GPR(3), 0).
+		Xvmaddasp(VSR(3), VSR(2), VSR(2)).
+		Xxlxor(VSR(4), VSR(4), VSR(4)).
+		Mul(GPR(5), GPR(4), GPR(2)).
+		Div(GPR(6), GPR(5), GPR(2)).
+		Shl(GPR(7), GPR(6), 3).
+		Addi(GPR(1), GPR(1), 1).
+		Bc(CondNE, GPR(1), GPR(2), "loop").
+		B("end").
+		Nop().
+		Label("end").
+		Halt().
+		MustBuild()
+	q, err := Assemble(FormatAsm(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Fatalf("@%d: %+v != %+v", i, p.Code[i], q.Code[i])
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels. Methods append one
+// instruction each and return the builder for chaining. Label references may
+// be forward; Build resolves them.
+type Builder struct {
+	prog   Program
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	at    int
+	label string
+}
+
+// NewBuilder creates a builder for a named program.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		prog: Program{
+			Name:    name,
+			InitGPR: map[int]uint64{},
+			InitMem: map[uint64][]byte{},
+		},
+		labels: map[string]int{},
+	}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+	}
+	b.labels[name] = len(b.prog.Code)
+	return b
+}
+
+// SetGPR seeds an initial GPR value.
+func (b *Builder) SetGPR(i int, v uint64) *Builder {
+	b.prog.InitGPR[i] = v
+	return b
+}
+
+// SetMem seeds initial memory contents at addr.
+func (b *Builder) SetMem(addr uint64, data []byte) *Builder {
+	b.prog.InitMem[addr] = data
+	return b
+}
+
+func (b *Builder) emit(in Inst) *Builder {
+	b.prog.Code = append(b.prog.Code, in)
+	return b
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Inst{Op: OpNop}) }
+
+// Halt appends program termination.
+func (b *Builder) Halt() *Builder { return b.emit(Inst{Op: OpHalt}) }
+
+// Li loads an immediate into dst.
+func (b *Builder) Li(dst Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpLi, Dst: dst, Imm: imm})
+}
+
+// Op3 appends a three-register integer/VSX operation.
+func (b *Builder) Op3(op Opcode, dst, a, rb Reg) *Builder {
+	return b.emit(Inst{Op: op, Dst: dst, A: a, B: rb})
+}
+
+// Add, Sub, Mul, Div, And, Or, Xor are three-register integer ops.
+func (b *Builder) Add(dst, a, rb Reg) *Builder { return b.Op3(OpAdd, dst, a, rb) }
+func (b *Builder) Sub(dst, a, rb Reg) *Builder { return b.Op3(OpSub, dst, a, rb) }
+func (b *Builder) Mul(dst, a, rb Reg) *Builder { return b.Op3(OpMul, dst, a, rb) }
+func (b *Builder) Div(dst, a, rb Reg) *Builder { return b.Op3(OpDiv, dst, a, rb) }
+func (b *Builder) And(dst, a, rb Reg) *Builder { return b.Op3(OpAnd, dst, a, rb) }
+func (b *Builder) Or(dst, a, rb Reg) *Builder  { return b.Op3(OpOr, dst, a, rb) }
+func (b *Builder) Xor(dst, a, rb Reg) *Builder { return b.Op3(OpXor, dst, a, rb) }
+
+// Addi adds an immediate: dst = a + imm.
+func (b *Builder) Addi(dst, a Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpAddi, Dst: dst, A: a, Imm: imm})
+}
+
+// Shl and Shr shift by an immediate amount.
+func (b *Builder) Shl(dst, a Reg, amount int64) *Builder {
+	return b.emit(Inst{Op: OpShl, Dst: dst, A: a, Imm: amount})
+}
+func (b *Builder) Shr(dst, a Reg, amount int64) *Builder {
+	return b.emit(Inst{Op: OpShr, Dst: dst, A: a, Imm: amount})
+}
+
+// B branches unconditionally to a label.
+func (b *Builder) B(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.prog.Code), label})
+	return b.emit(Inst{Op: OpB})
+}
+
+// Bc branches to label when cond(a, rb) holds.
+func (b *Builder) Bc(cond Cond, a, rb Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.prog.Code), label})
+	return b.emit(Inst{Op: OpBc, Cond: cond, A: a, B: rb})
+}
+
+// Br branches indirectly through the code index held in GPR a.
+func (b *Builder) Br(a Reg) *Builder { return b.emit(Inst{Op: OpBr, A: a}) }
+
+// Call branches to a label (link register semantics are not modelled; the
+// distinct opcode lets predictors and fusion treat calls specially).
+func (b *Builder) Call(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.prog.Code), label})
+	return b.emit(Inst{Op: OpCall})
+}
+
+// Mem ops: EA = GPR[base] + disp.
+func (b *Builder) Ld(dst, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpLd, Dst: dst, A: base, Imm: disp})
+}
+func (b *Builder) St(src, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpSt, B: src, A: base, Imm: disp})
+}
+func (b *Builder) Lw(dst, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpLw, Dst: dst, A: base, Imm: disp})
+}
+func (b *Builder) Stw(src, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpStw, B: src, A: base, Imm: disp})
+}
+func (b *Builder) Lxv(dst, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpLxv, Dst: dst, A: base, Imm: disp})
+}
+func (b *Builder) Stxv(src, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpStxv, B: src, A: base, Imm: disp})
+}
+func (b *Builder) Lxvp(dst, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpLxvp, Dst: dst, A: base, Imm: disp, Prefixed: true})
+}
+func (b *Builder) Stxvp(src, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpStxvp, B: src, A: base, Imm: disp, Prefixed: true})
+}
+func (b *Builder) Lxvdsx(dst, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpLxvdsx, Dst: dst, A: base, Imm: disp})
+}
+func (b *Builder) Lxvwsx(dst, base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpLxvwsx, Dst: dst, A: base, Imm: disp})
+}
+
+// VSX arithmetic.
+func (b *Builder) Xvadddp(dst, a, rb Reg) *Builder   { return b.Op3(OpXvadddp, dst, a, rb) }
+func (b *Builder) Xvmuldp(dst, a, rb Reg) *Builder   { return b.Op3(OpXvmuldp, dst, a, rb) }
+func (b *Builder) Xvmaddadp(dst, a, rb Reg) *Builder { return b.Op3(OpXvmaddadp, dst, a, rb) }
+func (b *Builder) Xvmaddasp(dst, a, rb Reg) *Builder { return b.Op3(OpXvmaddasp, dst, a, rb) }
+func (b *Builder) Xxlxor(dst, a, rb Reg) *Builder    { return b.Op3(OpXxlxor, dst, a, rb) }
+func (b *Builder) Xxperm(dst, a, rb Reg) *Builder    { return b.Op3(OpXxperm, dst, a, rb) }
+
+// MMA operations.
+func (b *Builder) Xxsetaccz(acc Reg) *Builder {
+	return b.emit(Inst{Op: OpXxsetaccz, Dst: acc})
+}
+func (b *Builder) Xxmtacc(acc, vsrBase Reg) *Builder {
+	return b.emit(Inst{Op: OpXxmtacc, Dst: acc, A: vsrBase})
+}
+func (b *Builder) Xxmfacc(vsrBase, acc Reg) *Builder {
+	return b.emit(Inst{Op: OpXxmfacc, Dst: vsrBase, A: acc})
+}
+func (b *Builder) Xvf64gerpp(acc, vsrPair, vsr Reg) *Builder {
+	return b.emit(Inst{Op: OpXvf64gerpp, Dst: acc, A: vsrPair, B: vsr})
+}
+func (b *Builder) Xvf32gerpp(acc, va, vb Reg) *Builder {
+	return b.emit(Inst{Op: OpXvf32gerpp, Dst: acc, A: va, B: vb})
+}
+func (b *Builder) Xvi8ger4pp(acc, va, vb Reg) *Builder {
+	return b.emit(Inst{Op: OpXvi8ger4pp, Dst: acc, A: va, B: vb})
+}
+
+// MMAWake appends the proactive MMA power-on hint.
+func (b *Builder) MMAWake() *Builder { return b.emit(Inst{Op: OpMMAWake}) }
+
+// Build resolves labels and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		idx, ok := b.labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("undefined label %q at @%d", f.label, f.at))
+			continue
+		}
+		b.prog.Code[f.at].Target = idx
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("program %q: %v", b.prog.Name, b.errs[0])
+	}
+	p := b.prog
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MustBuild is Build that panics on error; for use in workload constructors
+// whose programs are statically known to be valid.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,81 @@
+package isa
+
+// Memory is a sparse, page-granular byte-addressable memory for the
+// functional executor. Reads of untouched memory return zeros.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+const pageShift = 12 // 4 KiB pages
+const pageSize = 1 << pageShift
+
+type page [pageSize]byte
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt reads one byte.
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte writes one byte.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	p := m.pageFor(addr, true)
+	p[addr&(pageSize-1)] = v
+}
+
+// Read reads n little-endian bytes into a uint64 (n <= 8).
+func (m *Memory) Read(addr uint64, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write writes the low n bytes of v little-endian (n <= 8).
+func (m *Memory) Write(addr uint64, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// Read128 reads a 16-byte quantity as two uint64 words.
+func (m *Memory) Read128(addr uint64) [2]uint64 {
+	return [2]uint64{m.Read(addr, 8), m.Read(addr+8, 8)}
+}
+
+// Write128 writes a 16-byte quantity.
+func (m *Memory) Write128(addr uint64, v [2]uint64) {
+	m.Write(addr, v[0], 8)
+	m.Write(addr+8, v[1], 8)
+}
+
+// LoadImage copies an initial memory image.
+func (m *Memory) LoadImage(img map[uint64][]byte) {
+	for addr, data := range img {
+		for i, b := range data {
+			m.SetByte(addr+uint64(i), b)
+		}
+	}
+}
+
+// Pages reports the number of touched pages (footprint diagnostics).
+func (m *Memory) Pages() int { return len(m.pages) }

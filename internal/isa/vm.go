@@ -1,0 +1,317 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// DynInst is one dynamic (executed) instruction as observed at retirement of
+// the functional executor. It is the unit of the instruction traces consumed
+// by the timing, power and methodology models.
+type DynInst struct {
+	Idx    int32  // index into Program.Code
+	PC     uint64 // virtual address of the instruction
+	NextPC uint64 // address of the next dynamic instruction
+	EA     uint64 // effective address for memory operations
+	Taken  bool   // branch outcome (true also for unconditional)
+	Thread uint8  // hardware thread that executed it (set by SMT drivers)
+}
+
+// VM is the functional executor: it runs a Program architecturally and
+// produces the dynamic instruction stream. It models no timing; the
+// micro-architecture simulator replays its output.
+type VM struct {
+	Prog *Program
+	Mem  *Memory
+
+	GPRs [NumGPR]uint64
+	VSRs [NumVSR][2]uint64
+	ACCs [NumACC][8]uint64 // 512-bit accumulators as 8 x 64-bit words
+
+	pc      int
+	halted  bool
+	retired uint64
+}
+
+// NewVM prepares a VM with the program's initial state loaded.
+func NewVM(p *Program) *VM {
+	vm := &VM{Prog: p, Mem: NewMemory(), pc: p.Entry}
+	for i, v := range p.InitGPR {
+		vm.GPRs[i] = v
+	}
+	vm.Mem.LoadImage(p.InitMem)
+	return vm
+}
+
+// Halted reports whether the program executed OpHalt.
+func (vm *VM) Halted() bool { return vm.halted }
+
+// Retired returns the count of dynamically executed instructions.
+func (vm *VM) Retired() uint64 { return vm.retired }
+
+// PC returns the current static code index.
+func (vm *VM) PC() int { return vm.pc }
+
+func f64(u uint64) float64   { return math.Float64frombits(u) }
+func u64(f float64) uint64   { return math.Float64bits(f) }
+func f32lo(u uint64) float32 { return math.Float32frombits(uint32(u)) }
+func f32hi(u uint64) float32 { return math.Float32frombits(uint32(u >> 32)) }
+func packF32(lo, hi float32) uint64 {
+	return uint64(math.Float32bits(lo)) | uint64(math.Float32bits(hi))<<32
+}
+
+// vsrF64 views a VSR as two doubles.
+func vsrF64(v [2]uint64) [2]float64 { return [2]float64{f64(v[0]), f64(v[1])} }
+
+// vsrF32 views a VSR as four floats.
+func vsrF32(v [2]uint64) [4]float32 {
+	return [4]float32{f32lo(v[0]), f32hi(v[0]), f32lo(v[1]), f32hi(v[1])}
+}
+
+// Step executes one instruction and returns its dynamic record.
+// It returns ok=false when the VM is halted or runs off the end of code.
+func (vm *VM) Step() (rec DynInst, ok bool, err error) {
+	if vm.halted || vm.pc < 0 || vm.pc >= len(vm.Prog.Code) {
+		return DynInst{}, false, nil
+	}
+	idx := vm.pc
+	in := &vm.Prog.Code[idx]
+	rec = DynInst{Idx: int32(idx), PC: vm.Prog.PC(idx)}
+	next := idx + 1
+
+	switch in.Op {
+	case OpNop, OpMMAWake:
+		// no architectural effect
+	case OpHalt:
+		vm.halted = true
+	case OpLi:
+		vm.GPRs[in.Dst.Idx] = uint64(in.Imm)
+	case OpAdd:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] + vm.GPRs[in.B.Idx]
+	case OpAddi:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+	case OpSub:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] - vm.GPRs[in.B.Idx]
+	case OpMul:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] * vm.GPRs[in.B.Idx]
+	case OpDiv:
+		d := vm.GPRs[in.B.Idx]
+		if d == 0 {
+			vm.GPRs[in.Dst.Idx] = 0
+		} else {
+			vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] / d
+		}
+	case OpAnd:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] & vm.GPRs[in.B.Idx]
+	case OpOr:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] | vm.GPRs[in.B.Idx]
+	case OpXor:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] ^ vm.GPRs[in.B.Idx]
+	case OpShl:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] << (uint64(in.Imm) & 63)
+	case OpShr:
+		vm.GPRs[in.Dst.Idx] = vm.GPRs[in.A.Idx] >> (uint64(in.Imm) & 63)
+
+	case OpB, OpCall:
+		rec.Taken = true
+		next = in.Target
+	case OpBc:
+		if in.Cond.Eval(int64(vm.GPRs[in.A.Idx]), int64(vm.GPRs[in.B.Idx])) {
+			rec.Taken = true
+			next = in.Target
+		}
+	case OpBr:
+		t := int(vm.GPRs[in.A.Idx])
+		if t < 0 || t >= len(vm.Prog.Code) {
+			return rec, false, fmt.Errorf("%s @%d: indirect target %d out of range", vm.Prog.Name, idx, t)
+		}
+		rec.Taken = true
+		next = t
+
+	case OpLd:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		vm.GPRs[in.Dst.Idx] = vm.Mem.Read(rec.EA, 8)
+	case OpLw:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		vm.GPRs[in.Dst.Idx] = vm.Mem.Read(rec.EA, 4)
+	case OpSt:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		vm.Mem.Write(rec.EA, vm.GPRs[in.B.Idx], 8)
+	case OpStw:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		vm.Mem.Write(rec.EA, vm.GPRs[in.B.Idx], 4)
+	case OpLxv:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		vm.VSRs[in.Dst.Idx] = vm.Mem.Read128(rec.EA)
+	case OpStxv:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		vm.Mem.Write128(rec.EA, vm.VSRs[in.B.Idx])
+	case OpLxvdsx:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		v := vm.Mem.Read(rec.EA, 8)
+		vm.VSRs[in.Dst.Idx] = [2]uint64{v, v}
+	case OpLxvwsx:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		w := vm.Mem.Read(rec.EA, 4)
+		v := w | w<<32
+		vm.VSRs[in.Dst.Idx] = [2]uint64{v, v}
+	case OpLxvp:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		vm.VSRs[in.Dst.Idx] = vm.Mem.Read128(rec.EA)
+		vm.VSRs[(in.Dst.Idx+1)%NumVSR] = vm.Mem.Read128(rec.EA + 16)
+	case OpStxvp:
+		rec.EA = vm.GPRs[in.A.Idx] + uint64(in.Imm)
+		vm.Mem.Write128(rec.EA, vm.VSRs[in.B.Idx])
+		vm.Mem.Write128(rec.EA+16, vm.VSRs[(in.B.Idx+1)%NumVSR])
+
+	case OpXvadddp:
+		a, c := vsrF64(vm.VSRs[in.A.Idx]), vsrF64(vm.VSRs[in.B.Idx])
+		vm.VSRs[in.Dst.Idx] = [2]uint64{u64(a[0] + c[0]), u64(a[1] + c[1])}
+	case OpXvmuldp:
+		a, c := vsrF64(vm.VSRs[in.A.Idx]), vsrF64(vm.VSRs[in.B.Idx])
+		vm.VSRs[in.Dst.Idx] = [2]uint64{u64(a[0] * c[0]), u64(a[1] * c[1])}
+	case OpXvmaddadp:
+		a, c := vsrF64(vm.VSRs[in.A.Idx]), vsrF64(vm.VSRs[in.B.Idx])
+		d := vsrF64(vm.VSRs[in.Dst.Idx])
+		vm.VSRs[in.Dst.Idx] = [2]uint64{u64(a[0]*c[0] + d[0]), u64(a[1]*c[1] + d[1])}
+	case OpXvmaddasp:
+		a, c := vsrF32(vm.VSRs[in.A.Idx]), vsrF32(vm.VSRs[in.B.Idx])
+		d := vsrF32(vm.VSRs[in.Dst.Idx])
+		var out [4]float32
+		for i := range out {
+			out[i] = a[i]*c[i] + d[i]
+		}
+		vm.VSRs[in.Dst.Idx] = [2]uint64{packF32(out[0], out[1]), packF32(out[2], out[3])}
+	case OpXxlxor:
+		vm.VSRs[in.Dst.Idx] = [2]uint64{
+			vm.VSRs[in.A.Idx][0] ^ vm.VSRs[in.B.Idx][0],
+			vm.VSRs[in.A.Idx][1] ^ vm.VSRs[in.B.Idx][1],
+		}
+	case OpXxperm:
+		// Modelled as a byte rotate across the two words.
+		a := vm.VSRs[in.A.Idx]
+		vm.VSRs[in.Dst.Idx] = [2]uint64{a[0]>>8 | a[1]<<56, a[1]>>8 | a[0]<<56}
+
+	case OpXxsetaccz:
+		vm.ACCs[in.Dst.Idx] = [8]uint64{}
+	case OpXxmtacc:
+		base := int(in.A.Idx)
+		for r := 0; r < 4; r++ {
+			v := vm.VSRs[(base+r)%NumVSR]
+			vm.ACCs[in.Dst.Idx][2*r] = v[0]
+			vm.ACCs[in.Dst.Idx][2*r+1] = v[1]
+		}
+	case OpXxmfacc:
+		base := int(in.Dst.Idx)
+		for r := 0; r < 4; r++ {
+			vm.VSRs[(base+r)%NumVSR] = [2]uint64{
+				vm.ACCs[in.A.Idx][2*r], vm.ACCs[in.A.Idx][2*r+1],
+			}
+		}
+	case OpXvf64gerpp:
+		// 4x2 DP outer product accumulate: X (VSR pair a,a+1) x Y (VSR b).
+		var x [4]float64
+		xa := vsrF64(vm.VSRs[in.A.Idx])
+		xb := vsrF64(vm.VSRs[(in.A.Idx+1)%NumVSR])
+		x[0], x[1], x[2], x[3] = xa[0], xa[1], xb[0], xb[1]
+		y := vsrF64(vm.VSRs[in.B.Idx])
+		acc := &vm.ACCs[in.Dst.Idx]
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 2; c++ {
+				w := &acc[2*r+c]
+				*w = u64(f64(*w) + x[r]*y[c])
+			}
+		}
+	case OpXvf32gerpp:
+		// 4x4 SP outer product accumulate; accumulator rows hold 4 floats.
+		x := vsrF32(vm.VSRs[in.A.Idx])
+		y := vsrF32(vm.VSRs[in.B.Idx])
+		acc := &vm.ACCs[in.Dst.Idx]
+		for r := 0; r < 4; r++ {
+			row := [2]uint64{acc[2*r], acc[2*r+1]}
+			f := vsrF32(row)
+			for c := 0; c < 4; c++ {
+				f[c] += x[r] * y[c]
+			}
+			acc[2*r] = packF32(f[0], f[1])
+			acc[2*r+1] = packF32(f[2], f[3])
+		}
+	case OpXvi8ger4pp:
+		// 4x4 INT8 outer product with 4-way dot product per cell.
+		acc := &vm.ACCs[in.Dst.Idx]
+		a := vm.VSRs[in.A.Idx]
+		c := vm.VSRs[in.B.Idx]
+		for r := 0; r < 4; r++ {
+			for col := 0; col < 4; col++ {
+				var dot int32
+				for k := 0; k < 4; k++ {
+					av := int8(a[r/2] >> uint((r%2)*32+k*8))
+					bv := int8(c[col/2] >> uint((col%2)*32+k*8))
+					dot += int32(av) * int32(bv)
+				}
+				w := &acc[2*r+col/2]
+				shift := uint((col % 2) * 32)
+				cur := int32(*w >> shift)
+				*w = (*w &^ (0xFFFFFFFF << shift)) | uint64(uint32(cur+dot))<<shift
+			}
+		}
+
+	default:
+		return rec, false, fmt.Errorf("%s @%d: unimplemented opcode %v", vm.Prog.Name, idx, in.Op)
+	}
+
+	vm.pc = next
+	vm.retired++
+	if vm.halted {
+		rec.NextPC = rec.PC + in.Bytes()
+	} else {
+		rec.NextPC = vm.Prog.PC(next)
+	}
+	return rec, true, nil
+}
+
+// Run executes up to budget instructions, invoking emit for each. It stops
+// early on Halt or when emit returns false. It returns the number executed.
+func (vm *VM) Run(budget uint64, emit func(DynInst) bool) (uint64, error) {
+	var n uint64
+	for n < budget {
+		rec, ok, err := vm.Step()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n++
+		if emit != nil && !emit(rec) {
+			break
+		}
+	}
+	return n, nil
+}
+
+// GPR returns the value of general-purpose register i.
+func (vm *VM) GPR(i int) uint64 { return vm.GPRs[i] }
+
+// VSRF64 returns the two double-precision lanes of VSR i.
+func (vm *VM) VSRF64(i int) [2]float64 { return vsrF64(vm.VSRs[i]) }
+
+// ACCF64 returns accumulator i as a 4x2 grid of doubles.
+func (vm *VM) ACCF64(i int) [4][2]float64 {
+	var out [4][2]float64
+	for r := 0; r < 4; r++ {
+		out[r][0] = f64(vm.ACCs[i][2*r])
+		out[r][1] = f64(vm.ACCs[i][2*r+1])
+	}
+	return out
+}
+
+// ACCF32 returns accumulator i as a 4x4 grid of floats.
+func (vm *VM) ACCF32(i int) [4][4]float32 {
+	var out [4][4]float32
+	for r := 0; r < 4; r++ {
+		f := vsrF32([2]uint64{vm.ACCs[i][2*r], vm.ACCs[i][2*r+1]})
+		copy(out[r][:], f[:])
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Package microprobe is the synthetic-testcase generator analog ([8] in the
+// paper): it produces parametric microbenchmarks sweeping SMT level,
+// dependency distance (DD) and data initialization (zero/random) — the
+// testcase suites SERMiner's derating study (Fig. 13) runs, alongside
+// maximum-power stressmarks and unit-targeted probes.
+package microprobe
+
+import (
+	"fmt"
+
+	"power10sim/internal/isa"
+	"power10sim/internal/workloads"
+)
+
+// DataInit selects operand data content.
+type DataInit int
+
+// Data initialization modes.
+const (
+	InitZero DataInit = iota
+	InitRandom
+)
+
+func (d DataInit) String() string {
+	if d == InitZero {
+		return "zero"
+	}
+	return "random"
+}
+
+// Params parameterizes one synthetic testcase.
+type Params struct {
+	SMT int // hardware threads the case is meant to run with (1, 2, 4)
+	// DepDistance: 0 = fully independent operations; 1 = serial dependency
+	// on the previous instruction.
+	DepDistance int
+	Data        DataInit
+	// BodyOps is the loop body size before control overhead.
+	BodyOps int
+	Iters   int
+}
+
+// TestCase couples the generated workload with the switching hints the
+// latch-level analysis needs.
+type TestCase struct {
+	Name string
+	Params
+	Workload *workloads.Workload
+	// DataToggle approximates the datapath toggle probability implied by
+	// the operand values (zero data leaves most datapath latches inert).
+	DataToggle float64
+}
+
+// Generate builds the testcase for the given parameters.
+func Generate(p Params) (*TestCase, error) {
+	if p.DepDistance < 0 || p.DepDistance > 1 {
+		return nil, fmt.Errorf("microprobe: dependency distance %d unsupported", p.DepDistance)
+	}
+	if p.BodyOps <= 0 {
+		p.BodyOps = 24
+	}
+	if p.Iters <= 0 {
+		p.Iters = 2500
+	}
+	name := fmt.Sprintf("%s_dd%d_%s", smtName(p.SMT), p.DepDistance, p.Data)
+	b := isa.NewBuilder(name)
+	rI := isa.GPR(1)
+	rL := isa.GPR(2)
+	b.Li(rI, 0)
+	b.Li(rL, int64(p.Iters))
+	seed := int64(0)
+	if p.Data == InitRandom {
+		seed = 0x5DEECE66D
+	}
+	// Seed the working registers.
+	for r := 8; r < 24; r++ {
+		b.SetGPR(r, uint64(seed)*uint64(r))
+	}
+	b.Label("top")
+	for op := 0; op < p.BodyOps; op++ {
+		dst := isa.GPR(8 + op%16)
+		src := dst
+		if p.DepDistance == 1 {
+			// Serial: consume the previous op's destination.
+			src = isa.GPR(8 + (op+15)%16)
+		}
+		switch op % 4 {
+		case 0, 1:
+			b.Add(dst, src, isa.GPR(8+(op+5)%16))
+		case 2:
+			b.Xor(dst, src, isa.GPR(8+(op+7)%16))
+		case 3:
+			b.Shl(dst, src, int64(op%13))
+		}
+	}
+	b.Addi(rI, rI, 1)
+	b.Bc(isa.CondLT, rI, rL, "top")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	toggle := 0.08
+	if p.Data == InitRandom {
+		toggle = 0.50
+	}
+	w := &workloads.Workload{
+		Name:     name,
+		Category: workloads.CatSynthetic,
+		Prog:     prog,
+		Weight:   1,
+		Budget:   uint64(p.Iters) * uint64(p.BodyOps+2),
+	}
+	return &TestCase{Name: name, Params: p, Workload: w, DataToggle: toggle}, nil
+}
+
+func smtName(smt int) string {
+	switch smt {
+	case 0, 1:
+		return "st"
+	default:
+		return fmt.Sprintf("smt%d", smt)
+	}
+}
+
+// Fig13Suite returns the testcase sweep of Fig. 13: ST/SMT2/SMT4 x DD0/DD1 x
+// zero/random, in the paper's x-axis order (SPEC-proxy entries are appended
+// by the experiment harness, which owns the SPEC workloads).
+func Fig13Suite() ([]*TestCase, error) {
+	var out []*TestCase
+	for _, smt := range []int{1, 2, 4} {
+		for _, dd := range []int{0, 1} {
+			for _, di := range []DataInit{InitRandom, InitZero} {
+				tc, err := Generate(Params{SMT: smt, DepDistance: dd, Data: di})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, tc)
+			}
+		}
+	}
+	return out, nil
+}

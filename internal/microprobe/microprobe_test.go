@@ -1,0 +1,86 @@
+package microprobe
+
+import (
+	"testing"
+
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+)
+
+func TestGenerateNaming(t *testing.T) {
+	cases := map[string]Params{
+		"st_dd0_zero":     {SMT: 1, DepDistance: 0, Data: InitZero},
+		"st_dd1_random":   {SMT: 1, DepDistance: 1, Data: InitRandom},
+		"smt2_dd0_random": {SMT: 2, DepDistance: 0, Data: InitRandom},
+		"smt4_dd1_zero":   {SMT: 4, DepDistance: 1, Data: InitZero},
+	}
+	for want, p := range cases {
+		tc, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.Name != want {
+			t.Errorf("name %q, want %q", tc.Name, want)
+		}
+	}
+}
+
+func TestGenerateRejectsBadDD(t *testing.T) {
+	if _, err := Generate(Params{DepDistance: 3}); err == nil {
+		t.Error("dd3 accepted")
+	}
+}
+
+func TestDataToggleHints(t *testing.T) {
+	z, err := Generate(Params{Data: InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Generate(Params{Data: InitRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.DataToggle >= r.DataToggle {
+		t.Errorf("zero-init toggle %.2f >= random %.2f", z.DataToggle, r.DataToggle)
+	}
+}
+
+func TestDependencyDistanceAffectsILP(t *testing.T) {
+	run := func(dd int) float64 {
+		tc, err := Generate(Params{SMT: 1, DepDistance: dd, Data: InitRandom})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := uarch.Simulate(uarch.POWER10(),
+			[]trace.Stream{trace.NewVMStream(tc.Workload.Prog, tc.Workload.Budget)}, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC()
+	}
+	indep := run(0)
+	serial := run(1)
+	if serial >= indep {
+		t.Errorf("serial-dependency IPC %.2f >= independent %.2f", serial, indep)
+	}
+}
+
+func TestFig13SuiteComplete(t *testing.T) {
+	suite, err := Fig13Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d cases, want 12 (3 SMT x 2 DD x 2 data)", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, tc := range suite {
+		if seen[tc.Name] {
+			t.Errorf("duplicate case %s", tc.Name)
+		}
+		seen[tc.Name] = true
+		if err := tc.Workload.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Name, err)
+		}
+	}
+}

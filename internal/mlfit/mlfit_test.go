@@ -1,0 +1,197 @@
+package mlfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func synthData(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 3 + 2*X[i][0] + 5*X[i][2] + noise*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	X, y := synthData(500, 0, 1)
+	m, err := Fit(X, y, Options{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 5, 0, 0}
+	for i, w := range want {
+		if math.Abs(m.Coef[i]-w) > 1e-5 {
+			t.Errorf("coef[%d] = %v, want %v", i, m.Coef[i], w)
+		}
+	}
+	if math.Abs(m.Intercept-3) > 1e-5 {
+		t.Errorf("intercept = %v, want 3", m.Intercept)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	X, y := synthData(100, 0.1, 2)
+	plain, err := Fit(X, y, Options{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := Fit(X, y, Options{Intercept: true, Ridge: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var np, nr float64
+	for i := range plain.Coef {
+		np += plain.Coef[i] * plain.Coef[i]
+		nr += ridge.Coef[i] * ridge.Coef[i]
+	}
+	if nr >= np {
+		t.Errorf("ridge norm %v >= OLS norm %v", nr, np)
+	}
+}
+
+func TestNonNegativeConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X := make([][]float64, 300)
+	y := make([]float64, 300)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 4*X[i][0] - 3*X[i][1] + 0.05*rng.NormFloat64() // one negative true coef
+	}
+	m, err := Fit(X, y, Options{Intercept: true, NonNegative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.Coef {
+		if c < 0 {
+			t.Errorf("coef[%d] = %v negative under constraint", i, c)
+		}
+	}
+	if m.Intercept < 0 {
+		t.Error("negative intercept under constraint")
+	}
+}
+
+func TestForwardSelectFindsInformativeFeatures(t *testing.T) {
+	X, y := synthData(400, 0.01, 4)
+	m, err := ForwardSelect(X, y, 2, Options{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Features) != 2 {
+		t.Fatalf("selected %d features, want 2", len(m.Features))
+	}
+	got := map[int]bool{}
+	for _, f := range m.Features {
+		got[f] = true
+	}
+	if !got[0] || !got[2] {
+		t.Errorf("selected %v, want features 0 and 2", m.Features)
+	}
+}
+
+func TestForwardSelectErrorDecreasesWithBudget(t *testing.T) {
+	X, y := synthData(400, 0.2, 5)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 3, 5} {
+		m, err := ForwardSelect(X, y, k, Options{Intercept: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := MeanAbsPctError(m, X, y)
+		if e > prev+1e-9 {
+			t.Errorf("error with %d features %.4f worse than with fewer (%.4f)", k, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestMeanAbsPctErrorZeroOnPerfectFit(t *testing.T) {
+	X, y := synthData(50, 0, 6)
+	m, err := Fit(X, y, Options{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MeanAbsPctError(m, X, y); e > 1e-6 {
+		t.Errorf("perfect fit error %v", e)
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	for i := 0; i < 60; i++ {
+		X = append(X, []float64{rng.Float64() * 0.1, rng.Float64() * 0.1})
+	}
+	for i := 0; i < 60; i++ {
+		X = append(X, []float64{10 + rng.Float64()*0.1, 10 + rng.Float64()*0.1})
+	}
+	assign, cent, err := KMeans(X, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cent) != 2 {
+		t.Fatalf("centroids %d", len(cent))
+	}
+	for i := 1; i < 60; i++ {
+		if assign[i] != assign[0] {
+			t.Fatal("cluster 1 split")
+		}
+	}
+	for i := 61; i < 120; i++ {
+		if assign[i] != assign[60] {
+			t.Fatal("cluster 2 split")
+		}
+	}
+	if assign[0] == assign[60] {
+		t.Fatal("clusters merged")
+	}
+}
+
+func TestKMeansDegenerateInputs(t *testing.T) {
+	if _, _, err := KMeans(nil, 2, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	X := [][]float64{{1, 2}, {3, 4}}
+	assign, cent, err := KMeans(X, 5, 10) // k > n clamps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cent) != 2 || len(assign) != 2 {
+		t.Errorf("clamp failed: %d centroids", len(cent))
+	}
+}
+
+func TestCorrelationProperties(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if c := Correlation(a, a); math.Abs(c-1) > 1e-12 {
+		t.Errorf("self correlation %v", c)
+	}
+	b := []float64{5, 4, 3, 2, 1}
+	if c := Correlation(a, b); math.Abs(c+1) > 1e-12 {
+		t.Errorf("anti correlation %v", c)
+	}
+	if Correlation(a, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Error("constant series correlation nonzero")
+	}
+}
+
+func TestPredictLinearityProperty(t *testing.T) {
+	m := &LinearModel{Features: []int{0, 1}, Coef: []float64{2, -1}, Intercept: 0.5}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		got := m.Predict([]float64{a, b})
+		want := 0.5 + 2*a - b
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

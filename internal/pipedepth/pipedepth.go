@@ -1,0 +1,167 @@
+// Package pipedepth implements the optimal pipeline-depth analysis of
+// Section II-A / Fig. 2, following the power-performance pipeline
+// optimization formulation of Srinivasan et al. [42] and Zyuban [52] that
+// the paper applied to the mature POWER9 models.
+//
+// The model sweeps logic depth per stage (FO4), deriving frequency, CPI
+// degradation from hazards that scale with pipeline length, and power from
+// the Einspower-style component decomposition (latch-clock, logic
+// data-switching, array, register file, leakage), each scaled by its own
+// function of depth. When a candidate design exceeds the core power
+// envelope, voltage and frequency are reduced until it fits (the
+// "power-limited frequency" of the figure), and performance is evaluated at
+// that operating point.
+package pipedepth
+
+import "math"
+
+// Params anchors the analytical model. Defaults are derived from the
+// simulated POWER9 baseline (see DefaultParams).
+type Params struct {
+	// TotalLogicFO4 is the machine's total logic depth in FO4.
+	TotalLogicFO4 float64
+	// LatchOverheadFO4 is the per-stage latch/clock-skew overhead.
+	LatchOverheadFO4 float64
+	// BaselineFO4 is the reference design point (27 for POWER9/POWER10).
+	BaselineFO4 float64
+
+	// BaseCPI is the depth-independent CPI component at the baseline.
+	BaseCPI float64
+	// HazardCPIPerStage is the CPI added per pipeline stage (branch
+	// resolution, dependency bubbles, flush refill).
+	HazardCPIPerStage float64
+
+	// Power shares at the baseline operating point (sum to 1).
+	LatchShare, LogicShare, ArrayShare, LeakShare float64
+	// LatchGrowthExp scales latch count with pipeline length (partitioning
+	// a fixed logic cloud into more stages adds staging latches).
+	LatchGrowthExp float64
+}
+
+// DefaultParams returns the study's anchor values: a 16-stage, 27-FO4
+// baseline with the component shares the Einspower-analog reports for the
+// POWER9 configuration on the SPECint-like suite.
+func DefaultParams() Params {
+	return Params{
+		TotalLogicFO4:     (27 - 3) * 16,
+		LatchOverheadFO4:  3,
+		BaselineFO4:       27,
+		BaseCPI:           0.72,
+		HazardCPIPerStage: 0.026,
+		LatchShare:        0.48,
+		LogicShare:        0.26,
+		ArrayShare:        0.16,
+		LeakShare:         0.10,
+		LatchGrowthExp:    1.4,
+	}
+}
+
+// stages returns the pipeline length at a given FO4 per stage.
+func (p Params) stages(fo4 float64) float64 {
+	logic := fo4 - p.LatchOverheadFO4
+	if logic < 1 {
+		logic = 1
+	}
+	return p.TotalLogicFO4 / logic
+}
+
+// cpi returns cycles per instruction at a given depth.
+func (p Params) cpi(fo4 float64) float64 {
+	return p.BaseCPI + p.HazardCPIPerStage*p.stages(fo4)
+}
+
+// relFreq returns frequency relative to the baseline FO4 point.
+func (p Params) relFreq(fo4 float64) float64 { return p.BaselineFO4 / fo4 }
+
+// relPower returns power relative to the baseline operating point, at
+// nominal voltage, for the given depth and relative frequency.
+func (p Params) relPower(fo4, f float64) float64 {
+	sr := p.stages(fo4) / p.stages(p.BaselineFO4)
+	dyn := p.LatchShare*math.Pow(sr, p.LatchGrowthExp)*f +
+		p.LogicShare*f +
+		p.ArrayShare*f
+	leak := p.LeakShare * math.Pow(sr, 0.6)
+	return dyn + leak
+}
+
+// OperatingPoint is one evaluated design.
+type OperatingPoint struct {
+	FO4 int
+	// FreqScale is the voltage/frequency derate applied to fit the power
+	// envelope (1 = unconstrained).
+	FreqScale float64
+	// Power is the resulting power relative to baseline.
+	Power float64
+	// BIPS is throughput performance normalized to the baseline design at
+	// the 1.0x power target.
+	BIPS float64
+}
+
+// fitEnvelope finds the voltage/frequency scale s in (0, 1] such that power
+// meets the target: dynamic scales ~ s^3 (V tracks f), leakage ~ s.
+func (p Params) fitEnvelope(fo4, target float64) float64 {
+	f := p.relFreq(fo4)
+	sr := p.stages(fo4) / p.stages(p.BaselineFO4)
+	dyn := p.LatchShare*math.Pow(sr, p.LatchGrowthExp)*f + p.LogicShare*f + p.ArrayShare*f
+	leak := p.LeakShare * math.Pow(sr, 0.6)
+	if dyn+leak <= target {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		s := (lo + hi) / 2
+		if dyn*s*s*s+leak*s > target {
+			hi = s
+		} else {
+			lo = s
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Evaluate computes the operating point of one FO4 design under a power
+// target expressed as a fraction of the baseline power.
+func (p Params) Evaluate(fo4 int, powerTarget float64) OperatingPoint {
+	s := p.fitEnvelope(float64(fo4), powerTarget)
+	f := p.relFreq(float64(fo4)) * s
+	// CPI hazards scale mildly with the derate: slower clocks hide a bit
+	// of the fixed-time memory latency.
+	bips := f / p.cpi(float64(fo4))
+	// Normalize against the baseline design at full power.
+	base := p.relFreq(p.BaselineFO4) / p.cpi(p.BaselineFO4)
+	return OperatingPoint{
+		FO4:       fo4,
+		FreqScale: s,
+		Power:     p.relPower(float64(fo4), p.relFreq(float64(fo4))*s) * s * s,
+		BIPS:      bips / base,
+	}
+}
+
+// Sweep evaluates a range of FO4 designs at one power target.
+func (p Params) Sweep(powerTarget float64, fo4s []int) []OperatingPoint {
+	out := make([]OperatingPoint, 0, len(fo4s))
+	for _, d := range fo4s {
+		out = append(out, p.Evaluate(d, powerTarget))
+	}
+	return out
+}
+
+// Optimal returns the FO4 with the highest BIPS at the target.
+func (p Params) Optimal(powerTarget float64, fo4s []int) OperatingPoint {
+	best := p.Evaluate(fo4s[0], powerTarget)
+	for _, d := range fo4s[1:] {
+		if op := p.Evaluate(d, powerTarget); op.BIPS > best.BIPS {
+			best = op
+		}
+	}
+	return best
+}
+
+// DefaultFO4Range is the swept depth range of Fig. 2.
+func DefaultFO4Range() []int {
+	var out []int
+	for d := 12; d <= 54; d += 3 {
+		out = append(out, d)
+	}
+	return out
+}

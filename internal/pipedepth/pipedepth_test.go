@@ -1,0 +1,84 @@
+package pipedepth
+
+import "testing"
+
+func TestOptimalDepthStableAt27(t *testing.T) {
+	// Fig. 2: the optimum holds at 27 FO4 for the throughput metric across
+	// the power targets of interest (0.5x-1.0x of baseline).
+	p := DefaultParams()
+	for _, tgt := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		op := p.Optimal(tgt, DefaultFO4Range())
+		if op.FO4 != 27 {
+			t.Errorf("power target %.1f: optimal FO4 %d, want 27", tgt, op.FO4)
+		}
+	}
+}
+
+func TestLowerPowerTargetsFavorShallowerPipelines(t *testing.T) {
+	// Fig. 2 discussion: higher FO4 points are optimal for lower core
+	// power targets (not of product interest, but the trend must hold).
+	p := DefaultParams()
+	low := p.Optimal(0.3, DefaultFO4Range())
+	high := p.Optimal(1.0, DefaultFO4Range())
+	if low.FO4 <= high.FO4 {
+		t.Errorf("0.3x target optimum FO4 %d not shallower than 1.0x optimum %d", low.FO4, high.FO4)
+	}
+}
+
+func TestPerformanceMonotoneInPowerTarget(t *testing.T) {
+	p := DefaultParams()
+	prev := 0.0
+	for _, tgt := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+		op := p.Optimal(tgt, DefaultFO4Range())
+		if op.BIPS < prev {
+			t.Errorf("BIPS fell to %.3f at target %.1f", op.BIPS, tgt)
+		}
+		prev = op.BIPS
+	}
+}
+
+func TestEnvelopeRespected(t *testing.T) {
+	p := DefaultParams()
+	for _, tgt := range []float64{0.4, 0.6, 0.8, 1.0} {
+		for _, op := range p.Sweep(tgt, DefaultFO4Range()) {
+			if op.Power > tgt*1.02 {
+				t.Errorf("FO4 %d at target %.1f: power %.3f exceeds envelope", op.FO4, tgt, op.Power)
+			}
+			if op.FreqScale <= 0 || op.FreqScale > 1 {
+				t.Errorf("FO4 %d: frequency scale %v out of (0,1]", op.FO4, op.FreqScale)
+			}
+		}
+	}
+}
+
+func TestDeepPipelinesClampedHarder(t *testing.T) {
+	// Deeper pipelines (lower FO4) have more latches and higher frequency:
+	// the envelope must clamp them more aggressively.
+	p := DefaultParams()
+	deep := p.Evaluate(12, 0.7)
+	shallow := p.Evaluate(39, 0.7)
+	if deep.FreqScale >= shallow.FreqScale {
+		t.Errorf("deep pipe scale %.2f >= shallow %.2f", deep.FreqScale, shallow.FreqScale)
+	}
+}
+
+func TestBaselineNormalization(t *testing.T) {
+	p := DefaultParams()
+	op := p.Evaluate(27, 1.0)
+	if op.BIPS < 0.99 || op.BIPS > 1.01 {
+		t.Errorf("baseline BIPS %.3f, want ~1.0", op.BIPS)
+	}
+	if op.FreqScale < 0.99 {
+		t.Errorf("baseline design clamped (scale %.2f) at its own power budget", op.FreqScale)
+	}
+}
+
+func TestCPIGrowsWithDepth(t *testing.T) {
+	p := DefaultParams()
+	if p.cpi(12) <= p.cpi(27) {
+		t.Error("deeper pipeline did not increase CPI")
+	}
+	if p.stages(12) <= p.stages(27) {
+		t.Error("lower FO4 did not increase stage count")
+	}
+}

@@ -1,0 +1,106 @@
+package pmgmt
+
+import "errors"
+
+// Governor is the firmware frequency-control loop of Section IV-A: every
+// control interval it reads the Core Power Proxy, compares the estimate
+// against the socket budget, and steps the frequency (and tracking voltage)
+// toward the highest operating point that fits — WOF as a closed loop
+// rather than a table. Power-proxy feedback makes the loop converge in a
+// handful of intervals ("faster learning, yielding more efficient adaptive
+// control loops").
+type Governor struct {
+	// Budget is the power envelope the loop regulates to.
+	Budget float64
+	// FminScale/FmaxScale bound the frequency lever.
+	FminScale, FmaxScale float64
+	// StepUp/StepDown are the per-interval frequency moves. Down-steps are
+	// larger: overshooting the envelope risks droop and thermal excursion.
+	StepUp, StepDown float64
+	// Guard is the fraction of budget headroom the loop keeps in reserve.
+	Guard float64
+
+	scale float64
+}
+
+// NewGovernor returns a WOF control loop at nominal frequency.
+func NewGovernor(budget float64) *Governor {
+	return &Governor{
+		Budget:    budget,
+		FminScale: 0.5,
+		FmaxScale: 1.3,
+		StepUp:    0.02,
+		StepDown:  0.05,
+		Guard:     0.02,
+		scale:     1.0,
+	}
+}
+
+// Scale returns the current frequency scale.
+func (g *Governor) Scale() float64 { return g.scale }
+
+// Step consumes one control interval's power estimate measured at NOMINAL
+// frequency (the proxy's counters are frequency-normalized) and moves the
+// operating point. It returns the new scale.
+func (g *Governor) Step(dynAtNominal, leakAtNominal float64) float64 {
+	// Projected power at the present operating point.
+	projected := dynAtNominal*g.scale*g.scale*g.scale + leakAtNominal*g.scale
+	switch {
+	case projected > g.Budget:
+		g.scale -= g.StepDown
+	case projected < g.Budget*(1-g.Guard):
+		g.scale += g.StepUp
+	}
+	if g.scale > g.FmaxScale {
+		g.scale = g.FmaxScale
+	}
+	if g.scale < g.FminScale {
+		g.scale = g.FminScale
+	}
+	return g.scale
+}
+
+// Run drives the loop over a series of per-interval (dynamic, leakage)
+// estimates and returns the scale trajectory.
+func (g *Governor) Run(dyn []float64, leak float64) []float64 {
+	out := make([]float64, len(dyn))
+	for i, d := range dyn {
+		out[i] = g.Step(d, leak)
+	}
+	return out
+}
+
+// Converged reports whether the last window of a trajectory settled within
+// one up-step of band.
+func Converged(traj []float64, window int) (float64, bool) {
+	if len(traj) < window || window <= 0 {
+		return 0, false
+	}
+	tail := traj[len(traj)-window:]
+	lo, hi := tail[0], tail[0]
+	for _, v := range tail {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	mid := (lo + hi) / 2
+	return mid, hi-lo <= 0.08
+}
+
+// SteadyStateScale runs the loop to convergence on a constant load and
+// returns the settled operating point.
+func (g *Governor) SteadyStateScale(dynAtNominal, leakAtNominal float64, maxIters int) (float64, error) {
+	var traj []float64
+	for i := 0; i < maxIters; i++ {
+		traj = append(traj, g.Step(dynAtNominal, leakAtNominal))
+		if len(traj) >= 10 {
+			if mid, ok := Converged(traj, 10); ok && i > 20 {
+				return mid, nil
+			}
+		}
+	}
+	return 0, errors.New("pmgmt: governor did not converge")
+}

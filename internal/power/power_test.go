@@ -1,0 +1,162 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func runReport(t *testing.T, cfg *uarch.Config, w *workloads.Workload) (*uarch.Activity, *Report) {
+	t.Helper()
+	res, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(w.Prog, w.Budget)},
+		30_000_000, uarch.WithWarmup(w.Warmup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &res.Activity, NewModel(cfg).Report(&res.Activity)
+}
+
+func TestComponentsSumToTotal(t *testing.T) {
+	_, rep := runReport(t, uarch.POWER10(), workloads.Compress())
+	var sum float64
+	for _, c := range rep.Components {
+		sum += c
+	}
+	if math.Abs(sum-rep.Total) > 1e-9*math.Abs(rep.Total) {
+		t.Errorf("components sum %.6f != total %.6f", sum, rep.Total)
+	}
+	if len(rep.Components) != NumComponents || NumComponents != 39 {
+		t.Errorf("component count %d, want 39", NumComponents)
+	}
+	marg := rep.Clock + rep.Switching + rep.Array + rep.Leakage
+	if math.Abs(marg-rep.Total) > 1e-9*math.Abs(rep.Total) {
+		t.Errorf("category marginals %.6f != total %.6f", marg, rep.Total)
+	}
+}
+
+func TestCategoriesNonNegative(t *testing.T) {
+	for _, w := range workloads.SPECintSuite()[:4] {
+		_, rep := runReport(t, uarch.POWER9(), w)
+		for _, v := range []float64{rep.Clock, rep.Switching, rep.Array, rep.Leakage, rep.ActiveIdle} {
+			if v < 0 {
+				t.Errorf("%s: negative power component", w.Name)
+			}
+		}
+		if rep.ActiveIdle >= rep.Total {
+			t.Errorf("%s: active idle %.3f >= total %.3f", w.Name, rep.ActiveIdle, rep.Total)
+		}
+	}
+}
+
+// TestHeadlineCalibration locks the paper's §II-B headline: POWER10 delivers
+// ~1.3x SPECint throughput at ~0.5x power (2.6x perf/W) versus POWER9 at
+// iso-voltage/frequency, and the POWER9 baseline is normalized near 1.0.
+func TestHeadlineCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite calibration")
+	}
+	var logPerf, logPow, p9Sum float64
+	suite := workloads.SPECintSuite()
+	for _, w := range suite {
+		a9, r9 := runReport(t, uarch.POWER9(), w)
+		a10, r10 := runReport(t, uarch.POWER10(), w)
+		logPerf += math.Log(a10.IPC() / a9.IPC())
+		logPow += math.Log(r10.Total / r9.Total)
+		p9Sum += r9.Total
+	}
+	n := float64(len(suite))
+	perf := math.Exp(logPerf / n)
+	pow := math.Exp(logPow / n)
+	if perf < 1.18 || perf > 1.45 {
+		t.Errorf("P10/P9 SPECint speedup %.3f outside [1.18, 1.45] (paper ~1.3)", perf)
+	}
+	if pow < 0.40 || pow > 0.60 {
+		t.Errorf("P10/P9 SPECint power ratio %.3f outside [0.40, 0.60] (paper ~0.5)", pow)
+	}
+	eff := perf / pow
+	if eff < 2.2 || eff > 3.2 {
+		t.Errorf("perf/W gain %.2f outside [2.2, 3.2] (paper 2.6)", eff)
+	}
+	if avg := p9Sum / n; avg < 0.8 || avg > 1.2 {
+		t.Errorf("POWER9 suite power %.3f not normalized near 1.0", avg)
+	}
+}
+
+func TestMMAPowerGatingSavesLeakage(t *testing.T) {
+	cfg := uarch.POWER10()
+	intw := workloads.IntCompute()
+	aInt, _ := runReport(t, cfg, intw)
+	if aInt.MMAOps != 0 {
+		t.Fatal("integer workload used MMA")
+	}
+	repGated := NewModel(cfg).Report(aInt)
+	// Force the MMA to appear fully active with otherwise identical
+	// activity: leakage must rise.
+	aBusy := *aInt
+	aBusy.MMAActiveCycles = aBusy.Cycles
+	repBusy := NewModel(cfg).Report(&aBusy)
+	if repBusy.Leakage <= repGated.Leakage {
+		t.Errorf("MMA-active leakage %.4f <= gated %.4f", repBusy.Leakage, repGated.Leakage)
+	}
+}
+
+func TestEATaggingReducesTranslationPower(t *testing.T) {
+	w := workloads.XMLTrans()
+	_, r9 := runReport(t, uarch.POWER9(), w)
+	_, r10 := runReport(t, uarch.POWER10(), w)
+	p9t := r9.Component("mmu-derat") + r9.Component("ifu-ierat")
+	p10t := r10.Component("mmu-derat") + r10.Component("ifu-ierat")
+	if p10t*2 >= p9t {
+		t.Errorf("translation power P10 %.4f vs P9 %.4f, want >=2x lower", p10t, p9t)
+	}
+}
+
+func TestReservationStationPowerOnlyOnP9(t *testing.T) {
+	w := workloads.IntCompute()
+	_, r9 := runReport(t, uarch.POWER9(), w)
+	_, r10 := runReport(t, uarch.POWER10(), w)
+	if r9.Component("issq-wake") <= 0 {
+		t.Error("POWER9 has no reservation-station wakeup power")
+	}
+	if r10.Component("issq-wake") != 0 {
+		t.Error("POWER10 charges reservation-station CAM power")
+	}
+}
+
+func TestGhostShareHigherOnP9(t *testing.T) {
+	w := workloads.Compress()
+	_, r9 := runReport(t, uarch.POWER9(), w)
+	_, r10 := runReport(t, uarch.POWER10(), w)
+	if r9.Ghost <= r10.Ghost {
+		t.Errorf("ghost switching P9 %.5f <= P10 %.5f", r9.Ghost, r10.Ghost)
+	}
+}
+
+func TestEffCapExcludesLeakage(t *testing.T) {
+	_, rep := runReport(t, uarch.POWER10(), workloads.MediaVec())
+	if math.Abs(rep.EffCap-(rep.Total-rep.Leakage)) > 1e-9 {
+		t.Errorf("EffCap %.4f != dynamic power %.4f", rep.EffCap, rep.Total-rep.Leakage)
+	}
+}
+
+func TestStressmarkIsPowerEnvelope(t *testing.T) {
+	cfg := uarch.POWER10()
+	_, stress := runReport(t, cfg, workloads.Stressmark(true))
+	for _, w := range []*workloads.Workload{workloads.Compile(), workloads.PathFind(), workloads.ActiveIdle()} {
+		_, rep := runReport(t, cfg, w)
+		if rep.Total >= stress.Total {
+			t.Errorf("%s power %.3f >= stressmark %.3f", w.Name, rep.Total, stress.Total)
+		}
+	}
+}
+
+func TestIdleNearActiveIdleFloor(t *testing.T) {
+	cfg := uarch.POWER10()
+	_, rep := runReport(t, cfg, workloads.ActiveIdle())
+	if rep.Total > 2.2*rep.ActiveIdle {
+		t.Errorf("idle workload power %.3f far above active-idle floor %.3f", rep.Total, rep.ActiveIdle)
+	}
+}

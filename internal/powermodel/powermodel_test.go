@@ -1,0 +1,111 @@
+package powermodel
+
+import (
+	"testing"
+
+	"power10sim/internal/mlfit"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ws := []*workloads.Workload{
+		workloads.IntCompute(), workloads.Compress(), workloads.MediaVec(),
+		workloads.BoardEval(), workloads.XMLTrans(),
+	}
+	ds, err := Collect(uarch.POWER10(), ws, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCollectProducesRichCorpus(t *testing.T) {
+	ds := smallDataset(t)
+	if len(ds.Samples) < 50 {
+		t.Fatalf("only %d samples", len(ds.Samples))
+	}
+	if len(ds.Names) != len(ds.Samples[0].Counters) {
+		t.Fatal("feature name/vector mismatch")
+	}
+	if ds.IdleFloor <= 0 {
+		t.Error("no idle floor recorded")
+	}
+	seen := map[string]bool{}
+	for _, s := range ds.Samples {
+		seen[s.Workload] = true
+		if s.Active < -1e-9 {
+			t.Errorf("%s: negative active power %v", s.Workload, s.Active)
+		}
+		if len(s.Components) == 0 {
+			t.Error("sample without component breakdown")
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("samples from %d workloads, want 5", len(seen))
+	}
+}
+
+func TestTopDownAccuracyImprovesWithInputs(t *testing.T) {
+	ds := smallDataset(t)
+	curve, err := ErrorCurve(ds, []int{1, 2, 4, 8, 16}, mlfit.Options{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 11 shape: error falls as inputs increase, small at the high end.
+	if curve[1] < curve[16] {
+		t.Errorf("error curve not decreasing: 1 input %.2f%% < 16 inputs %.2f%%", curve[1], curve[16])
+	}
+	if curve[16] > 5.0 {
+		t.Errorf("16-input model error %.2f%%, want < 5%% (paper <2.5%% at max inputs)", curve[16])
+	}
+}
+
+func TestBottomUpUsesFewEvents(t *testing.T) {
+	ds := smallDataset(t)
+	bu, err := FitBottomUp(ds, 3, mlfit.Options{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bu.Components) != 39 {
+		t.Fatalf("%d component models, want 39", len(bu.Components))
+	}
+	if bu.EventsUsed == 0 || bu.EventsUsed > len(ds.Names) {
+		t.Errorf("events used %d out of range", bu.EventsUsed)
+	}
+	// The union of per-component inputs stays far below 39 x 3.
+	if bu.EventsUsed > 39*3/1 {
+		t.Errorf("bottom-up uses %d events, no sharing at all", bu.EventsUsed)
+	}
+}
+
+func TestTopDownAndBottomUpAgree(t *testing.T) {
+	// Fig. 12: the two formulations differ by only a few percent and
+	// correlate strongly.
+	ds := smallDataset(t)
+	td, err := FitTopDown(ds, 12, mlfit.Options{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := FitBottomUp(ds, 3, mlfit.Options{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(td, bu, ds)
+	if cmp.MeanAbsDiffPct > 10 {
+		t.Errorf("models differ by %.2f%% (paper: 3.42%%)", cmp.MeanAbsDiffPct)
+	}
+	if cmp.Correlation < 0.97 {
+		t.Errorf("model correlation %.3f, want > 0.97", cmp.Correlation)
+	}
+	if cmp.BottomUpError > 12 {
+		t.Errorf("bottom-up reference error %.2f%%", cmp.BottomUpError)
+	}
+}
+
+func TestCollectRejectsEmptyInput(t *testing.T) {
+	if _, err := Collect(uarch.POWER10(), nil, 1000); err == nil {
+		t.Error("empty workload list accepted")
+	}
+}

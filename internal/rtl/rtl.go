@@ -1,0 +1,277 @@
+// Package rtl provides the latch-population abstraction standing in for the
+// paper's latch-accurate RTLSim. Each core unit is modelled as a set of latch
+// buckets with structural counts derived from the micro-architectural
+// configuration; driving the model with the activity counters of a timing
+// simulation yields the Powerminer-style statistics the methodology consumes:
+// clock-enabled fraction, potential vs observed latch switching, ghost
+// switching, and per-bucket clock utilization (the SERMiner vulnerability
+// proxy).
+package rtl
+
+import (
+	"math"
+
+	"power10sim/internal/uarch"
+)
+
+// Bucket is a group of latches within one unit that share an activity
+// profile. Weight scales the unit's busy fraction into the bucket's clock
+// utilization: control latches (weight near 1) clock almost whenever the
+// unit is busy, datapath tails (low weight) only on specific operations.
+type Bucket struct {
+	Unit    uarch.Unit
+	Name    string
+	Latches int
+	// Weight in (0, 1]: bucket clock utilization = unit busy fraction x
+	// Weight when busy-gated.
+	Weight float64
+	// Config marks set-once configuration latches (clocked only at init):
+	// these are the statically derated population.
+	Config bool
+}
+
+// LatchModel is the structural latch description of one core configuration.
+type LatchModel struct {
+	Cfg *uarch.Config
+	// GatingEff is the fraction of idle latch-clock opportunities actually
+	// gated off. POWER10's latch-clocks-off-by-default design discipline
+	// yields a much higher value than POWER9's retrofit gating.
+	GatingEff float64
+	// GhostFactor is the fraction of datapath switching that toggles latch
+	// or array inputs without a corresponding write (tracked and driven
+	// down on POWER10).
+	GhostFactor float64
+	// SpareShare is the fraction of each unit's latch population that
+	// never switches in functional execution (scan-only DFT, debug,
+	// error-capture and spare structures) — the statically derated
+	// population of the SERMiner study. The leaner POWER10 design carries
+	// relatively less of it.
+	SpareShare float64
+	Buckets    []Bucket
+}
+
+// bucketsPerUnit controls the utilization-profile resolution inside a unit.
+const bucketsPerUnit = 8
+
+// weightProfile spreads a unit's latches over activity weights: a hot
+// control head and progressively colder datapath tails. The proportions are
+// fixed; the absolute counts scale with the structure sizes.
+var weightProfile = [bucketsPerUnit]struct {
+	share  float64 // fraction of the unit's latches
+	weight float64
+}{
+	{0.10, 1.00}, {0.15, 0.85}, {0.17, 0.65}, {0.17, 0.45},
+	{0.15, 0.30}, {0.12, 0.18}, {0.09, 0.08}, {0.05, 0.02},
+}
+
+// unitLatchCount derives a unit's latch population from the configuration.
+func unitLatchCount(cfg *uarch.Config, u uarch.Unit) int {
+	switch u {
+	case uarch.UnitFetch:
+		return cfg.FetchWidth*420 + cfg.FetchBufEntries*150
+	case uarch.UnitBPred:
+		// Predictor arrays are SRAM; latches cover the pipeline and hashing.
+		n := 2600
+		if cfg.BPred.SecondDir {
+			n += 1400
+		}
+		if cfg.BPred.IndirEntries > 0 {
+			n += 900
+		}
+		return n
+	case uarch.UnitDecode:
+		n := cfg.DecodeWidth * 950
+		if cfg.FusionEnabled {
+			n += cfg.DecodeWidth * 140 // fusion detect/merge
+		}
+		return n
+	case uarch.UnitRename:
+		return cfg.RenameRegs*16 + cfg.DecodeWidth*380
+	case uarch.UnitIssue:
+		per := 190
+		if cfg.ReservationStations {
+			per = 290 // CAM tags and comparators
+		}
+		return cfg.IssueQueueEntries * per
+	case uarch.UnitFXU:
+		return cfg.IntPipes * 2600
+	case uarch.UnitVSU:
+		return cfg.VSXPipes * 9400 // 128-bit datapaths
+	case uarch.UnitMMA:
+		if !cfg.HasMMA {
+			return 0
+		}
+		// 4x4 PE grid plus 8 x 512-bit accumulator registers.
+		return 16*1450 + 8*512
+	case uarch.UnitLSU:
+		return (cfg.LoadQueueEntries+cfg.StoreQueueEntries)*130 +
+			(cfg.LoadPorts+cfg.StorePorts)*2900 + cfg.LoadMissQueue*220
+	case uarch.UnitMMU:
+		return cfg.ERATEntries*95 + 2100
+	case uarch.UnitL2:
+		return 5200 // control only; data is array bits
+	case uarch.UnitCompletion:
+		return cfg.InstrTableEntries*68 + cfg.RetireWidth*240
+	}
+	return 0
+}
+
+// ArrayBits reports SRAM bits per array structure (caches, TLB, predictor
+// tables, register file), which the power model charges per access rather
+// than per clock.
+func ArrayBits(cfg *uarch.Config) map[string]int {
+	bits := map[string]int{
+		"l1i":     cfg.L1I.SizeBytes * 8,
+		"l1d":     cfg.L1D.SizeBytes * 8,
+		"l2":      cfg.L2.SizeBytes * 8,
+		"tlb":     cfg.TLBEntries * 120,
+		"bpred":   cfg.BPred.DirEntries*2 + cfg.BPred.SecondEntries*14 + cfg.BPred.BTBEntries*60 + cfg.BPred.IndirEntries*60,
+		"regfile": cfg.RenameRegs * 128,
+	}
+	if cfg.L3.SizeBytes > 0 {
+		bits["l3"] = cfg.L3.SizeBytes * 8
+	}
+	return bits
+}
+
+// NewLatchModel builds the latch model for a configuration. Generation-
+// specific design-discipline parameters key off the structural markers that
+// distinguish POWER10 (EA-tagged L1, fusion, unified regfile).
+func NewLatchModel(cfg *uarch.Config) *LatchModel {
+	m := &LatchModel{Cfg: cfg}
+	if cfg.EATaggedL1 && !cfg.ReservationStations {
+		// POWER10 design discipline: clocks off by default, ghost
+		// switching tracked and driven out, leaner RAS/DFT overhead.
+		m.GatingEff = 0.93
+		m.GhostFactor = 0.06
+		m.SpareShare = 0.24
+	} else {
+		// POWER9-era: clock gating added after function, more ghost
+		// switching, larger never-switching population.
+		m.GatingEff = 0.55
+		m.GhostFactor = 0.30
+		m.SpareShare = 0.37
+	}
+	for u := uarch.Unit(0); u < uarch.NumUnits; u++ {
+		total := unitLatchCount(cfg, u)
+		if total == 0 {
+			continue
+		}
+		for bi, p := range weightProfile {
+			n := int(float64(total) * p.share)
+			if n == 0 {
+				continue
+			}
+			// Per-unit deterministic variation breaks the artificial ties a
+			// shared profile would create in percentile analyses.
+			jitter := 0.78 + 0.05*float64((int(u)*7+bi*13)%10)
+			w := p.weight * jitter
+			if w > 1 {
+				w = 1
+			}
+			m.Buckets = append(m.Buckets, Bucket{
+				Unit:    u,
+				Name:    u.String() + "/" + string(rune('0'+bi)),
+				Latches: n,
+				Weight:  w,
+			})
+		}
+		// A small set-once configuration population per unit.
+		m.Buckets = append(m.Buckets, Bucket{
+			Unit: u, Name: u.String() + "/cfg", Latches: total / 25,
+			Weight: 0, Config: true,
+		})
+		// Scan-only/debug/spare latches: never clocked functionally.
+		m.Buckets = append(m.Buckets, Bucket{
+			Unit: u, Name: u.String() + "/spare",
+			Latches: int(float64(total) * m.SpareShare), Weight: 0,
+		})
+	}
+	return m
+}
+
+// TotalLatches returns the full latch population.
+func (m *LatchModel) TotalLatches() int {
+	n := 0
+	for _, b := range m.Buckets {
+		n += b.Latches
+	}
+	return n
+}
+
+// Stats is the Powerminer-style switching report for one workload.
+type Stats struct {
+	TotalLatches int
+	// ClockEnabledFraction is the latch-weighted fraction of latch-clock
+	// opportunities that were enabled (inverse of % clock gating).
+	ClockEnabledFraction float64
+	// PotentialSwitchRatio: latch is clock-enabled (could switch).
+	PotentialSwitchRatio float64
+	// ObservedSwitchRatio: latch is clock-enabled and data actually toggles.
+	ObservedSwitchRatio float64
+	// GhostSwitchRatio: data input toggles with no corresponding write.
+	GhostSwitchRatio float64
+	// BucketUtil is the per-bucket clock utilization (SERMiner's
+	// vulnerability proxy), parallel to LatchModel.Buckets.
+	BucketUtil []float64
+}
+
+// dataActivity estimates the average data toggle probability of a unit's
+// clocked latches from the workload's issue mix.
+func dataActivity(a *uarch.Activity, u uarch.Unit) float64 {
+	cyc := float64(a.Cycles)
+	if cyc == 0 {
+		return 0
+	}
+	busy := a.BusyFraction(u)
+	if busy == 0 {
+		return 0
+	}
+	// Toggle probability rises with how saturated the unit is.
+	return 0.18 + 0.30*busy
+}
+
+// Analyze produces the switching statistics for one workload run.
+func (m *LatchModel) Analyze(a *uarch.Activity) *Stats {
+	st := &Stats{
+		TotalLatches: m.TotalLatches(),
+		BucketUtil:   make([]float64, len(m.Buckets)),
+	}
+	var wClock, wPotential, wObserved, wGhost, wTotal float64
+	for i, b := range m.Buckets {
+		w := float64(b.Latches)
+		wTotal += w
+		if b.Config || b.Weight == 0 {
+			// Config latches clock only at initialization; spare/scan
+			// latches never clock functionally.
+			st.BucketUtil[i] = 0
+			continue
+		}
+		busy := a.BusyFraction(b.Unit)
+		active := busy * b.Weight
+		// When idle (or active below weight), gating removes most clocks.
+		util := active + (1-active)*(1-m.GatingEff)
+		st.BucketUtil[i] = util
+		toggle := dataActivity(a, b.Unit)
+		wClock += w * util
+		wPotential += w * util * b.Weight
+		wObserved += w * util * toggle * b.Weight
+		wGhost += w * active * toggle * m.GhostFactor
+	}
+	if wTotal > 0 {
+		st.ClockEnabledFraction = wClock / wTotal
+		st.PotentialSwitchRatio = wPotential / wTotal
+		st.ObservedSwitchRatio = wObserved / wTotal
+		st.GhostSwitchRatio = wGhost / wTotal
+	}
+	return st
+}
+
+// AccessEnergy returns the relative per-access energy of an SRAM array of
+// the given bit count (bitline/wordline scaling ~ sqrt of capacity).
+func AccessEnergy(bits int) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	return math.Sqrt(float64(bits) / 8192.0)
+}

@@ -1,0 +1,123 @@
+package rtl
+
+import (
+	"testing"
+
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func TestLatchCountsStructural(t *testing.T) {
+	p9 := NewLatchModel(uarch.POWER9())
+	p10 := NewLatchModel(uarch.POWER10())
+	if p9.TotalLatches() <= 0 || p10.TotalLatches() <= 0 {
+		t.Fatal("zero latch populations")
+	}
+	// The paper notes POWER10 has a higher latch count despite the
+	// efficiency gains.
+	if p10.TotalLatches() <= p9.TotalLatches() {
+		t.Errorf("POWER10 latches %d <= POWER9 %d", p10.TotalLatches(), p9.TotalLatches())
+	}
+}
+
+func TestGatingDiscipline(t *testing.T) {
+	p9 := NewLatchModel(uarch.POWER9())
+	p10 := NewLatchModel(uarch.POWER10())
+	if p10.GatingEff <= p9.GatingEff {
+		t.Error("POWER10 gating efficiency not higher than POWER9")
+	}
+	if p10.GhostFactor >= p9.GhostFactor {
+		t.Error("POWER10 ghost factor not lower than POWER9")
+	}
+}
+
+func TestNoMMALatchesWithoutMMA(t *testing.T) {
+	m := NewLatchModel(uarch.POWER9())
+	for _, b := range m.Buckets {
+		if b.Unit == uarch.UnitMMA {
+			t.Fatal("POWER9 model has MMA latches")
+		}
+	}
+}
+
+func runActivity(t *testing.T, cfg *uarch.Config, w *workloads.Workload) *uarch.Activity {
+	t.Helper()
+	res, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(w.Prog, w.Budget)},
+		20_000_000, uarch.WithWarmup(w.Warmup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &res.Activity
+}
+
+func TestClockEnabledTracksActivity(t *testing.T) {
+	cfg := uarch.POWER10()
+	m := NewLatchModel(cfg)
+	busy := m.Analyze(runActivity(t, cfg, workloads.IntCompute()))
+	idle := m.Analyze(runActivity(t, cfg, workloads.ActiveIdle()))
+	if busy.ClockEnabledFraction <= idle.ClockEnabledFraction {
+		t.Errorf("busy clock-enabled %.3f <= idle %.3f",
+			busy.ClockEnabledFraction, idle.ClockEnabledFraction)
+	}
+	if idle.ClockEnabledFraction < (1-m.GatingEff)/2 {
+		t.Errorf("idle clock-enabled %.3f below gating residue", idle.ClockEnabledFraction)
+	}
+}
+
+func TestObservedBelowPotentialSwitching(t *testing.T) {
+	cfg := uarch.POWER9()
+	m := NewLatchModel(cfg)
+	st := m.Analyze(runActivity(t, cfg, workloads.Compress()))
+	if st.ObservedSwitchRatio >= st.PotentialSwitchRatio {
+		t.Errorf("observed switching %.4f >= potential %.4f",
+			st.ObservedSwitchRatio, st.PotentialSwitchRatio)
+	}
+	if st.GhostSwitchRatio <= 0 {
+		t.Error("no ghost switching on POWER9")
+	}
+}
+
+func TestBucketUtilBounds(t *testing.T) {
+	cfg := uarch.POWER10()
+	m := NewLatchModel(cfg)
+	st := m.Analyze(runActivity(t, cfg, workloads.MediaVec()))
+	if len(st.BucketUtil) != len(m.Buckets) {
+		t.Fatal("bucket util length mismatch")
+	}
+	for i, u := range st.BucketUtil {
+		if u < 0 || u > 1 {
+			t.Errorf("bucket %d util %v out of [0,1]", i, u)
+		}
+		if m.Buckets[i].Config && u != 0 {
+			t.Errorf("config bucket %d has runtime util %v", i, u)
+		}
+	}
+}
+
+func TestAccessEnergyMonotone(t *testing.T) {
+	if AccessEnergy(0) != 0 {
+		t.Error("zero bits should cost nothing")
+	}
+	small := AccessEnergy(32 << 13)
+	big := AccessEnergy(2 << 23)
+	if small <= 0 || big <= small {
+		t.Errorf("access energy not monotone: %v vs %v", small, big)
+	}
+}
+
+func TestArrayBitsCoverStructures(t *testing.T) {
+	bits := ArrayBits(uarch.POWER10())
+	for _, k := range []string{"l1i", "l1d", "l2", "tlb", "bpred", "regfile", "l3"} {
+		if bits[k] <= 0 {
+			t.Errorf("array %q missing", k)
+		}
+	}
+	p9 := ArrayBits(uarch.POWER9())
+	if bits["l2"] != 4*p9["l2"] {
+		t.Errorf("L2 bits P10/P9 = %d/%d, want 4x", bits["l2"], p9["l2"])
+	}
+	if bits["tlb"] != 4*p9["tlb"] {
+		t.Errorf("TLB bits P10/P9 = %d/%d, want 4x", bits["tlb"], p9["tlb"])
+	}
+}

@@ -1,0 +1,154 @@
+package socket
+
+import (
+	"math"
+	"testing"
+
+	"power10sim/internal/power"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func coreReport(t *testing.T, cfg *uarch.Config, w *workloads.Workload) (float64, *power.Report) {
+	t.Helper()
+	res, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(w.Prog, w.Budget)},
+		30_000_000, uarch.WithWarmup(w.Warmup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.IPC(), power.NewModel(cfg).Report(&res.Activity)
+}
+
+func TestDieSimulationDeterministic(t *testing.T) {
+	cfg := POWER10Socket()
+	a := SimulateDie(cfg, 42)
+	b := SimulateDie(cfg, 42)
+	for i := range a.Cores {
+		if a.Cores[i] != b.Cores[i] {
+			t.Fatal("die simulation not deterministic")
+		}
+	}
+	c := SimulateDie(cfg, 43)
+	same := true
+	for i := range a.Cores {
+		if a.Cores[i] != c.Cores[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical dies")
+	}
+}
+
+func TestVariationIsCentered(t *testing.T) {
+	cfg := POWER10Socket()
+	var sumF, sumL float64
+	n := 0
+	for s := uint64(1); s <= 400; s++ {
+		d := SimulateDie(cfg, s)
+		for _, c := range d.Cores {
+			sumF += c.FmaxScale
+			sumL += c.LeakFactor
+			n++
+		}
+	}
+	if m := sumF / float64(n); m < 0.97 || m > 1.04 {
+		t.Errorf("mean fmax scale %.3f not near 1", m)
+	}
+	if m := sumL / float64(n); m < 0.95 || m > 1.08 {
+		t.Errorf("mean leak factor %.3f not near 1", m)
+	}
+}
+
+func TestCLYSparingHelps(t *testing.T) {
+	// Selling 15 of 16 fabricated cores must yield far better than selling
+	// all 16.
+	spare := POWER10Socket()
+	noSpare := spare
+	noSpare.FunctionalCores = 16
+	ySpare := CLY(spare, 2000)
+	yNone := CLY(noSpare, 2000)
+	if ySpare <= yNone {
+		t.Errorf("sparing yield %.3f <= no-spare %.3f", ySpare, yNone)
+	}
+	if ySpare < 0.85 {
+		t.Errorf("15-of-16 CLY %.3f implausibly low", ySpare)
+	}
+	// With a 3.5% defect rate, 16-of-16 yield ~ 0.965^16 ~ 0.57.
+	if yNone > 0.75 {
+		t.Errorf("16-of-16 CLY %.3f implausibly high", yNone)
+	}
+}
+
+func TestPFLYMonotoneInFrequency(t *testing.T) {
+	_, rep := coreReport(t, uarch.POWER10(), workloads.Compress())
+	cfg := POWER10Socket()
+	prev := 1.1
+	for _, s := range []float64{0.9, 1.0, 1.1, 1.2, 1.3} {
+		y := PFLY(cfg, rep, s, 400)
+		if y > prev+1e-9 {
+			t.Errorf("PFLY rose from %.3f to %.3f at s=%.2f", prev, y, s)
+		}
+		prev = y
+	}
+}
+
+func TestWOFHeadroomRaisesSortPoint(t *testing.T) {
+	// A light (memory-bound) workload must sort at a higher frequency than
+	// the stressmark — the essence of WOF at the socket level.
+	cfg := POWER10Socket()
+	_, heavy := coreReport(t, uarch.POWER10(), workloads.Stressmark(true))
+	_, light := coreReport(t, uarch.POWER10(), workloads.GraphOpt())
+	sHeavy := SortPoint(cfg, heavy, 0.9, 200)
+	sLight := SortPoint(cfg, light, 0.9, 200)
+	if sLight <= sHeavy {
+		t.Errorf("light workload sort %.2f <= heavy %.2f", sLight, sHeavy)
+	}
+}
+
+func TestSocketPowerScalesWithFrequency(t *testing.T) {
+	_, rep := coreReport(t, uarch.POWER10(), workloads.IntCompute())
+	cfg := POWER10Socket()
+	dies := []Die{SimulateDie(cfg, 1), SimulateDie(cfg, 2)}
+	p1 := SocketPower(cfg, rep, dies, 1.0)
+	p2 := SocketPower(cfg, rep, dies, 1.2)
+	if p2 <= p1 {
+		t.Error("higher frequency did not raise socket power")
+	}
+	// Dynamic-dominated: the ratio must exceed linear.
+	if p2/p1 < 1.2 {
+		t.Errorf("power scaling %.3f weaker than linear", p2/p1)
+	}
+}
+
+// TestSocketEfficiencyUpTo3x reproduces Table I's socket-level claim: the
+// POWER10 dual-chip socket delivers up to ~3x the energy efficiency of the
+// POWER9 reference on SPECint-class work.
+func TestSocketEfficiencyUpTo3x(t *testing.T) {
+	w := workloads.Compress()
+	ipc9, rep9 := coreReport(t, uarch.POWER9(), w)
+	ipc10, rep10 := coreReport(t, uarch.POWER10(), w)
+	eff, err := CompareEfficiency(POWER9Socket(), ipc9, rep9, POWER10Socket(), ipc10, rep10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Gain < 2.0 || eff.Gain > 4.5 {
+		t.Errorf("socket efficiency gain %.2fx outside [2.0, 4.5] (paper: up to 3x)", eff.Gain)
+	}
+	if eff.PerfRatio < 2.0 {
+		t.Errorf("socket perf ratio %.2f too low (2.5x cores at >=1x per-core perf)", eff.PerfRatio)
+	}
+	if math.IsNaN(eff.PowerRatio) || eff.PowerRatio <= 0 {
+		t.Errorf("bad power ratio %v", eff.PowerRatio)
+	}
+}
+
+func TestSortScaleRequiresEnoughCores(t *testing.T) {
+	cfg := POWER10Socket()
+	d := Die{Cores: make([]Core, cfg.FabricatedCores)}
+	// All cores defective.
+	if _, ok := sortScale(cfg, &d); ok {
+		t.Error("sortScale accepted a dead die")
+	}
+}

@@ -1,0 +1,212 @@
+// Package trace provides the dynamic instruction stream abstraction that
+// connects the functional executor (internal/isa) to the timing simulator
+// (internal/uarch) and to the methodology tooling (proxies, tracepoints).
+package trace
+
+import (
+	"fmt"
+
+	"power10sim/internal/isa"
+)
+
+// Stream produces a dynamic instruction sequence for one hardware thread.
+type Stream interface {
+	// Next returns the next dynamic instruction. ok is false at end of stream.
+	Next() (rec isa.DynInst, ok bool)
+	// Program returns the static code the stream's records index into.
+	Program() *isa.Program
+	// Reset rewinds the stream to its beginning.
+	Reset()
+}
+
+// VMStream executes a program functionally, on demand, up to a budget of
+// dynamic instructions. Reset restarts execution from the initial state.
+type VMStream struct {
+	prog   *isa.Program
+	budget uint64
+	vm     *isa.VM
+	n      uint64
+	err    error
+}
+
+// NewVMStream creates a stream over prog limited to budget instructions.
+func NewVMStream(prog *isa.Program, budget uint64) *VMStream {
+	return &VMStream{prog: prog, budget: budget, vm: isa.NewVM(prog)}
+}
+
+// Next implements Stream.
+func (s *VMStream) Next() (isa.DynInst, bool) {
+	if s.err != nil || s.n >= s.budget {
+		return isa.DynInst{}, false
+	}
+	rec, ok, err := s.vm.Step()
+	if err != nil {
+		s.err = err
+		return isa.DynInst{}, false
+	}
+	if !ok {
+		return isa.DynInst{}, false
+	}
+	s.n++
+	return rec, true
+}
+
+// Program implements Stream.
+func (s *VMStream) Program() *isa.Program { return s.prog }
+
+// Reset implements Stream.
+func (s *VMStream) Reset() {
+	s.vm = isa.NewVM(s.prog)
+	s.n = 0
+	s.err = nil
+}
+
+// Err reports a functional execution error, if any occurred.
+func (s *VMStream) Err() error { return s.err }
+
+// SliceStream replays a captured record slice.
+type SliceStream struct {
+	prog *isa.Program
+	recs []isa.DynInst
+	pos  int
+	// LoopForever, when set, wraps around at the end (the paper's
+	// "L1-contained endless loops" proxy payloads). Budget still bounds
+	// total records delivered.
+	LoopForever bool
+	Budget      uint64
+	delivered   uint64
+}
+
+// NewSliceStream replays recs against prog once.
+func NewSliceStream(prog *isa.Program, recs []isa.DynInst) *SliceStream {
+	return &SliceStream{prog: prog, recs: recs}
+}
+
+// NewLoopStream replays recs endlessly up to budget records, emulating the
+// L1-contained endless-loop payloads used for RTLSim proxy workloads.
+func NewLoopStream(prog *isa.Program, recs []isa.DynInst, budget uint64) *SliceStream {
+	return &SliceStream{prog: prog, recs: recs, LoopForever: true, Budget: budget}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (isa.DynInst, bool) {
+	if len(s.recs) == 0 {
+		return isa.DynInst{}, false
+	}
+	if s.Budget > 0 && s.delivered >= s.Budget {
+		return isa.DynInst{}, false
+	}
+	if s.pos >= len(s.recs) {
+		if !s.LoopForever {
+			return isa.DynInst{}, false
+		}
+		s.pos = 0
+	}
+	rec := s.recs[s.pos]
+	s.pos++
+	s.delivered++
+	return rec, true
+}
+
+// Program implements Stream.
+func (s *SliceStream) Program() *isa.Program { return s.prog }
+
+// Reset implements Stream.
+func (s *SliceStream) Reset() { s.pos = 0; s.delivered = 0 }
+
+// Len returns the number of captured records.
+func (s *SliceStream) Len() int { return len(s.recs) }
+
+// Records exposes the captured records (read-only by convention).
+func (s *SliceStream) Records() []isa.DynInst { return s.recs }
+
+// Capture functionally executes prog for up to budget instructions and
+// returns the dynamic trace.
+func Capture(prog *isa.Program, budget uint64) ([]isa.DynInst, error) {
+	vm := isa.NewVM(prog)
+	recs := make([]isa.DynInst, 0, min64(budget, 1<<16))
+	_, err := vm.Run(budget, func(d isa.DynInst) bool {
+		recs = append(recs, d)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("capture %q: %w", prog.Name, err)
+	}
+	return recs, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Stats summarizes a dynamic instruction stream.
+type Stats struct {
+	Instructions uint64
+	ByClass      [isa.NumClasses]uint64
+	Flops        uint64
+	IntMACs      uint64
+	Branches     uint64
+	Taken        uint64
+	LoadBytes    uint64
+	StoreBytes   uint64
+	UniqueLines  int // distinct 64B cache lines touched by data accesses
+	UniquePCs    int
+}
+
+// Mix returns the fraction of instructions in class c.
+func (st *Stats) Mix(c isa.Class) float64 {
+	if st.Instructions == 0 {
+		return 0
+	}
+	return float64(st.ByClass[c]) / float64(st.Instructions)
+}
+
+// GEMMRatio returns the fraction of instructions in MMA or VSX-FMA classes —
+// the "GEMM instruction ratio" panel of Fig. 6.
+func (st *Stats) GEMMRatio() float64 {
+	if st.Instructions == 0 {
+		return 0
+	}
+	g := st.ByClass[isa.ClassMMA] + st.ByClass[isa.ClassVSXFMA]
+	return float64(g) / float64(st.Instructions)
+}
+
+// Summarize computes stream statistics from captured records.
+func Summarize(prog *isa.Program, recs []isa.DynInst) Stats {
+	var st Stats
+	lines := map[uint64]struct{}{}
+	pcs := map[uint64]struct{}{}
+	for i := range recs {
+		d := &recs[i]
+		in := &prog.Code[d.Idx]
+		c := in.Class()
+		st.Instructions++
+		st.ByClass[c]++
+		st.Flops += uint64(isa.FlopsOf(in.Op))
+		st.IntMACs += uint64(isa.IntOpsOf(in.Op))
+		pcs[d.PC] = struct{}{}
+		if c.IsBranch() {
+			st.Branches++
+			if d.Taken {
+				st.Taken++
+			}
+		}
+		if c.IsMem() {
+			n := uint64(isa.MemBytesOf(in.Op))
+			if c.IsLoad() {
+				st.LoadBytes += n
+			} else {
+				st.StoreBytes += n
+			}
+			for a := d.EA &^ 63; a < d.EA+n; a += 64 {
+				lines[a] = struct{}{}
+			}
+		}
+	}
+	st.UniqueLines = len(lines)
+	st.UniquePCs = len(pcs)
+	return st
+}

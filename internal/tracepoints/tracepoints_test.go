@@ -1,0 +1,171 @@
+package tracepoints
+
+import (
+	"testing"
+
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func collect(t *testing.T, w *workloads.Workload) *Profile {
+	t.Helper()
+	p, err := Collect(w, uarch.POWER10(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCollectEpochsCoverTrace(t *testing.T) {
+	p := collect(t, workloads.Compress())
+	if len(p.Epochs) < 5 {
+		t.Fatalf("only %d epochs", len(p.Epochs))
+	}
+	var last uint64
+	var insts uint64
+	for i, e := range p.Epochs {
+		if e.StartInst != last {
+			t.Errorf("epoch %d starts at %d, want %d (contiguous)", i, e.StartInst, last)
+		}
+		last = e.EndInst
+		insts += e.Act.Instructions
+	}
+	if insts != p.Total.Instructions {
+		t.Errorf("epoch instructions %d != total %d", insts, p.Total.Instructions)
+	}
+	if last != uint64(len(p.Recs)) {
+		t.Errorf("epochs end at %d, trace has %d records", last, len(p.Recs))
+	}
+}
+
+func TestTracepointSelectionWeightsSumToOne(t *testing.T) {
+	p := collect(t, workloads.Compress())
+	sel, err := SelectTracepoints(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Segments) == 0 {
+		t.Fatal("empty selection")
+	}
+	if len(sel.Segments) >= len(p.Epochs) {
+		t.Errorf("selection (%d) did not compress the %d epochs", len(sel.Segments), len(p.Epochs))
+	}
+	var w float64
+	for _, s := range sel.Segments {
+		w += s.Weight
+		if s.End <= s.Start {
+			t.Errorf("segment [%d, %d) empty", s.Start, s.End)
+		}
+	}
+	if w < 0.999 || w > 1.001 {
+		t.Errorf("weights sum to %v", w)
+	}
+}
+
+func TestTracepointsProjectCPIAccurately(t *testing.T) {
+	// Paper: trace-based projection within ~5% of the reference.
+	cfg := uarch.POWER10()
+	for _, w := range []*workloads.Workload{workloads.Compress(), workloads.DSim()} {
+		p, err := Collect(w, cfg, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := SelectTracepoints(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := sel.CPIError(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > 0.15 {
+			t.Errorf("%s: tracepoint CPI error %.1f%%", w.Name, e*100)
+		}
+	}
+}
+
+func TestSimpointSelectionBasics(t *testing.T) {
+	p := collect(t, workloads.Compress())
+	sel, err := SelectSimpoints(p, 5000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Segments) == 0 || len(sel.Segments) > 6 {
+		t.Fatalf("%d simpoint segments", len(sel.Segments))
+	}
+	var w float64
+	for _, s := range sel.Segments {
+		w += s.Weight
+	}
+	if w < 0.999 || w > 1.001 {
+		t.Errorf("weights sum to %v", w)
+	}
+}
+
+// TestTracepointsBeatSimpointsOnInterpretedCode reproduces the paper's
+// motivation: BBV clustering is blind to data-dependent behaviour (the same
+// dispatch-loop blocks execute regardless of bytecode), while counter-based
+// binning separates the performance phases of interpreted-language code.
+func TestTracepointsBeatSimpointsOnInterpretedCode(t *testing.T) {
+	cfg := uarch.POWER10()
+	w := workloads.Interp()
+	w.Warmup = 0 // profile end to end
+	p, err := Collect(w, cfg, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := SelectTracepoints(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SelectSimpoints(p, 5000, len(tp.Segments))
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := tp.CPIError(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := sp.CPIError(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te > se+0.02 {
+		t.Errorf("tracepoints error %.2f%% clearly worse than simpoints %.2f%% on interp", te*100, se*100)
+	}
+}
+
+// TestMMAAwareTraceKeepsGEMMShare: the selected trace must preserve the
+// GEMM-operation fraction of the end-to-end AI application.
+func TestMMAAwareTraceKeepsGEMMShare(t *testing.T) {
+	w, err := workloads.ResNet50(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Budget = 400_000
+	p, err := Collect(w, uarch.POWER10(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectTracepoints(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := p.TraceGEMMOpShare()
+	got := sel.GEMMOpShare()
+	if ref <= 0 {
+		t.Fatal("profile has no GEMM content")
+	}
+	if got < ref*0.7 || got > ref*1.3 {
+		t.Errorf("selected GEMM share %.3f vs trace %.3f (must stay representative)", got, ref)
+	}
+}
+
+func TestSelectionErrorsOnEmptyInput(t *testing.T) {
+	if _, err := SelectTracepoints(&Profile{}, 4); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := SelectSimpoints(&Profile{}, 0, 3); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

@@ -1,0 +1,226 @@
+package uarch
+
+// Cache is a set-associative cache with LRU replacement, used for L1I, L1D,
+// L2 and L3. It models hit/miss behaviour only (contents are addresses); data
+// values live in the functional trace.
+type Cache struct {
+	params CacheParams
+	sets   []cacheSet
+	mask   uint64
+	shift  uint
+
+	Accesses uint64
+	Misses   uint64
+}
+
+type cacheSet struct {
+	tags  []uint64 // tag values; index 0 is MRU
+	valid []bool
+}
+
+// NewCache builds a cache; a zero-size parameter set yields a nil cache,
+// which all methods treat as "always miss" pass-through.
+func NewCache(p CacheParams) *Cache {
+	if p.Sets() == 0 {
+		return nil
+	}
+	c := &Cache{params: p}
+	nsets := p.Sets()
+	c.sets = make([]cacheSet, nsets)
+	for i := range c.sets {
+		c.sets[i].tags = make([]uint64, p.Assoc)
+		c.sets[i].valid = make([]bool, p.Assoc)
+	}
+	c.mask = uint64(nsets - 1)
+	for ls := p.LineBytes; ls > 1; ls >>= 1 {
+		c.shift++
+	}
+	return c
+}
+
+// Params returns the cache geometry.
+func (c *Cache) Params() CacheParams { return c.params }
+
+// line returns (set index, tag) for an address.
+func (c *Cache) line(addr uint64) (uint64, uint64) {
+	l := addr >> c.shift
+	return l & c.mask, l >> 0 // tag keeps full line number; cheap and unambiguous
+}
+
+// Access looks up addr, updating LRU state and filling on miss.
+// It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	if c == nil {
+		return false
+	}
+	c.Accesses++
+	si, tag := c.line(addr)
+	s := &c.sets[si]
+	for i := range s.tags {
+		if s.valid[i] && s.tags[i] == tag {
+			// Move to MRU.
+			copy(s.tags[1:i+1], s.tags[:i])
+			copy(s.valid[1:i+1], s.valid[:i])
+			s.tags[0] = tag
+			s.valid[0] = true
+			return true
+		}
+	}
+	c.Misses++
+	c.fill(s, tag)
+	return false
+}
+
+// Probe looks up addr without modifying state or counters.
+func (c *Cache) Probe(addr uint64) bool {
+	if c == nil {
+		return false
+	}
+	si, tag := c.line(addr)
+	s := &c.sets[si]
+	for i := range s.tags {
+		if s.valid[i] && s.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills addr's line without counting an access (prefetch fills).
+func (c *Cache) Insert(addr uint64) {
+	if c == nil {
+		return
+	}
+	si, tag := c.line(addr)
+	s := &c.sets[si]
+	for i := range s.tags {
+		if s.valid[i] && s.tags[i] == tag {
+			return // already present
+		}
+	}
+	c.fill(s, tag)
+}
+
+func (c *Cache) fill(s *cacheSet, tag uint64) {
+	// Evict LRU (last slot), insert at MRU.
+	copy(s.tags[1:], s.tags[:len(s.tags)-1])
+	copy(s.valid[1:], s.valid[:len(s.valid)-1])
+	s.tags[0] = tag
+	s.valid[0] = true
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c == nil || c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// ResetStats clears counters without flushing contents.
+func (c *Cache) ResetStats() {
+	if c == nil {
+		return
+	}
+	c.Accesses, c.Misses = 0, 0
+}
+
+// Hierarchy bundles the data-side cache levels and memory latency into one
+// lookup that returns total load-to-use latency and the level serviced.
+type Hierarchy struct {
+	L1D *Cache
+	L2  *Cache
+	L3  *Cache
+
+	// L2Infinite makes every L2 lookup hit: the APEX core-only model.
+	L2Infinite bool
+
+	L1Lat, L2Lat, L3Lat, MemLat int
+
+	L2Accesses, L2Misses uint64
+	L3Accesses, L3Misses uint64
+	MemAccesses          uint64
+}
+
+// MemLevel identifies which level serviced an access.
+type MemLevel int
+
+// Memory hierarchy levels.
+const (
+	LvlL1 MemLevel = iota
+	LvlL2
+	LvlL3
+	LvlMem
+)
+
+func (l MemLevel) String() string {
+	switch l {
+	case LvlL1:
+		return "L1"
+	case LvlL2:
+		return "L2"
+	case LvlL3:
+		return "L3"
+	}
+	return "MEM"
+}
+
+// NewHierarchy builds the data hierarchy for a config.
+func NewHierarchy(cfg *Config) *Hierarchy {
+	return &Hierarchy{
+		L1D:        NewCache(cfg.L1D),
+		L2:         NewCache(cfg.L2),
+		L3:         NewCache(cfg.L3),
+		L2Infinite: cfg.L2Infinite,
+		L1Lat:      cfg.L1D.Latency,
+		L2Lat:      cfg.L2.Latency,
+		L3Lat:      cfg.L3.Latency,
+		MemLat:     cfg.MemLatency,
+	}
+}
+
+// Access performs a demand access and returns (latency, level).
+func (h *Hierarchy) Access(addr uint64) (int, MemLevel) {
+	if h.L1D.Access(addr) {
+		return h.L1Lat, LvlL1
+	}
+	h.L2Accesses++
+	if h.L2Infinite {
+		if h.L2 != nil {
+			h.L2.Insert(addr)
+		}
+		return h.L2Lat, LvlL2
+	}
+	if h.L2 != nil && h.L2.Access(addr) {
+		return h.L2Lat, LvlL2
+	}
+	h.L2Misses++
+	if h.L2 == nil {
+		return h.MemLat, LvlMem
+	}
+	h.L3Accesses++
+	if h.L3 != nil && h.L3.Access(addr) {
+		return h.L3Lat, LvlL3
+	}
+	h.L3Misses++
+	h.MemAccesses++
+	return h.MemLat, LvlMem
+}
+
+// ResetStats clears all hierarchy counters, leaving contents warm.
+func (h *Hierarchy) ResetStats() {
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.L3.ResetStats()
+	h.L2Accesses, h.L2Misses = 0, 0
+	h.L3Accesses, h.L3Misses = 0, 0
+	h.MemAccesses = 0
+}
+
+// InsertLine installs a line into L1D and L2 (prefetch fill path).
+func (h *Hierarchy) InsertLine(addr uint64) {
+	h.L1D.Insert(addr)
+	if h.L2 != nil {
+		h.L2.Insert(addr)
+	}
+}

@@ -1,0 +1,152 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(CacheParams{SizeBytes: 4096, LineBytes: 64, Assoc: 4, Latency: 1})
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x1030) {
+		t.Error("same-line access missed")
+	}
+	if c.Accesses != 3 || c.Misses != 1 {
+		t.Errorf("accesses=%d misses=%d, want 3/1", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 64B lines, 2 sets -> size 256.
+	c := NewCache(CacheParams{SizeBytes: 256, LineBytes: 64, Assoc: 2})
+	s0 := func(i uint64) uint64 { return i * 128 } // set 0 addresses
+	c.Access(s0(0))
+	c.Access(s0(1))
+	c.Access(s0(0)) // touch: 0 is MRU
+	c.Access(s0(2)) // evicts 1
+	if !c.Probe(s0(0)) {
+		t.Error("MRU line evicted")
+	}
+	if c.Probe(s0(1)) {
+		t.Error("LRU line survived")
+	}
+	if !c.Probe(s0(2)) {
+		t.Error("new line absent")
+	}
+}
+
+func TestCacheInsertDoesNotCountAccess(t *testing.T) {
+	c := NewCache(CacheParams{SizeBytes: 4096, LineBytes: 64, Assoc: 4})
+	c.Insert(0x2000)
+	if c.Accesses != 0 {
+		t.Error("Insert counted as access")
+	}
+	if !c.Access(0x2000) {
+		t.Error("inserted line missed")
+	}
+}
+
+func TestNilCacheAlwaysMisses(t *testing.T) {
+	var c *Cache
+	if c.Access(0x100) || c.Probe(0x100) {
+		t.Error("nil cache hit")
+	}
+	c.Insert(0x100) // must not panic
+	if c.MissRate() != 0 {
+		t.Error("nil cache miss rate nonzero")
+	}
+}
+
+func TestCacheWorkingSetProperty(t *testing.T) {
+	// Property: a working set that fits entirely in the cache has no misses
+	// after the first pass.
+	p := CacheParams{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8}
+	c := NewCache(p)
+	lines := p.SizeBytes / p.LineBytes
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i * p.LineBytes))
+		}
+	}
+	if c.Misses != uint64(lines) {
+		t.Errorf("misses = %d, want %d (cold only)", c.Misses, lines)
+	}
+}
+
+func TestCacheThrashingProperty(t *testing.T) {
+	// Property: a cyclic working set 2x the cache size with LRU misses
+	// every access after warmup.
+	p := CacheParams{SizeBytes: 4096, LineBytes: 64, Assoc: 4}
+	c := NewCache(p)
+	lines := 2 * p.SizeBytes / p.LineBytes
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i * p.LineBytes))
+		}
+	}
+	if c.Misses != c.Accesses {
+		t.Errorf("LRU thrash: misses=%d accesses=%d, want equal", c.Misses, c.Accesses)
+	}
+}
+
+func TestCacheProbeNeverMutates(t *testing.T) {
+	c := NewCache(CacheParams{SizeBytes: 1024, LineBytes: 64, Assoc: 2})
+	f := func(addrs []uint64) bool {
+		for _, a := range addrs {
+			before := c.Accesses
+			c.Probe(a % (1 << 30))
+			if c.Accesses != before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	cfg := POWER10()
+	h := NewHierarchy(cfg)
+	lat, lvl := h.Access(0x10000)
+	if lvl != LvlMem || lat != cfg.MemLatency {
+		t.Errorf("cold access: %d@%v, want mem latency %d", lat, lvl, cfg.MemLatency)
+	}
+	lat, lvl = h.Access(0x10000)
+	if lvl != LvlL1 || lat != cfg.L1D.Latency {
+		t.Errorf("warm access: %d@%v, want L1 latency %d", lat, lvl, cfg.L1D.Latency)
+	}
+}
+
+func TestHierarchyInfiniteL2NeverReachesMemory(t *testing.T) {
+	cfg := InfiniteL2(POWER10())
+	h := NewHierarchy(cfg)
+	for i := 0; i < 100000; i++ {
+		h.Access(uint64(i) * 131) // scattered
+	}
+	if h.MemAccesses != 0 {
+		t.Errorf("core model reached memory %d times", h.MemAccesses)
+	}
+	// Everything misses L1 into the infinite L2 at L2 latency.
+	lat, lvl := h.Access(uint64(7_777_777))
+	if lvl == LvlMem || lvl == LvlL3 {
+		t.Errorf("level = %v, want L1/L2 only", lvl)
+	}
+	if lvl == LvlL2 && lat != cfg.L2.Latency {
+		t.Errorf("L2 latency %d, want %d", lat, cfg.L2.Latency)
+	}
+}
+
+func TestMemLevelStrings(t *testing.T) {
+	for lvl, want := range map[MemLevel]string{LvlL1: "L1", LvlL2: "L2", LvlL3: "L3", LvlMem: "MEM"} {
+		if lvl.String() != want {
+			t.Errorf("%d.String() = %q, want %q", lvl, lvl.String(), want)
+		}
+	}
+}

@@ -1,0 +1,663 @@
+package workloads
+
+import (
+	"fmt"
+
+	"power10sim/internal/isa"
+)
+
+// Matrix base addresses for the GEMM kernels. A is stored transposed
+// (column-major panels, as OpenBLAS packs it), B and C row-major.
+const (
+	addrAt = 0x10_0000
+	addrB  = 0x40_0000
+	addrC  = 0x70_0000
+	addrX  = 0xA0_0000
+	addrY  = 0xC0_0000
+)
+
+// GEMMSize gives the matrix dimensions C[MxN] += A[MxK] x B[KxN].
+type GEMMSize struct{ M, N, K int }
+
+// Valid checks blocking constraints of the micro-kernels.
+func (s GEMMSize) Valid() error {
+	if s.M <= 0 || s.N <= 0 || s.K <= 0 {
+		return fmt.Errorf("gemm: non-positive dims %+v", s)
+	}
+	if s.M%8 != 0 || s.N%16 != 0 {
+		return fmt.Errorf("gemm: M must be multiple of 8 and N of 16, got %+v", s)
+	}
+	return nil
+}
+
+// gemmImage builds the initial memory image for a double-precision GEMM
+// with pseudo-random operands and returns the reference result.
+func gemmImage(s GEMMSize, seed uint64) (map[uint64][]byte, []float64) {
+	rng := newLCG(seed)
+	a := make([]float64, s.M*s.K) // logical A[i][k]
+	bm := make([]float64, s.K*s.N)
+	for i := range a {
+		a[i] = rng.f64()
+	}
+	for i := range bm {
+		bm[i] = rng.f64()
+	}
+	return gemmImageFrom(s, a, bm)
+}
+
+// gemmImageFrom builds the GEMM memory image for the given logical
+// row-major A (MxK) and B (KxN), returning the reference product.
+func gemmImageFrom(s GEMMSize, a, bm []float64) (map[uint64][]byte, []float64) {
+	// At[k][i] = A[i][k], row-major K x M.
+	at := make([]float64, s.K*s.M)
+	for i := 0; i < s.M; i++ {
+		for k := 0; k < s.K; k++ {
+			at[k*s.M+i] = a[i*s.K+k]
+		}
+	}
+	ref := make([]float64, s.M*s.N)
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			var sum float64
+			for k := 0; k < s.K; k++ {
+				sum += a[i*s.K+k] * bm[k*s.N+j]
+			}
+			ref[i*s.N+j] = sum
+		}
+	}
+	img := map[uint64][]byte{
+		addrAt: F64Bytes(at),
+		addrB:  F64Bytes(bm),
+		addrC:  F64Bytes(make([]float64, s.M*s.N)),
+	}
+	return img, ref
+}
+
+// kernelWorkload finalizes a kernel program: it measures the exact dynamic
+// instruction count functionally and, for two-pass kernels, sets the
+// measurement window to the second (warm) pass — Fig. 5's methodology of
+// averaging steady-state windows rather than cold execution.
+func kernelWorkload(name string, p *isa.Program, twoPass bool) (*Workload, error) {
+	vm := isa.NewVM(p)
+	n, err := vm.Run(1<<26, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if !vm.Halted() {
+		return nil, fmt.Errorf("%s: did not halt while sizing", name)
+	}
+	w := &Workload{Name: name, Category: CatKernel, Prog: p, Weight: 1, Budget: n}
+	if twoPass {
+		w.Warmup = n / 2
+	}
+	return w, nil
+}
+
+// emitPassLoop brackets callers' kernel body in a two-iteration outer loop.
+type passLoop struct{ b *isa.Builder }
+
+func beginPasses(b *isa.Builder) passLoop {
+	b.Li(isa.GPR(30), 0)
+	b.Li(isa.GPR(31), 2)
+	b.Label("pass")
+	return passLoop{b}
+}
+
+func (p passLoop) end() {
+	p.b.Addi(isa.GPR(30), isa.GPR(30), 1)
+	p.b.Bc(isa.CondLT, isa.GPR(30), isa.GPR(31), "pass")
+}
+
+// Register allocation conventions shared by the GEMM builders.
+var (
+	rI0   = isa.GPR(1)  // row block index i0
+	rJ0   = isa.GPR(2)  // col block index j0
+	rK    = isa.GPR(3)  // k counter
+	rPA   = isa.GPR(4)  // A panel pointer
+	rPB   = isa.GPR(5)  // B panel pointer
+	rPC   = isa.GPR(6)  // C row pointer
+	rM    = isa.GPR(7)  // M limit
+	rN    = isa.GPR(8)  // N limit
+	rKlim = isa.GPR(9)  // K limit
+	rSA   = isa.GPR(10) // A k-stride (M*8)
+	rSB   = isa.GPR(11) // B k-stride (N*8)
+	rT0   = isa.GPR(12)
+	rT1   = isa.GPR(13)
+	rT2   = isa.GPR(14)
+)
+
+// DGEMMVSU builds the vector (VSU) coding of double-precision GEMM: a
+// 4-row x 16-column micro-kernel with 32 vector accumulators, splat loads of
+// A and streaming loads of B — the "POWER9 VSU code" of Fig. 5.
+func DGEMMVSU(s GEMMSize) (*Workload, []float64, error) {
+	if err := s.Valid(); err != nil {
+		return nil, nil, err
+	}
+	if s.M%4 != 0 {
+		return nil, nil, fmt.Errorf("dgemm-vsu: M must be multiple of 4")
+	}
+	img, ref := gemmImage(s, 1)
+	b := isa.NewBuilder("dgemm-vsu")
+	for addr, data := range img {
+		b.SetMem(addr, data)
+	}
+	// Accumulators vs16..vs47: acc(r, c) for r in 0..3, c in 0..7 (2 cols each).
+	acc := func(r, c int) isa.Reg { return isa.VSR(16 + r*8 + c) }
+	splat := func(r int) isa.Reg { return isa.VSR(r) }    // vs0..3
+	bvec := func(c int) isa.Reg { return isa.VSR(4 + c) } // vs4..11
+
+	b.Li(rM, int64(s.M))
+	b.Li(rN, int64(s.N))
+	b.Li(rKlim, int64(s.K))
+	b.Li(rSA, int64(s.M*8))
+	b.Li(rSB, int64(s.N*8))
+	pass2 := beginPasses(b)
+	b.Li(rI0, 0)
+	b.Label("iloop")
+	b.Li(rJ0, 0)
+	b.Label("jloop")
+	// Zero accumulators.
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 8; c++ {
+			b.Xxlxor(acc(r, c), acc(r, c), acc(r, c))
+		}
+	}
+	// ptrA = At + i0*8 ; ptrB = B + j0*8.
+	b.Shl(rT0, rI0, 3)
+	b.Addi(rPA, rT0, addrAt)
+	b.Shl(rT0, rJ0, 3)
+	b.Addi(rPB, rT0, addrB)
+	b.Li(rK, 0)
+	b.Label("kloop")
+	for r := 0; r < 4; r++ {
+		b.Lxvdsx(splat(r), rPA, int64(r*8))
+	}
+	for c := 0; c < 8; c++ {
+		b.Lxv(bvec(c), rPB, int64(c*16))
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 8; c++ {
+			b.Xvmaddadp(acc(r, c), splat(r), bvec(c))
+		}
+	}
+	b.Add(rPA, rPA, rSA)
+	b.Add(rPB, rPB, rSB)
+	b.Addi(rK, rK, 1)
+	b.Bc(isa.CondLT, rK, rKlim, "kloop")
+	// Store C block: ptrC = C + (i0*N + j0)*8, row stride N*8.
+	b.Mul(rT0, rI0, rN)
+	b.Add(rT0, rT0, rJ0)
+	b.Shl(rT0, rT0, 3)
+	b.Addi(rPC, rT0, addrC)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 8; c++ {
+			b.Stxv(acc(r, c), rPC, int64(c*16))
+		}
+		b.Add(rPC, rPC, rSB)
+	}
+	b.Addi(rJ0, rJ0, 16)
+	b.Bc(isa.CondLT, rJ0, rN, "jloop")
+	b.Addi(rI0, rI0, 4)
+	b.Bc(isa.CondLT, rI0, rM, "iloop")
+	pass2.end()
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := kernelWorkload("dgemm-vsu", p, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, ref, nil
+}
+
+// DGEMMMMA builds the MMA coding of double-precision GEMM: a 4-row x
+// 16-column micro-kernel on all eight 512-bit accumulators fed by paired
+// vector loads — the "POWER10 MMA code" of Fig. 5.
+func DGEMMMMA(s GEMMSize) (*Workload, []float64, error) {
+	rng := newLCG(1)
+	a := make([]float64, s.M*s.K)
+	bm := make([]float64, s.K*s.N)
+	for i := range a {
+		a[i] = rng.f64()
+	}
+	for i := range bm {
+		bm[i] = rng.f64()
+	}
+	return DGEMMMMAFrom("dgemm-mma", s, a, bm)
+}
+
+// DGEMMMMAFrom builds the MMA DGEMM kernel over caller-supplied row-major
+// matrices — the entry point higher-level computations (convolution, DFT)
+// lower themselves onto, per the paper's "MMA instructions as building
+// blocks" discussion.
+func DGEMMMMAFrom(name string, s GEMMSize, a, bm []float64) (*Workload, []float64, error) {
+	if err := s.Valid(); err != nil {
+		return nil, nil, err
+	}
+	if s.N%8 != 0 || s.M%4 != 0 {
+		return nil, nil, fmt.Errorf("%s: M%%4, N%%8 required", name)
+	}
+	if len(a) != s.M*s.K || len(bm) != s.K*s.N {
+		return nil, nil, fmt.Errorf("%s: operand sizes %d/%d do not match %+v", name, len(a), len(bm), s)
+	}
+	img, ref := gemmImageFrom(s, a, bm)
+	b := isa.NewBuilder(name)
+	for addr, data := range img {
+		b.SetMem(addr, data)
+	}
+	b.MMAWake() // proactive power-on hint before the compute region
+
+	b.Li(rM, int64(s.M))
+	b.Li(rN, int64(s.N))
+	b.Li(rKlim, int64(s.K))
+	b.Li(rSA, int64(s.M*8))
+	b.Li(rSB, int64(s.N*8))
+	pass2 := beginPasses(b)
+	b.Li(rI0, 0)
+	b.Label("iloop")
+	b.Li(rJ0, 0)
+	b.Label("jloop")
+	// 4-row x 16-column block on all eight accumulators: acc c covers
+	// columns j0+2c .. j0+2c+1.
+	for c := 0; c < 8; c++ {
+		b.Xxsetaccz(isa.ACC(c))
+	}
+	b.Shl(rT0, rI0, 3)
+	b.Addi(rPA, rT0, addrAt)
+	b.Shl(rT0, rJ0, 3)
+	b.Addi(rPB, rT0, addrB)
+	b.Li(rK, 0)
+	b.Label("kloop")
+	// A column block: 4 doubles -> VSR pair vs0,vs1.
+	b.Lxvp(isa.VSR(0), rPA, 0)
+	for c := 0; c < 8; c++ {
+		b.Lxv(isa.VSR(4+c), rPB, int64(c*16))
+	}
+	for c := 0; c < 8; c++ {
+		b.Xvf64gerpp(isa.ACC(c), isa.VSR(0), isa.VSR(4+c))
+	}
+	b.Add(rPA, rPA, rSA)
+	b.Add(rPB, rPB, rSB)
+	b.Addi(rK, rK, 1)
+	b.Bc(isa.CondLT, rK, rKlim, "kloop")
+	// Read out accumulators and store: acc c holds rows 0..3 of columns
+	// j0+2c..j0+2c+1.
+	b.Mul(rT0, rI0, rN)
+	b.Add(rT0, rT0, rJ0)
+	b.Shl(rT0, rT0, 3)
+	b.Addi(rPC, rT0, addrC)
+	for c := 0; c < 8; c++ {
+		b.Xxmfacc(isa.VSR(16+4*c), isa.ACC(c))
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 8; c++ {
+			b.Stxv(isa.VSR(16+4*c+r), rPC, int64(c*16))
+		}
+		b.Add(rPC, rPC, rSB)
+	}
+	b.Addi(rJ0, rJ0, 16)
+	b.Bc(isa.CondLT, rJ0, rN, "jloop")
+	b.Addi(rI0, rI0, 4)
+	b.Bc(isa.CondLT, rI0, rM, "iloop")
+	pass2.end()
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := kernelWorkload(name, p, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, ref, nil
+}
+
+// sgemmImage builds the fp32 image; reference returned as float32.
+func sgemmImage(s GEMMSize, seed uint64) (map[uint64][]byte, []float32) {
+	rng := newLCG(seed)
+	a := make([]float32, s.M*s.K)
+	bm := make([]float32, s.K*s.N)
+	for i := range a {
+		a[i] = rng.f32()
+	}
+	for i := range bm {
+		bm[i] = rng.f32()
+	}
+	at := make([]float32, s.K*s.M)
+	for i := 0; i < s.M; i++ {
+		for k := 0; k < s.K; k++ {
+			at[k*s.M+i] = a[i*s.K+k]
+		}
+	}
+	ref := make([]float32, s.M*s.N)
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			var sum float32
+			for k := 0; k < s.K; k++ {
+				sum += a[i*s.K+k] * bm[k*s.N+j]
+			}
+			ref[i*s.N+j] = sum
+		}
+	}
+	img := map[uint64][]byte{
+		addrAt: F32Bytes(at),
+		addrB:  F32Bytes(bm),
+		addrC:  F32Bytes(make([]float32, s.M*s.N)),
+	}
+	return img, ref
+}
+
+// gemmBases names the memory regions one GEMM call works over.
+type gemmBases struct{ at, b, c uint64 }
+
+var defaultBases = gemmBases{at: addrAt, b: addrB, c: addrC}
+
+// emitSGEMMVSU emits the fp32 vector triple loop (no Halt): an 8-row x
+// 16-column micro-kernel with 32 accumulators of 4 float lanes each.
+// Labels are prefixed so multiple GEMMs can share one program.
+func emitSGEMMVSU(b *isa.Builder, s GEMMSize, bases gemmBases, prefix string) {
+	acc := func(r, c int) isa.Reg { return isa.VSR(16 + r*4 + c) } // 8x4 = 32
+	splat := func(r int) isa.Reg { return isa.VSR(r) }             // vs0..7
+	bvec := func(c int) isa.Reg { return isa.VSR(8 + c) }          // vs8..11
+
+	b.Li(rM, int64(s.M))
+	b.Li(rN, int64(s.N))
+	b.Li(rKlim, int64(s.K))
+	b.Li(rSA, int64(s.M*4))
+	b.Li(rSB, int64(s.N*4))
+	b.Li(rI0, 0)
+	b.Label(prefix + "iloop")
+	b.Li(rJ0, 0)
+	b.Label(prefix + "jloop")
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 4; c++ {
+			b.Xxlxor(acc(r, c), acc(r, c), acc(r, c))
+		}
+	}
+	b.Shl(rT0, rI0, 2)
+	b.Addi(rPA, rT0, int64(bases.at))
+	b.Shl(rT0, rJ0, 2)
+	b.Addi(rPB, rT0, int64(bases.b))
+	b.Li(rK, 0)
+	b.Label(prefix + "kloop")
+	for r := 0; r < 8; r++ {
+		b.Lxvwsx(splat(r), rPA, int64(r*4))
+	}
+	for c := 0; c < 4; c++ {
+		b.Lxv(bvec(c), rPB, int64(c*16))
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 4; c++ {
+			b.Xvmaddasp(acc(r, c), splat(r), bvec(c))
+		}
+	}
+	b.Add(rPA, rPA, rSA)
+	b.Add(rPB, rPB, rSB)
+	b.Addi(rK, rK, 1)
+	b.Bc(isa.CondLT, rK, rKlim, prefix+"kloop")
+	b.Mul(rT0, rI0, rN)
+	b.Add(rT0, rT0, rJ0)
+	b.Shl(rT0, rT0, 2)
+	b.Addi(rPC, rT0, int64(bases.c))
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 4; c++ {
+			b.Stxv(acc(r, c), rPC, int64(c*16))
+		}
+		b.Add(rPC, rPC, rSB)
+	}
+	b.Addi(rJ0, rJ0, 16)
+	b.Bc(isa.CondLT, rJ0, rN, prefix+"jloop")
+	b.Addi(rI0, rI0, 8)
+	b.Bc(isa.CondLT, rI0, rM, prefix+"iloop")
+}
+
+// SGEMMVSU builds the standalone fp32 vector kernel workload.
+func SGEMMVSU(s GEMMSize) (*Workload, []float32, error) {
+	if err := s.Valid(); err != nil {
+		return nil, nil, err
+	}
+	img, ref := sgemmImage(s, 2)
+	b := isa.NewBuilder("sgemm-vsu")
+	for addr, data := range img {
+		b.SetMem(addr, data)
+	}
+	pass2 := beginPasses(b)
+	emitSGEMMVSU(b, s, defaultBases, "")
+	pass2.end()
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := kernelWorkload("sgemm-vsu", p, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, ref, nil
+}
+
+// emitSGEMMMMA emits the fp32 MMA triple loop (no Halt): 8x16 SGEMM panels
+// on all eight accumulators — matching the paper's "8x16 SGEMM panels on the
+// MMA". Labels are prefixed so multiple GEMMs can share one program.
+func emitSGEMMMMA(b *isa.Builder, s GEMMSize, bases gemmBases, prefix string) {
+	// acc(h, c): h in 0..1 row halves (4 rows each), c in 0..3 col quads.
+	accIdx := func(h, c int) isa.Reg { return isa.ACC(h*4 + c) }
+
+	b.Li(rM, int64(s.M))
+	b.Li(rN, int64(s.N))
+	b.Li(rKlim, int64(s.K))
+	b.Li(rSA, int64(s.M*4))
+	b.Li(rSB, int64(s.N*4))
+	b.Li(rI0, 0)
+	b.Label(prefix + "iloop")
+	b.Li(rJ0, 0)
+	b.Label(prefix + "jloop")
+	for i := 0; i < 8; i++ {
+		b.Xxsetaccz(isa.ACC(i))
+	}
+	b.Shl(rT0, rI0, 2)
+	b.Addi(rPA, rT0, int64(bases.at))
+	b.Shl(rT0, rJ0, 2)
+	b.Addi(rPB, rT0, int64(bases.b))
+	b.Li(rK, 0)
+	b.Label(prefix + "kloop")
+	b.Lxv(isa.VSR(0), rPA, 0)  // A rows i0..i0+3 at k
+	b.Lxv(isa.VSR(1), rPA, 16) // A rows i0+4..i0+7 at k
+	for c := 0; c < 4; c++ {
+		b.Lxv(isa.VSR(4+c), rPB, int64(c*16))
+	}
+	for h := 0; h < 2; h++ {
+		for c := 0; c < 4; c++ {
+			b.Xvf32gerpp(accIdx(h, c), isa.VSR(h), isa.VSR(4+c))
+		}
+	}
+	b.Add(rPA, rPA, rSA)
+	b.Add(rPB, rPB, rSB)
+	b.Addi(rK, rK, 1)
+	b.Bc(isa.CondLT, rK, rKlim, prefix+"kloop")
+	b.Mul(rT0, rI0, rN)
+	b.Add(rT0, rT0, rJ0)
+	b.Shl(rT0, rT0, 2)
+	b.Addi(rPC, rT0, int64(bases.c))
+	for h := 0; h < 2; h++ {
+		for c := 0; c < 4; c++ {
+			b.Xxmfacc(isa.VSR(16+16*h+4*c), accIdx(h, c))
+		}
+	}
+	for r := 0; r < 8; r++ {
+		h, rr := r/4, r%4
+		for c := 0; c < 4; c++ {
+			b.Stxv(isa.VSR(16+16*h+4*c+rr), rPC, int64(c*16))
+		}
+		b.Add(rPC, rPC, rSB)
+	}
+	b.Addi(rJ0, rJ0, 16)
+	b.Bc(isa.CondLT, rJ0, rN, prefix+"jloop")
+	b.Addi(rI0, rI0, 8)
+	b.Bc(isa.CondLT, rI0, rM, prefix+"iloop")
+}
+
+// SGEMMMMA builds the standalone fp32 MMA kernel workload.
+func SGEMMMMA(s GEMMSize) (*Workload, []float32, error) {
+	if err := s.Valid(); err != nil {
+		return nil, nil, err
+	}
+	img, ref := sgemmImage(s, 2)
+	b := isa.NewBuilder("sgemm-mma")
+	for addr, data := range img {
+		b.SetMem(addr, data)
+	}
+	b.MMAWake()
+	pass2 := beginPasses(b)
+	emitSGEMMMMA(b, s, defaultBases, "")
+	pass2.end()
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := kernelWorkload("sgemm-mma", p, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, ref, nil
+}
+
+// GEMMInt8MMA builds an INT8 outer-product GEMM (xvi8ger4) used for the
+// paper's 21x INT8 inference projection. Numerical content is synthetic; the
+// kernel reproduces the instruction shape.
+func GEMMInt8MMA(s GEMMSize) (*Workload, error) {
+	if err := s.Valid(); err != nil {
+		return nil, err
+	}
+	if s.K%4 != 0 {
+		return nil, fmt.Errorf("int8 gemm: K must be multiple of 4")
+	}
+	b := isa.NewBuilder("gemm-int8-mma")
+	rng := newLCG(3)
+	bufA := make([]uint64, s.K*s.M/8+16)
+	bufB := make([]uint64, s.K*s.N/8+16)
+	for i := range bufA {
+		bufA[i] = rng.next()
+	}
+	for i := range bufB {
+		bufB[i] = rng.next()
+	}
+	b.SetMem(addrAt, U64Bytes(bufA))
+	b.SetMem(addrB, U64Bytes(bufB))
+	b.MMAWake()
+
+	b.Li(rM, int64(s.M))
+	b.Li(rN, int64(s.N))
+	b.Li(rKlim, int64(s.K/4)) // 4 int8 per ger step
+	b.Li(rSA, int64(s.M*4))
+	b.Li(rSB, int64(s.N*4))
+	pass2 := beginPasses(b)
+	b.Li(rI0, 0)
+	b.Label("iloop")
+	b.Li(rJ0, 0)
+	b.Label("jloop")
+	for i := 0; i < 8; i++ {
+		b.Xxsetaccz(isa.ACC(i))
+	}
+	b.Shl(rT0, rI0, 2)
+	b.Addi(rPA, rT0, addrAt)
+	b.Shl(rT0, rJ0, 2)
+	b.Addi(rPB, rT0, addrB)
+	b.Li(rK, 0)
+	b.Label("kloop")
+	b.Lxv(isa.VSR(0), rPA, 0)
+	b.Lxv(isa.VSR(1), rPA, 16)
+	for c := 0; c < 4; c++ {
+		b.Lxv(isa.VSR(4+c), rPB, int64(c*16))
+	}
+	for h := 0; h < 2; h++ {
+		for c := 0; c < 4; c++ {
+			b.Xvi8ger4pp(isa.ACC(h*4+c), isa.VSR(h), isa.VSR(4+c))
+		}
+	}
+	b.Add(rPA, rPA, rSA)
+	b.Add(rPB, rPB, rSB)
+	b.Addi(rK, rK, 1)
+	b.Bc(isa.CondLT, rK, rKlim, "kloop")
+	b.Mul(rT0, rI0, rN)
+	b.Add(rT0, rT0, rJ0)
+	b.Shl(rT0, rT0, 2)
+	b.Addi(rPC, rT0, addrC)
+	for h := 0; h < 2; h++ {
+		for c := 0; c < 4; c++ {
+			b.Xxmfacc(isa.VSR(16+16*h+4*c), isa.ACC(h*4+c))
+		}
+	}
+	for r := 0; r < 8; r++ {
+		h, rr := r/4, r%4
+		for c := 0; c < 4; c++ {
+			b.Stxv(isa.VSR(16+16*h+4*c+rr), rPC, int64(c*16))
+		}
+		b.Add(rPC, rPC, rSB)
+	}
+	b.Addi(rJ0, rJ0, 16)
+	b.Bc(isa.CondLT, rJ0, rN, "jloop")
+	b.Addi(rI0, rI0, 8)
+	b.Bc(isa.CondLT, rI0, rM, "iloop")
+	pass2.end()
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return kernelWorkload("gemm-int8-mma", p, true)
+}
+
+// Daxpy builds the classic y += a*x streaming kernel over n doubles
+// (n multiple of 4), one of the paper's well-known code kernels.
+func Daxpy(n int, iters int) *Workload {
+	if n%4 != 0 {
+		panic("daxpy: n must be multiple of 4")
+	}
+	rng := newLCG(4)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i], y[i] = rng.f64(), rng.f64()
+	}
+	b := isa.NewBuilder("daxpy")
+	b.SetMem(addrX, F64Bytes(x))
+	b.SetMem(addrY, F64Bytes(y))
+	b.SetMem(addrC, F64Bytes([]float64{2.5}))
+	b.Li(isa.GPR(1), addrC)
+	b.Lxvdsx(isa.VSR(0), isa.GPR(1), 0) // splat a
+	b.Li(isa.GPR(20), int64(iters))
+	b.Li(isa.GPR(21), 0)
+	b.Label("outer")
+	b.Li(rPA, addrX)
+	b.Li(rPB, addrY)
+	b.Li(rK, 0)
+	b.Li(rKlim, int64(n/4))
+	b.Label("top")
+	b.Lxv(isa.VSR(1), rPA, 0)
+	b.Lxv(isa.VSR(2), rPA, 16)
+	b.Lxv(isa.VSR(3), rPB, 0)
+	b.Lxv(isa.VSR(4), rPB, 16)
+	b.Xvmaddadp(isa.VSR(3), isa.VSR(0), isa.VSR(1))
+	b.Xvmaddadp(isa.VSR(4), isa.VSR(0), isa.VSR(2))
+	b.Stxv(isa.VSR(3), rPB, 0)
+	b.Stxv(isa.VSR(4), rPB, 16)
+	b.Addi(rPA, rPA, 32)
+	b.Addi(rPB, rPB, 32)
+	b.Addi(rK, rK, 1)
+	b.Bc(isa.CondLT, rK, rKlim, "top")
+	b.Addi(isa.GPR(21), isa.GPR(21), 1)
+	b.Bc(isa.CondLT, isa.GPR(21), isa.GPR(20), "outer")
+	b.Halt()
+	w, err := kernelWorkload("daxpy", b.MustBuild(), true)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

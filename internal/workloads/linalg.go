@@ -1,0 +1,274 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"power10sim/internal/isa"
+)
+
+// The paper (Section II-C) notes that MMA instructions are finer grained
+// than a monolithic matrix unit and serve as "the building blocks of other
+// computations such as convolution, triangular solve and discrete fourier
+// transform". This file lowers all three onto the repository's kernels:
+// convolution and DFT become GEMMs on the MMA (im2col and DFT-matrix
+// formulations), and the unit-lower-triangular solve becomes the classic
+// column-sweep of splat-multiply-subtract vector updates.
+
+// ConvShape describes a 2D convolution with C input channels, F filters of
+// size KxK, over an HxW input (valid padding, stride 1).
+type ConvShape struct {
+	H, W, C, K, F int
+}
+
+// OutH and OutW are the output spatial dimensions.
+func (c ConvShape) OutH() int { return c.H - c.K + 1 }
+func (c ConvShape) OutW() int { return c.W - c.K + 1 }
+
+// gemmDims gives the im2col GEMM size: M = output pixels, K = patch
+// elements, N = filters.
+func (c ConvShape) gemmDims() GEMMSize {
+	return GEMMSize{M: c.OutH() * c.OutW(), K: c.K * c.K * c.C, N: c.F}
+}
+
+// Conv2DMMA lowers the convolution to an im2col GEMM on the MMA and returns
+// the workload plus the reference output (row-major [pixel][filter]).
+// Constraints: output pixels a multiple of 8, filters a multiple of 16.
+func Conv2DMMA(shape ConvShape) (*Workload, []float64, error) {
+	dims := shape.gemmDims()
+	if dims.M%8 != 0 || dims.N%16 != 0 {
+		return nil, nil, fmt.Errorf("conv2d: %d output pixels / %d filters violate 8/16 blocking", dims.M, dims.N)
+	}
+	rng := newLCG(101)
+	input := make([]float64, shape.H*shape.W*shape.C)
+	for i := range input {
+		input[i] = rng.f64()
+	}
+	weights := make([]float64, shape.K*shape.K*shape.C*shape.F)
+	for i := range weights {
+		weights[i] = rng.f64()
+	}
+	// im2col: patches[pixel][patchElem], patchElem = (ky, kx, ch).
+	at := func(y, x, ch int) float64 { return input[(y*shape.W+x)*shape.C+ch] }
+	patches := make([]float64, dims.M*dims.K)
+	p := 0
+	for oy := 0; oy < shape.OutH(); oy++ {
+		for ox := 0; ox < shape.OutW(); ox++ {
+			e := 0
+			for ky := 0; ky < shape.K; ky++ {
+				for kx := 0; kx < shape.K; kx++ {
+					for ch := 0; ch < shape.C; ch++ {
+						patches[p*dims.K+e] = at(oy+ky, ox+kx, ch)
+						e++
+					}
+				}
+			}
+			p++
+		}
+	}
+	// weights are already [patchElem][filter] row-major.
+	w, ref, err := DGEMMMMAFrom("conv2d-mma", dims, patches, weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.Category = CatKernel
+	return w, ref, nil
+}
+
+// ReferenceConv2D computes the convolution directly (no GEMM lowering) for
+// cross-validation of the im2col path.
+func ReferenceConv2D(shape ConvShape) []float64 {
+	rng := newLCG(101)
+	input := make([]float64, shape.H*shape.W*shape.C)
+	for i := range input {
+		input[i] = rng.f64()
+	}
+	weights := make([]float64, shape.K*shape.K*shape.C*shape.F)
+	for i := range weights {
+		weights[i] = rng.f64()
+	}
+	out := make([]float64, shape.OutH()*shape.OutW()*shape.F)
+	for oy := 0; oy < shape.OutH(); oy++ {
+		for ox := 0; ox < shape.OutW(); ox++ {
+			for f := 0; f < shape.F; f++ {
+				var sum float64
+				for ky := 0; ky < shape.K; ky++ {
+					for kx := 0; kx < shape.K; kx++ {
+						for ch := 0; ch < shape.C; ch++ {
+							iv := input[((oy+ky)*shape.W+(ox+kx))*shape.C+ch]
+							wv := weights[((ky*shape.K+kx)*shape.C+ch)*shape.F+f]
+							sum += iv * wv
+						}
+					}
+				}
+				out[(oy*shape.OutW()+ox)*shape.F+f] = sum
+			}
+		}
+	}
+	return out
+}
+
+// DFTMMA lowers a batch of length-n complex DFTs onto a real GEMM computed
+// by the MMA: with F the DFT matrix, [Re X; Im X] = [[Re F, -Im F],
+// [Im F, Re F]] x [Re x; Im x]. n must be a multiple of 4 (so 2n%8 == 0)
+// and batch a multiple of 16. It returns the workload and the reference
+// stacked-result matrix (2n x batch, row-major).
+func DFTMMA(n, batch int) (*Workload, []float64, error) {
+	if (2*n)%8 != 0 || batch%16 != 0 {
+		return nil, nil, fmt.Errorf("dft: n=%d batch=%d violate blocking", n, batch)
+	}
+	// DFT matrix blocks.
+	a := make([]float64, 2*n*2*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			ang := -2 * math.Pi * float64(r*c) / float64(n)
+			re, im := math.Cos(ang), math.Sin(ang)
+			a[r*2*n+c] = re
+			a[r*2*n+n+c] = -im
+			a[(n+r)*2*n+c] = im
+			a[(n+r)*2*n+n+c] = re
+		}
+	}
+	// Batch of complex inputs, stacked [Re; Im] as a 2n x batch matrix.
+	rng := newLCG(202)
+	x := make([]float64, 2*n*batch)
+	for i := range x {
+		x[i] = rng.f64()
+	}
+	dims := GEMMSize{M: 2 * n, K: 2 * n, N: batch}
+	w, ref, err := DGEMMMMAFrom("dft-mma", dims, a, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, ref, nil
+}
+
+// ReferenceDFT computes the same batch of DFTs directly on complex numbers.
+func ReferenceDFT(n, batch int) []float64 {
+	rng := newLCG(202)
+	x := make([]float64, 2*n*batch)
+	for i := range x {
+		x[i] = rng.f64()
+	}
+	out := make([]float64, 2*n*batch)
+	for b := 0; b < batch; b++ {
+		for r := 0; r < n; r++ {
+			var re, im float64
+			for c := 0; c < n; c++ {
+				ang := -2 * math.Pi * float64(r*c) / float64(n)
+				wr, wi := math.Cos(ang), math.Sin(ang)
+				xr := x[c*batch+b]
+				xi := x[(n+c)*batch+b]
+				re += wr*xr - wi*xi
+				im += wr*xi + wi*xr
+			}
+			out[r*batch+b] = re
+			out[(n+r)*batch+b] = im
+		}
+	}
+	return out
+}
+
+// Memory map for the triangular solve.
+const (
+	trsvL = 0xE0_0000 // -L stored column-major (negated off-diagonals)
+	trsvB = 0xE8_0000 // right-hand side, solved in place
+)
+
+// TRSVUnitLower builds the unit-lower-triangular solve L x = b as a column
+// sweep: once x_j is final, the remaining entries update via
+// b[i] -= L[i][j] * x_j — a splat-multiply-add per column, the BLAS2
+// pattern the paper contrasts with the MMA's BLAS2-native outer products.
+// n must be even. The solution overwrites b in memory.
+func TRSVUnitLower(n int) (*Workload, []float64, error) {
+	if n%2 != 0 || n < 4 {
+		return nil, nil, fmt.Errorf("trsv: n=%d must be even and >= 4", n)
+	}
+	rng := newLCG(303)
+	l := make([]float64, n*n) // row-major, unit diagonal
+	for i := 0; i < n; i++ {
+		l[i*n+i] = 1
+		for j := 0; j < i; j++ {
+			l[i*n+j] = rng.f64() * 0.5
+		}
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.f64()
+	}
+	// Reference forward solve.
+	ref := append([]float64{}, rhs...)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			ref[i] -= l[i*n+j] * ref[j]
+		}
+	}
+	// Image: -L column-major (so the update is an FMA), padded per column
+	// to even length for 16-byte vector ops.
+	negL := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			negL[j*n+i] = -l[i*n+j]
+		}
+	}
+
+	b := isa.NewBuilder("trsv-unit-lower")
+	b.SetMem(trsvL, F64Bytes(negL))
+	b.SetMem(trsvB, F64Bytes(rhs))
+	rJ := isa.GPR(1)
+	rN := isa.GPR(2)
+	rI := isa.GPR(3)
+	rBj := isa.GPR(4) // &b[j]
+	rLij := isa.GPR(5)
+	rBi := isa.GPR(6)
+	rT := isa.GPR(7)
+	vX := isa.VSR(0) // splat of x_j
+	vB := isa.VSR(1)
+	vL := isa.VSR(2)
+	b.Li(rN, int64(n))
+	b.Li(rJ, 0)
+	b.Label("col")
+	// Splat the finalized x_j.
+	b.Shl(rT, rJ, 3)
+	b.Addi(rBj, rT, trsvB)
+	b.Lxvdsx(vX, rBj, 0)
+	// Column pointer: &(-L)[j*n + j + 1 rounded down to even].
+	b.Mul(rT, rJ, rN)
+	b.Add(rT, rT, rJ)
+	b.Shl(rT, rT, 3)
+	b.Addi(rLij, rT, trsvL)
+	// Update i = j+1 .. n-1 in 2-lane vector pairs [i, i+1]. Vector loads
+	// are byte-addressable, so any parity of j+1 works; a final pair that
+	// reaches index n writes one lane past the solution vector, into
+	// scratch memory that is never read.
+	b.Addi(rI, rJ, 1)
+	b.Label("upd")
+	b.Bc(isa.CondGE, rI, rN, "next")
+	b.Shl(rT, rI, 3)
+	b.Addi(rBi, rT, trsvB)
+	b.Mul(rT, rJ, rN)
+	b.Add(rT, rT, rI)
+	b.Shl(rT, rT, 3)
+	b.Addi(rLij, rT, trsvL)
+	b.Lxv(vB, rBi, 0)
+	b.Lxv(vL, rLij, 0)
+	b.Xvmaddadp(vB, vL, vX) // b[i..i+1] += (-L[i..i+1][j]) * x_j
+	b.Stxv(vB, rBi, 0)
+	b.Addi(rI, rI, 2)
+	b.B("upd")
+	b.Label("next")
+	b.Addi(rJ, rJ, 1)
+	b.Bc(isa.CondLT, rJ, rN, "col")
+	b.Halt()
+	b.SetGPR(8, 1)
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := kernelWorkload("trsv-unit-lower", prog, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, ref, nil
+}

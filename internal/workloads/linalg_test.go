@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"power10sim/internal/isa"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+)
+
+func readF64At(vm *isa.VM, addr uint64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		var buf [8]byte
+		for j := range buf {
+			buf[j] = vm.Mem.ByteAt(addr + uint64(8*i+j))
+		}
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return out
+}
+
+func TestConv2DMMAMatchesDirectConvolution(t *testing.T) {
+	shape := ConvShape{H: 6, W: 6, C: 4, K: 3, F: 16} // 16 output pixels
+	w, ref, err := Conv2DMMA(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := ReferenceConv2D(shape)
+	if len(direct) != len(ref) {
+		t.Fatalf("shape mismatch: %d vs %d", len(direct), len(ref))
+	}
+	for i := range ref {
+		if math.Abs(ref[i]-direct[i]) > 1e-9 {
+			t.Fatalf("im2col GEMM reference differs from direct conv at %d: %v vs %v",
+				i, ref[i], direct[i])
+		}
+	}
+	// Execute the MMA kernel and check the stored output.
+	vm := isa.NewVM(w.Prog)
+	if _, err := vm.Run(1<<26, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := readF64At(vm, 0x70_0000, len(ref))
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-9 {
+			t.Fatalf("conv output[%d] = %v, want %v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestConv2DRunsOnMMAHardware(t *testing.T) {
+	shape := ConvShape{H: 6, W: 6, C: 4, K: 3, F: 16}
+	w, _, err := Conv2DMMA(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := uarch.Simulate(uarch.POWER10(),
+		[]trace.Stream{trace.NewVMStream(w.Prog, w.Budget)}, 10_000_000,
+		uarch.WithWarmup(w.Warmup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Activity.MMAOps == 0 {
+		t.Error("convolution executed no MMA outer products")
+	}
+	if res.Activity.FlopsPerCycle() < 8 {
+		t.Errorf("conv flops/cycle %.1f too low for an MMA lowering", res.Activity.FlopsPerCycle())
+	}
+}
+
+func TestConv2DRejectsBadBlocking(t *testing.T) {
+	if _, _, err := Conv2DMMA(ConvShape{H: 5, W: 5, C: 3, K: 3, F: 16}); err == nil {
+		t.Error("9 output pixels accepted")
+	}
+}
+
+func TestDFTMMAMatchesDirectDFT(t *testing.T) {
+	n, batch := 16, 16
+	w, ref, err := DFTMMA(n, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := ReferenceDFT(n, batch)
+	for i := range ref {
+		if math.Abs(ref[i]-direct[i]) > 1e-9 {
+			t.Fatalf("DFT-as-GEMM reference differs from direct DFT at %d", i)
+		}
+	}
+	vm := isa.NewVM(w.Prog)
+	if _, err := vm.Run(1<<26, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := readF64At(vm, 0x70_0000, len(ref))
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-8 {
+			t.Fatalf("DFT output[%d] = %v, want %v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestDFTParseval(t *testing.T) {
+	// Parseval: sum |X|^2 == n * sum |x|^2 for each batch column.
+	n, batch := 16, 16
+	_, ref, err := DFTMMA(n, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newLCG(202)
+	x := make([]float64, 2*n*batch)
+	for i := range x {
+		x[i] = rng.f64()
+	}
+	for b := 0; b < batch; b++ {
+		var inE, outE float64
+		for r := 0; r < n; r++ {
+			xr, xi := x[r*batch+b], x[(n+r)*batch+b]
+			inE += xr*xr + xi*xi
+			Xr, Xi := ref[r*batch+b], ref[(n+r)*batch+b]
+			outE += Xr*Xr + Xi*Xi
+		}
+		if math.Abs(outE-float64(n)*inE) > 1e-6*outE {
+			t.Fatalf("Parseval violated for column %d: %v vs %v", b, outE, float64(n)*inE)
+		}
+	}
+}
+
+func TestTRSVSolvesSystem(t *testing.T) {
+	n := 24
+	w, ref, err := TRSVUnitLower(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := isa.NewVM(w.Prog)
+	if _, err := vm.Run(1<<26, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Halted() {
+		t.Fatal("trsv did not halt")
+	}
+	got := readF64At(vm, trsvB, n)
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], ref[i])
+		}
+	}
+	// Residual check: L x == original rhs.
+	rng := newLCG(303)
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		l[i*n+i] = 1
+		for j := 0; j < i; j++ {
+			l[i*n+j] = rng.f64() * 0.5
+		}
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.f64()
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j <= i; j++ {
+			sum += l[i*n+j] * got[j]
+		}
+		if math.Abs(sum-rhs[i]) > 1e-9 {
+			t.Fatalf("residual at row %d: %v vs %v", i, sum, rhs[i])
+		}
+	}
+}
+
+func TestTRSVOddAndEvenColumnSpans(t *testing.T) {
+	for _, n := range []int{4, 6, 10, 14} {
+		w, ref, err := TRSVUnitLower(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := isa.NewVM(w.Prog)
+		if _, err := vm.Run(1<<24, nil); err != nil {
+			t.Fatal(err)
+		}
+		got := readF64At(vm, trsvB, n)
+		for i := range ref {
+			if math.Abs(got[i]-ref[i]) > 1e-9 {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestTRSVRejectsOddN(t *testing.T) {
+	if _, _, err := TRSVUnitLower(7); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, _, err := TRSVUnitLower(2); err == nil {
+		t.Error("tiny n accepted")
+	}
+}
