@@ -1,0 +1,28 @@
+# Build, test, and verification entry points for power10sim.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench sweep
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full gate: vet plus both normal and race-detector test
+# passes. The race pass matters because the experiment harness fans
+# simulations across a worker pool.
+verify: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$'
+
+sweep:
+	$(GO) run ./cmd/p10bench -quick

@@ -9,9 +9,36 @@ import (
 	"testing"
 
 	"power10sim/internal/experiments"
+	"power10sim/internal/runner"
 )
 
 var quick = experiments.Options{Quick: true}
+
+// benchSweep runs a representative multi-figure slice of the evaluation
+// (Table I followed by the Section II-B headline, which revisit the same
+// P9/P10 SPECint baseline points) through a dedicated simulation pool. A
+// fresh pool per iteration means each iteration pays for its own unique
+// simulations, so the Serial-vs-Parallel timing ratio isolates the
+// worker-pool speedup while the hit metric shows the memoization win.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		pool := runner.New(workers)
+		o := experiments.Options{Quick: true, Runner: pool}
+		if _, err := experiments.TableI(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Headline(o); err != nil {
+			b.Fatal(err)
+		}
+		st := pool.Stats()
+		b.ReportMetric(float64(st.Misses), "unique-runs")
+		b.ReportMetric(float64(st.Hits), "cache-hits")
+	}
+}
+
+func BenchmarkRunnerSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkRunnerParallel(b *testing.B) { benchSweep(b, 0) }
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -6,7 +6,13 @@
 //	p10bench                 # run everything
 //	p10bench -exp fig5       # one experiment
 //	p10bench -quick          # reduced budgets
+//	p10bench -jobs 4         # bound simulation parallelism (-jobs 1: serial)
 //	p10bench -list
+//
+// Simulations fan out across a bounded worker pool with a memoization cache,
+// so figures that revisit the same (config, workload, SMT) point share one
+// run. Tables are printed to stdout in catalog order and are byte-identical
+// for any -jobs value; per-experiment timing goes to stderr.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"power10sim/internal/experiments"
+	"power10sim/internal/runner"
 )
 
 type renderer interface{ Table() string }
@@ -61,6 +68,7 @@ func main() {
 	var (
 		expName = flag.String("exp", "", "experiment to run (default: all)")
 		quick   = flag.Bool("quick", false, "reduced budgets")
+		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		list    = flag.Bool("list", false, "list experiments")
 	)
 	flag.Parse()
@@ -76,8 +84,10 @@ func main() {
 		}
 		return
 	}
-	opt := experiments.Options{Quick: *quick}
+	pool := runner.New(*jobs)
+	opt := experiments.Options{Quick: *quick, Jobs: pool.Workers(), Runner: pool}
 	ran := 0
+	sweepStart := time.Now()
 	for _, e := range cat {
 		if *expName != "" && e.name != *expName {
 			continue
@@ -91,10 +101,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(r.Table())
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", e.name, time.Since(start).Seconds())
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expName)
 		os.Exit(1)
 	}
+	// Cache effectiveness summary. Hits and misses depend only on the
+	// request sequence, not on the worker count, so this line is part of
+	// the byte-identical stdout contract.
+	st := pool.Stats()
+	total := st.Hits + st.Misses
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(st.Hits) / float64(total)
+	}
+	fmt.Printf("runner: %d simulation requests, %d unique runs, %d cache hits (%.1f%%)\n",
+		total, st.Misses, st.Hits, pct)
+	fmt.Fprintf(os.Stderr, "total: %.1fs with %d workers\n", time.Since(sweepStart).Seconds(), pool.Workers())
 }

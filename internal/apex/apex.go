@@ -16,6 +16,7 @@ package apex
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"power10sim/internal/power"
 	"power10sim/internal/trace"
@@ -68,7 +69,11 @@ func (l *LFSR) TickN(n uint64) {
 }
 
 // decodeTable maps LFSR state to step count from seed, built lazily once.
-var decodeTable map[uint16]uint64
+// Concurrent simulations share it, so the build is guarded by a sync.Once.
+var (
+	decodeTable     map[uint16]uint64
+	decodeTableOnce sync.Once
+)
 
 func buildDecodeTable() {
 	decodeTable = make(map[uint16]uint64, LFSRPeriod)
@@ -84,9 +89,7 @@ func buildDecodeTable() {
 
 // Decode recovers the event count since reset (modulo the LFSR period).
 func (l *LFSR) Decode() (uint64, error) {
-	if decodeTable == nil {
-		buildDecodeTable()
-	}
+	decodeTableOnce.Do(buildDecodeTable)
 	n, ok := decodeTable[l.state]
 	if !ok {
 		return 0, fmt.Errorf("apex: LFSR state %#x unreachable from seed", l.state)

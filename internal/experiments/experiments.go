@@ -10,22 +10,34 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"power10sim/internal/power"
-	"power10sim/internal/trace"
+	"power10sim/internal/runner"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
 )
 
-// Options tunes experiment cost.
+// Options tunes experiment cost and execution.
 type Options struct {
-	// Quick divides workload budgets by 4 for fast benchmark runs.
+	// Quick halves workload budgets (subject to the 4096-instruction
+	// floor) for fast benchmark runs.
 	Quick bool
+	// Jobs bounds parallel fan-out in loops that do not go through the
+	// simulation runner (the socket Monte Carlo, the APEX figure sweep):
+	// 0 means GOMAXPROCS, 1 forces serial execution.
+	Jobs int
+	// Runner executes and memoizes every simulation issued through RunOn
+	// and the batched figure loops. When nil, a process-wide shared runner
+	// (GOMAXPROCS workers) is used, so repeated baseline points are
+	// simulated once per process.
+	Runner *runner.Runner
 }
 
-// scale applies the option's budget scaling.
+// scale applies the option's budget scaling: quick mode halves the budget.
 func (o Options) scale(budget uint64) uint64 {
 	if o.Quick {
 		budget /= 2
@@ -44,10 +56,37 @@ func (o Options) scaleWarmup(warmup uint64) uint64 { return warmup }
 // maxSimCycles bounds any single simulation.
 const maxSimCycles = 80_000_000
 
-// RunOn simulates a workload on a config at an SMT level and returns the
-// activity plus its power report. In SMT mode each thread runs an equal
-// share of the budget so aggregate work stays comparable to ST.
-func RunOn(cfg *uarch.Config, w *workloads.Workload, smt int, o Options) (*uarch.Activity, *power.Report, error) {
+// sharedPool is the process-wide default runner: figures that revisit the
+// same (config, workload, SMT) point — the headline, Table I, the ablation
+// ladder, WOF, the socket study — share one memoized simulation.
+var (
+	sharedPool     *runner.Runner
+	sharedPoolOnce sync.Once
+)
+
+// pool returns the runner simulations execute on.
+func (o Options) pool() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	sharedPoolOnce.Do(func() { sharedPool = runner.New(0) })
+	return sharedPool
+}
+
+// jobs returns the fan-out width for parallel loops outside the runner.
+func (o Options) jobs() int {
+	if o.Runner != nil {
+		return o.Runner.Workers()
+	}
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// request builds the runner request RunOn executes: in SMT mode each thread
+// runs an equal share of the budget so aggregate work stays comparable to ST.
+func (o Options) request(cfg *uarch.Config, w *workloads.Workload, smt int) runner.Request {
 	if smt < 1 {
 		smt = 1
 	}
@@ -56,16 +95,30 @@ func RunOn(cfg *uarch.Config, w *workloads.Workload, smt int, o Options) (*uarch
 	if warmup >= budget*uint64(smt) {
 		warmup = budget * uint64(smt) / 2
 	}
-	var streams []trace.Stream
-	for i := 0; i < smt; i++ {
-		streams = append(streams, trace.NewVMStream(w.Prog, budget))
+	return runner.Request{Cfg: cfg, W: w, SMT: smt, Budget: budget, Warmup: warmup, MaxCycles: maxSimCycles}
+}
+
+// RunOn simulates a workload on a config at an SMT level and returns the
+// activity plus its power report. Execution goes through the options'
+// memoizing runner: a repeated (config, workload, SMT, budget) point is
+// simulated once per process.
+func RunOn(cfg *uarch.Config, w *workloads.Workload, smt int, o Options) (*uarch.Activity, *power.Report, error) {
+	res := o.pool().Do(o.request(cfg, w, smt))
+	return res.Activity, res.Report, res.Err
+}
+
+// runBatch fans independent simulation requests across the runner and
+// returns the results in request order, so batched figure loops render
+// byte-identically to their original serial form. The first error in
+// request order aborts the batch.
+func runBatch(o Options, reqs []runner.Request) ([]runner.Result, error) {
+	results := o.pool().RunAll(reqs)
+	for i := range results {
+		if results[i].Err != nil {
+			return nil, results[i].Err
+		}
 	}
-	res, err := uarch.Simulate(cfg, streams, maxSimCycles, uarch.WithWarmup(warmup))
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s on %s (SMT%d): %w", w.Name, cfg.Name, smt, err)
-	}
-	rep := power.NewModel(cfg).Report(&res.Activity)
-	return &res.Activity, rep, nil
+	return results, nil
 }
 
 // geomean of a slice.

@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"power10sim/internal/runner"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
 )
 
 // The heavyweight experiments are exercised end to end by the repository's
@@ -24,6 +29,63 @@ func TestScale(t *testing.T) {
 	full := Options{}
 	if got := full.scale(100_000); got != 100_000 {
 		t.Errorf("full scale = %d", got)
+	}
+}
+
+// TestSimulationDeterminism is the precondition that makes the runner's
+// memoization sound: the same (config, workload, SMT) point must produce
+// bit-identical uarch activity and power reports on every run.
+func TestSimulationDeterminism(t *testing.T) {
+	for _, smt := range []int{1, 2} {
+		// Rebuild the workload each time: determinism must hold across
+		// independent constructions, not just reuse of one Program.
+		o := Options{Quick: true, Runner: runner.New(1)}
+		a1, r1, err := RunOn(uarch.POWER10(), workloads.Compress(), smt, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2 := Options{Quick: true, Runner: runner.New(1)}
+		a2, r2, err := RunOn(uarch.POWER10(), workloads.Compress(), smt, o2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Errorf("SMT%d: activity differs between identical runs", smt)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("SMT%d: power report differs between identical runs", smt)
+		}
+	}
+}
+
+// TestRunOnSerialVsParallelPool checks the harness-level guarantee: routing
+// the same request through a serial and a many-worker pool yields identical
+// results.
+func TestRunOnSerialVsParallelPool(t *testing.T) {
+	serial := Options{Quick: true, Runner: runner.New(1)}
+	par := Options{Quick: true, Runner: runner.New(8)}
+	reqs := func(o Options) []runner.Request {
+		return []runner.Request{
+			o.request(uarch.POWER9(), workloads.Compress(), 1),
+			o.request(uarch.POWER10(), workloads.Compress(), 1),
+			o.request(uarch.POWER10(), workloads.Interp(), 2),
+		}
+	}
+	rs, err := runBatch(serial, reqs(serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := runBatch(par, reqs(par))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if !reflect.DeepEqual(rs[i].Activity, rp[i].Activity) {
+			t.Errorf("request %d: activity differs between pools", i)
+		}
+		if !reflect.DeepEqual(rs[i].Report, rp[i].Report) {
+			t.Errorf("request %d: report differs between pools", i)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"power10sim/internal/runner"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
@@ -55,13 +56,18 @@ func Fig5(o Options) (*Fig5Result, error) {
 		{"P10 VSU", uarch.POWER10(), vsu, 16},
 		{"P10 MMA", uarch.POWER10(), mma, 32},
 	}
+	reqs := make([]runner.Request, len(runs))
+	for i, cr := range runs {
+		reqs[i] = o.request(cr.cfg, cr.w, 1)
+	}
+	batch, err := runBatch(o, reqs)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig5Result{}
 	var base Fig5Row
 	for i, cr := range runs {
-		a, rep, err := RunOn(cr.cfg, cr.w, 1, o)
-		if err != nil {
-			return nil, err
-		}
+		a, rep := batch[i].Activity, batch[i].Report
 		row := Fig5Row{
 			Name:          cr.name,
 			FlopsPerCycle: a.FlopsPerCycle(),
@@ -149,13 +155,18 @@ func Fig6(o Options) (*Fig6Result, error) {
 			{"POWER10 (w/o MMA)", uarch.POWER10NoMMA(), vsu},
 			{"POWER10 (w/ MMA)", uarch.POWER10(), mma},
 		}
+		reqs := make([]runner.Request, len(runs))
+		for i, run := range runs {
+			reqs[i] = o.request(run.cfg, run.w, 1)
+		}
+		batch, err := runBatch(o, reqs)
+		if err != nil {
+			return nil, err
+		}
 		fm := Fig6Model{Model: b.model}
 		var baseCycles, baseInsts, baseCPI, baseGEMM float64
 		for i, run := range runs {
-			a, _, err := RunOn(run.cfg, run.w, 1, o)
-			if err != nil {
-				return nil, err
-			}
+			a := batch[i].Activity
 			recs, err := trace.Capture(run.w.Prog, o.scale(run.w.Budget))
 			if err != nil {
 				return nil, err
@@ -191,14 +202,12 @@ func Fig6(o Options) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	aI8, _, err := RunOn(uarch.POWER10(), i8, 1, o)
+	p10 := uarch.POWER10()
+	i8f32, err := runBatch(o, []runner.Request{o.request(p10, i8, 1), o.request(p10, f32, 1)})
 	if err != nil {
 		return nil, err
 	}
-	aF32, _, err := RunOn(uarch.POWER10(), f32, 1, o)
-	if err != nil {
-		return nil, err
-	}
+	aI8, aF32 := i8f32[0].Activity, i8f32[1].Activity
 	// Ops per cycle: INT8 MACs vs FP32 MACs (flops/2).
 	int8Ops := float64(aI8.IntMACs) / float64(aI8.Cycles)
 	fp32Ops := float64(aF32.Flops) / 2 / float64(aF32.Cycles)

@@ -8,6 +8,7 @@ import (
 	"power10sim/internal/pipedepth"
 	"power10sim/internal/powermodel"
 	"power10sim/internal/proxy"
+	"power10sim/internal/runner"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
@@ -78,12 +79,15 @@ type Fig10Result struct {
 }
 
 // Fig10 runs the SPECint-like suite in SMT2 on the APEX core (infinite L2)
-// and chip models.
+// and chip models. The per-workload extractions are independent and fan out
+// across the options' job count; points are collected in suite order.
 func Fig10(o Options) (*Fig10Result, error) {
 	cfg := uarch.POWER10()
-	res := &Fig10Result{}
-	for _, w := range workloads.SPECintSuite() {
-		w := w
+	suite := workloads.SPECintSuite()
+	points := make([]Fig10Point, len(suite))
+	errs := make([]error, len(suite))
+	runner.ForEach(o.jobs(), len(suite), func(i int) {
+		w := suite[i]
 		mk := func() []trace.Stream {
 			budget := o.scale(w.Budget) / 2
 			return []trace.Stream{
@@ -94,12 +98,18 @@ func Fig10(o Options) (*Fig10Result, error) {
 		core, chip, err := apex.CoreVsChip(cfg, w.Name, mk, 5000, maxSimCycles,
 			uarch.WithWarmup(o.scaleWarmup(w.Warmup)))
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", w.Name, err)
+			errs[i] = fmt.Errorf("fig10 %s: %w", w.Name, err)
+			return
 		}
 		memBound := chip.IPC < core.IPC*0.85
-		res.Points = append(res.Points, Fig10Point{Workload: w.Name, Core: core, Chip: chip, MemBound: memBound})
+		points[i] = Fig10Point{Workload: w.Name, Core: core, Chip: chip, MemBound: memBound}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	return res, nil
+	return &Fig10Result{Points: points}, nil
 }
 
 // Table renders Fig. 10.
@@ -126,7 +136,8 @@ type Fig11Result struct {
 	Curves map[string]map[int]float64
 }
 
-// modelDataset builds the shared counter/power corpus.
+// modelDataset builds the shared counter/power corpus, fanning the
+// per-workload epoch collection across the options' job count.
 func modelDataset(cfg *uarch.Config, o Options) (*powermodel.Dataset, error) {
 	ws := workloads.SPECintSuite()
 	ws = append(ws, workloads.Stressmark(true), workloads.ActiveIdle())
@@ -134,7 +145,7 @@ func modelDataset(cfg *uarch.Config, o Options) (*powermodel.Dataset, error) {
 	if o.Quick {
 		epoch = 4000
 	}
-	return powermodel.Collect(cfg, ws, epoch)
+	return powermodel.CollectJobs(cfg, ws, epoch, o.jobs())
 }
 
 // Fig11 fits top-down models at increasing input budgets under different

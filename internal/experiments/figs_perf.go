@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"power10sim/internal/runner"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
 )
@@ -25,22 +26,29 @@ type HeadlineResult struct {
 	PerWorkload          map[string][2]float64 // name -> {ST speedup, power ratio}
 }
 
-// Headline runs the SPECint-like suite on both generations.
+// Headline runs the SPECint-like suite on both generations. All four runs
+// per workload (P9/P10 x ST/SMT8) are independent, so the whole suite is
+// submitted as one batch to the simulation runner.
 func Headline(o Options) (*HeadlineResult, error) {
 	suite := workloads.SPECintSuite()
+	p9, p10 := uarch.POWER9(), uarch.POWER10()
+	reqs := make([]runner.Request, 0, 4*len(suite))
+	for _, w := range suite {
+		reqs = append(reqs,
+			o.request(p9, w, 1), o.request(p10, w, 1),
+			o.request(p9, w, 8), o.request(p10, w, 8))
+	}
+	runs, err := runBatch(o, reqs)
+	if err != nil {
+		return nil, err
+	}
 	res := &HeadlineResult{PerWorkload: map[string][2]float64{}}
 	var spST, spSMT8, pw []float64
 	var p9Power float64
 	var flush9, flush10, inst9, inst10 float64
-	for _, w := range suite {
-		a9, r9, err := RunOn(uarch.POWER9(), w, 1, o)
-		if err != nil {
-			return nil, err
-		}
-		a10, r10, err := RunOn(uarch.POWER10(), w, 1, o)
-		if err != nil {
-			return nil, err
-		}
+	for wi, w := range suite {
+		a9, r9 := runs[4*wi].Activity, runs[4*wi].Report
+		a10, r10 := runs[4*wi+1].Activity, runs[4*wi+1].Report
 		sp := a10.IPC() / a9.IPC()
 		pr := r10.Total / r9.Total
 		spST = append(spST, sp)
@@ -57,14 +65,7 @@ func Headline(o Options) (*HeadlineResult, error) {
 			res.InterpFlushReduction = 1 - f10/f9
 		}
 		// SMT8 throughput (quick subset: SMT8 on every workload).
-		a9s, _, err := RunOn(uarch.POWER9(), w, 8, o)
-		if err != nil {
-			return nil, err
-		}
-		a10s, _, err := RunOn(uarch.POWER10(), w, 8, o)
-		if err != nil {
-			return nil, err
-		}
+		a9s, a10s := runs[4*wi+2].Activity, runs[4*wi+3].Activity
 		spSMT8 = append(spSMT8, a10s.IPC()/a9s.IPC())
 	}
 	res.SpeedupST = geomean(spST)
@@ -153,20 +154,25 @@ type Fig4Result struct {
 func Fig4(o Options) (*Fig4Result, error) {
 	ladder := uarch.AblationLadder()
 	suite := workloads.SPECintSuite()
+	// The whole (ladder x suite x {ST, SMT8}) sweep is embarrassingly
+	// parallel: submit it as one batch and index results in sweep order.
+	reqs := make([]runner.Request, 0, 2*len(ladder)*len(suite))
+	for _, cfg := range ladder {
+		for _, w := range suite {
+			reqs = append(reqs, o.request(cfg, w, 1), o.request(cfg, w, 8))
+		}
+	}
+	runs, err := runBatch(o, reqs)
+	if err != nil {
+		return nil, err
+	}
 	type perf struct{ st, smt8 []float64 }
 	ipcs := make([]perf, len(ladder))
-	for li, cfg := range ladder {
-		for _, w := range suite {
-			aST, _, err := RunOn(cfg, w, 1, o)
-			if err != nil {
-				return nil, err
-			}
-			aS8, _, err := RunOn(cfg, w, 8, o)
-			if err != nil {
-				return nil, err
-			}
-			ipcs[li].st = append(ipcs[li].st, aST.IPC())
-			ipcs[li].smt8 = append(ipcs[li].smt8, aS8.IPC())
+	for li := range ladder {
+		for wi := range suite {
+			base := 2 * (li*len(suite) + wi)
+			ipcs[li].st = append(ipcs[li].st, runs[base].Activity.IPC())
+			ipcs[li].smt8 = append(ipcs[li].smt8, runs[base+1].Activity.IPC())
 		}
 	}
 	res := &Fig4Result{}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"power10sim/internal/pmgmt"
+	"power10sim/internal/runner"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
@@ -116,11 +117,16 @@ func WOF(o Options) (*WOFResult, error) {
 	wof := pmgmt.NewWOF(stressRep)
 	res := &WOFResult{}
 	ws := append(workloads.SPECintSuite(), workloads.Stressmark(true), workloads.ActiveIdle())
-	for _, w := range ws {
-		_, rep, err := RunOn(cfg, w, 1, o)
-		if err != nil {
-			return nil, err
-		}
+	reqs := make([]runner.Request, len(ws))
+	for i, w := range ws {
+		reqs[i] = o.request(cfg, w, 1)
+	}
+	batch, err := runBatch(o, reqs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		rep := batch[i].Report
 		res.Rows = append(res.Rows, WOFRow{
 			Workload:    w.Name,
 			EffCapRatio: wof.EffCapRatio(rep),

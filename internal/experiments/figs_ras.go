@@ -4,43 +4,45 @@ import (
 	"fmt"
 
 	"power10sim/internal/microprobe"
+	"power10sim/internal/runner"
 	"power10sim/internal/serminer"
-	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
 )
 
 // serStudy builds a SERMiner study for one configuration over the Fig. 13
-// workload set: microprobe sweeps plus SPEC proxies at each SMT level.
+// workload set: microprobe sweeps plus SPEC proxies at each SMT level. The
+// whole sweep is one runner batch; runs are added to the study in sweep
+// order so the report tables stay byte-identical to the serial form.
 func serStudy(cfg *uarch.Config, o Options) (*serminer.Study, error) {
 	study := serminer.NewStudy(cfg)
 	suite, err := microprobe.Fig13Suite()
 	if err != nil {
 		return nil, err
 	}
-	run := func(w *workloads.Workload, smt int) (*uarch.Activity, error) {
-		a, _, err := RunOn(cfg, w, smt, o)
-		return a, err
-	}
+	specRep := workloads.Compress()
+	specSMTs := []int{1, 2, 4}
+	reqs := make([]runner.Request, 0, len(suite)+len(specSMTs))
 	for _, tc := range suite {
-		a, err := run(tc.Workload, tc.SMT)
-		if err != nil {
-			return nil, err
-		}
-		study.AddRun(tc.Name, a, tc.DataToggle)
+		reqs = append(reqs, o.request(cfg, tc.Workload, tc.SMT))
+	}
+	for _, smt := range specSMTs {
+		reqs = append(reqs, o.request(cfg, specRep, smt))
+	}
+	batch, err := runBatch(o, reqs)
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range suite {
+		study.AddRun(tc.Name, batch[i].Activity, tc.DataToggle)
 	}
 	// SPEC proxy entries per SMT level (st_spec, smt2_spec, smt4_spec).
-	specRep := workloads.Compress()
-	for _, smt := range []int{1, 2, 4} {
-		a, err := run(specRep, smt)
-		if err != nil {
-			return nil, err
-		}
+	for i, smt := range specSMTs {
 		name := "st_spec"
 		if smt > 1 {
 			name = fmt.Sprintf("smt%d_spec", smt)
 		}
-		study.AddRun(name, a, 0)
+		study.AddRun(name, batch[len(suite)+i].Activity, 0)
 	}
 	return study, nil
 }
@@ -112,6 +114,3 @@ func (r *Fig14Result) Table() string {
 		pct(r.P10.StaticDerating-r.P9.StaticDerating))
 	return t.String() + "paper: P10 runtime derating higher (gap 6% at VT=10% to 21% at VT=90%); static ~10% lower\n"
 }
-
-// silence unused import when trace isn't needed directly here.
-var _ = trace.Capture

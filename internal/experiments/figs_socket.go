@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"power10sim/internal/runner"
 	"power10sim/internal/socket"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
@@ -24,43 +25,44 @@ type SocketResult struct {
 	Efficiency socket.Efficiency
 }
 
-// Socket runs the yield and socket-efficiency analyses.
+// Socket runs the yield and socket-efficiency analyses. The four core
+// simulations go through the runner as one batch, and the Monte Carlo
+// trials fan across the options' job count (seeded per trial, so the
+// estimates are identical at any parallelism).
 func Socket(o Options) (*SocketResult, error) {
 	cfg10 := socket.POWER10Socket()
+	jobs := o.jobs()
 	trials := 1500
 	if o.Quick {
 		trials = 400
 	}
 	res := &SocketResult{
-		CLY15of16: socket.CLY(cfg10, trials),
+		CLY15of16: socket.CLYJobs(cfg10, trials, jobs),
 	}
 	noSpare := cfg10
 	noSpare.FunctionalCores = 16
-	res.CLY16of16 = socket.CLY(noSpare, trials)
+	res.CLY16of16 = socket.CLYJobs(noSpare, trials, jobs)
 
-	_, heavyRep, err := RunOn(uarch.POWER10(), workloads.Stressmark(true), 1, o)
-	if err != nil {
-		return nil, err
-	}
-	_, lightRep, err := RunOn(uarch.POWER10(), workloads.GraphOpt(), 1, o)
-	if err != nil {
-		return nil, err
-	}
-	res.SortHeavy = socket.SortPoint(cfg10, heavyRep, 0.9, trials/4)
-	res.SortLight = socket.SortPoint(cfg10, lightRep, 0.9, trials/4)
-	res.PFLYAtNominal = socket.PFLY(cfg10, heavyRep, 1.0, trials/4)
-
+	p9, p10 := uarch.POWER9(), uarch.POWER10()
 	w := workloads.Compress()
-	a9, rep9, err := RunOn(uarch.POWER9(), w, 1, o)
+	batch, err := runBatch(o, []runner.Request{
+		o.request(p10, workloads.Stressmark(true), 1),
+		o.request(p10, workloads.GraphOpt(), 1),
+		o.request(p9, w, 1),
+		o.request(p10, w, 1),
+	})
 	if err != nil {
 		return nil, err
 	}
-	a10, rep10, err := RunOn(uarch.POWER10(), w, 1, o)
-	if err != nil {
-		return nil, err
-	}
-	eff, err := socket.CompareEfficiency(socket.POWER9Socket(), a9.IPC(), rep9,
-		cfg10, a10.IPC(), rep10, trials/4)
+	heavyRep, lightRep := batch[0].Report, batch[1].Report
+	res.SortHeavy = socket.SortPointJobs(cfg10, heavyRep, 0.9, trials/4, jobs)
+	res.SortLight = socket.SortPointJobs(cfg10, lightRep, 0.9, trials/4, jobs)
+	res.PFLYAtNominal = socket.PFLYJobs(cfg10, heavyRep, 1.0, trials/4, jobs)
+
+	a9, rep9 := batch[2].Activity, batch[2].Report
+	a10, rep10 := batch[3].Activity, batch[3].Report
+	eff, err := socket.CompareEfficiencyJobs(socket.POWER9Socket(), a9.IPC(), rep9,
+		cfg10, a10.IPC(), rep10, trials/4, jobs)
 	if err != nil {
 		return nil, err
 	}

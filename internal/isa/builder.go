@@ -6,7 +6,7 @@ import "fmt"
 // instruction each and return the builder for chaining. Label references may
 // be forward; Build resolves them.
 type Builder struct {
-	prog   Program
+	prog   *Program
 	labels map[string]int
 	fixups []fixup
 	errs   []error
@@ -20,7 +20,7 @@ type fixup struct {
 // NewBuilder creates a builder for a named program.
 func NewBuilder(name string) *Builder {
 	return &Builder{
-		prog: Program{
+		prog: &Program{
 			Name:    name,
 			InitGPR: map[int]uint64{},
 			InitMem: map[uint64][]byte{},
@@ -195,7 +195,7 @@ func (b *Builder) Build() (*Program, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &p, nil
+	return p, nil
 }
 
 // MustBuild is Build that panics on error; for use in workload constructors

@@ -11,7 +11,10 @@
 // read two vector registers and accumulate into 512-bit accumulators.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Class is the coarse execution class of an instruction. The timing model
 // maps classes onto execution-slice ports and the power model maps them onto
@@ -403,29 +406,34 @@ type Program struct {
 	// CodeBase is the virtual address of Code[0].
 	CodeBase uint64
 
-	pcs []uint64 // lazily built PC table
+	pcsOnce sync.Once
+	pcs     []uint64 // lazily built PC table
 }
 
 // DefaultCodeBase is used when a program does not set CodeBase.
 const DefaultCodeBase = 0x1000_0000
 
 // PC returns the virtual address of instruction index i, accounting for
-// prefixed (8-byte) instructions.
+// prefixed (8-byte) instructions. The table build is guarded so that
+// concurrent simulations sharing one Program (SMT streams, the parallel
+// experiment runner) are race free.
 func (p *Program) PC(i int) uint64 {
-	if p.pcs == nil {
-		base := p.CodeBase
-		if base == 0 {
-			base = DefaultCodeBase
-		}
-		p.pcs = make([]uint64, len(p.Code)+1)
-		addr := base
-		for j := range p.Code {
-			p.pcs[j] = addr
-			addr += p.Code[j].Bytes()
-		}
-		p.pcs[len(p.Code)] = addr
-	}
+	p.pcsOnce.Do(p.buildPCs)
 	return p.pcs[i]
+}
+
+func (p *Program) buildPCs() {
+	base := p.CodeBase
+	if base == 0 {
+		base = DefaultCodeBase
+	}
+	p.pcs = make([]uint64, len(p.Code)+1)
+	addr := base
+	for j := range p.Code {
+		p.pcs[j] = addr
+		addr += p.Code[j].Bytes()
+	}
+	p.pcs[len(p.Code)] = addr
 }
 
 // Validate checks that the program is well-formed: branch targets in range,

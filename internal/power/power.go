@@ -10,6 +10,8 @@
 package power
 
 import (
+	"sort"
+
 	"power10sim/internal/isa"
 	"power10sim/internal/rtl"
 	"power10sim/internal/uarch"
@@ -224,9 +226,12 @@ func (m *Model) Report(a *uarch.Activity) *Report {
 	sw["mmu-walk"] = rate(a.TLBMisses) * eWalk
 	sw["pcu"] = cPCU
 
+	// Float accumulation order must be deterministic (the experiment runner
+	// memoizes reports and asserts bit-identical reruns), so the component
+	// maps are summed in sorted-name order, never map order.
 	var switching float64
-	for name, p := range sw {
-		p *= m.impl
+	for _, name := range sortedNames(sw) {
+		p := sw[name] * m.impl
 		switching += p
 		add(name, p)
 	}
@@ -261,8 +266,8 @@ func (m *Model) Report(a *uarch.Activity) *Report {
 	ar["mma-acc"] = rate(a.MMAOps+a.MMAMoves) * 2.0
 
 	var array float64
-	for name, p := range ar {
-		p *= m.impl
+	for _, name := range sortedNames(ar) {
+		p := ar[name] * m.impl
 		array += p
 		add(name, p)
 	}
@@ -289,8 +294,8 @@ func (m *Model) Report(a *uarch.Activity) *Report {
 		leak += l
 		add(clockMap[u], l)
 	}
-	for name, b := range bits {
-		p := float64(b) * cLeakBit * m.implLeak
+	for _, name := range sortedBitNames(bits) {
+		p := float64(bits[name]) * cLeakBit * m.implLeak
 		leak += p
 		switch name {
 		case "l1i":
@@ -334,4 +339,24 @@ func (m *Model) Report(a *uarch.Activity) *Report {
 	}
 	rep.ActiveIdle = (idleLatch*m.impl + gridP + cPCU*m.impl + leak) * globalScale
 	return rep
+}
+
+// sortedNames returns a float-valued map's keys in sorted order.
+func sortedNames(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedBitNames returns an int-valued map's keys in sorted order.
+func sortedBitNames(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -16,6 +16,7 @@ import (
 
 	"power10sim/internal/mlfit"
 	"power10sim/internal/power"
+	"power10sim/internal/runner"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
@@ -72,23 +73,38 @@ func (d *Dataset) componentY(ci int) []float64 {
 // every epoch contributes one sample, so a modest workload list yields the
 // large and behaviourally diverse corpus the methodology needs.
 func Collect(cfg *uarch.Config, ws []*workloads.Workload, epochCycles uint64) (*Dataset, error) {
+	return CollectJobs(cfg, ws, epochCycles, 1)
+}
+
+// CollectJobs is Collect with the per-workload epoch simulations fanned
+// across up to jobs goroutines. Samples are concatenated in workload order,
+// so the dataset is identical for any jobs value.
+func CollectJobs(cfg *uarch.Config, ws []*workloads.Workload, epochCycles uint64, jobs int) (*Dataset, error) {
 	if len(ws) == 0 {
 		return nil, errors.New("powermodel: no workloads")
 	}
-	model := power.NewModel(cfg)
-	ds := &Dataset{Config: cfg, Names: append([]string{}, uarch.CounterNames...)}
-	for _, w := range ws {
-		name := w.Name
+	type perWorkload struct {
+		samples   []Sample
+		idleFloor float64
+		err       error
+	}
+	collected := make([]perWorkload, len(ws))
+	runner.ForEach(jobs, len(ws), func(i int) {
+		w := ws[i]
+		// One model per goroutine: Report is read-only on the model, but a
+		// private instance keeps the proof local.
+		model := power.NewModel(cfg)
+		pw := &collected[i]
 		cb := func(d uarch.Activity) {
 			if d.Instructions == 0 {
 				return
 			}
 			rep := model.Report(&d)
-			if ds.IdleFloor == 0 {
-				ds.IdleFloor = rep.ActiveIdle
+			if pw.idleFloor == 0 {
+				pw.idleFloor = rep.ActiveIdle
 			}
-			ds.Samples = append(ds.Samples, Sample{
-				Workload:   name,
+			pw.samples = append(pw.samples, Sample{
+				Workload:   w.Name,
 				Counters:   d.Counters(),
 				Active:     rep.Total - rep.ActiveIdle,
 				Components: rep.Components,
@@ -98,8 +114,19 @@ func Collect(cfg *uarch.Config, ws []*workloads.Workload, epochCycles uint64) (*
 			[]trace.Stream{trace.NewVMStream(w.Prog, w.Budget)},
 			100_000_000, uarch.WithWarmup(w.Warmup), uarch.WithEpochs(epochCycles, cb))
 		if err != nil {
-			return nil, fmt.Errorf("powermodel: %s: %w", w.Name, err)
+			pw.err = fmt.Errorf("powermodel: %s: %w", w.Name, err)
 		}
+	})
+	ds := &Dataset{Config: cfg, Names: append([]string{}, uarch.CounterNames...)}
+	for i := range collected {
+		pw := &collected[i]
+		if pw.err != nil {
+			return nil, pw.err
+		}
+		if ds.IdleFloor == 0 {
+			ds.IdleFloor = pw.idleFloor
+		}
+		ds.Samples = append(ds.Samples, pw.samples...)
 	}
 	if len(ds.Samples) < 10 {
 		return nil, fmt.Errorf("powermodel: only %d samples collected", len(ds.Samples))

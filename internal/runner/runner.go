@@ -1,0 +1,234 @@
+// Package runner is the concurrent simulation runner behind the experiment
+// harness. Every table and figure of the paper reduces to a set of
+// independent (Config, Workload, SMT, budget) core simulations; the runner
+// fans those out across a bounded worker pool and memoizes each unique
+// simulation so that the many figures which revisit the same P9/P10 baseline
+// points (the Section II-B headline, Table I, the Fig. 4 ablation ladder,
+// Fig. 5/6, the WOF and socket studies) pay for it exactly once per process.
+//
+// Soundness of the cache rests on the simulator being deterministic: the
+// timing model is trace driven with no randomized state, the functional
+// executor is pure, and the power model iterates its component maps in
+// sorted order — so two runs of the same request produce bit-identical
+// Activity and Report values (see the determinism regression test in
+// internal/experiments). Results are therefore returned in request order and
+// a parallel sweep renders byte-identically to a serial one.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"power10sim/internal/power"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+// Request describes one independent core simulation: the exact work
+// experiments.RunOn performs after budget scaling.
+type Request struct {
+	Cfg *uarch.Config
+	W   *workloads.Workload
+	// SMT is the hardware-thread count; values < 1 are treated as 1.
+	SMT int
+	// Budget is the per-thread dynamic-instruction budget (already divided
+	// by SMT and scaled for quick mode by the caller).
+	Budget uint64
+	// Warmup is the instruction count excluded from measured statistics.
+	Warmup uint64
+	// MaxCycles bounds the simulation.
+	MaxCycles uint64
+}
+
+// Result is one simulation's outcome. Activity and Report are private copies:
+// callers may inspect them freely without aliasing the cache.
+type Result struct {
+	Activity *uarch.Activity
+	Report   *power.Report
+	Err      error
+}
+
+// clone returns a caller-owned copy of the result so cached values can never
+// be mutated through a returned pointer.
+func (r Result) clone() Result {
+	out := Result{Err: r.Err}
+	if r.Activity != nil {
+		a := *r.Activity
+		out.Activity = &a
+	}
+	if r.Report != nil {
+		rep := *r.Report
+		rep.Components = append([]float64(nil), r.Report.Components...)
+		out.Report = &rep
+	}
+	return out
+}
+
+// run executes the simulation. This mirrors the original serial
+// experiments.RunOn body, including its error formatting.
+func (r Request) run() Result {
+	smt := r.SMT
+	if smt < 1 {
+		smt = 1
+	}
+	streams := make([]trace.Stream, 0, smt)
+	for i := 0; i < smt; i++ {
+		streams = append(streams, trace.NewVMStream(r.W.Prog, r.Budget))
+	}
+	res, err := uarch.Simulate(r.Cfg, streams, r.MaxCycles, uarch.WithWarmup(r.Warmup))
+	if err != nil {
+		return Result{Err: fmt.Errorf("%s on %s (SMT%d): %w", r.W.Name, r.Cfg.Name, smt, err)}
+	}
+	rep := power.NewModel(r.Cfg).Report(&res.Activity)
+	act := res.Activity
+	return Result{Activity: &act, Report: rep}
+}
+
+// entry is one cache slot. The first requester computes the result and
+// closes ready; concurrent requesters for the same key wait on it
+// (singleflight), so an in-flight simulation is never duplicated.
+type entry struct {
+	ready chan struct{}
+	res   Result
+}
+
+// Stats reports cache effectiveness for a sweep.
+type Stats struct {
+	// Hits counts requests served from the cache (including waits on an
+	// in-flight identical request).
+	Hits uint64
+	// Misses counts simulations actually executed (unique requests).
+	Misses uint64
+}
+
+// Runner is a bounded worker pool with a keyed memoization cache.
+// The zero value is not usable; construct with New.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+
+	mu    sync.Mutex
+	cache map[key]*entry
+	stats Stats
+}
+
+// New creates a runner allowing up to workers concurrent simulations.
+// workers <= 0 selects GOMAXPROCS; workers == 1 serializes execution
+// (requests still dedupe through the cache).
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cache:   map[key]*entry{},
+	}
+}
+
+// Workers returns the concurrency bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns a snapshot of the cache counters. Both counters are
+// deterministic for a given request sequence regardless of the worker count:
+// misses equals the number of unique keys and hits the remainder.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Do executes one request through the cache and pool.
+func (r *Runner) Do(req Request) Result {
+	k, ok := keyOf(req)
+	if !ok {
+		// Unkeyable request (nil config/workload): execute uncached; the
+		// simulation itself will report the error.
+		return req.run()
+	}
+	r.mu.Lock()
+	if e, hit := r.cache[k]; hit {
+		r.stats.Hits++
+		r.mu.Unlock()
+		<-e.ready
+		return e.res.clone()
+	}
+	e := &entry{ready: make(chan struct{})}
+	r.cache[k] = e
+	r.stats.Misses++
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	e.res = req.run()
+	<-r.sem
+	close(e.ready)
+	return e.res.clone()
+}
+
+// RunAll fans the requests out across the pool and returns their results in
+// request order. Identical requests — within the batch or across batches —
+// are simulated once.
+func (r *Runner) RunAll(reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if r.workers == 1 && len(reqs) > 0 {
+		// Serial fast path: no goroutines, identical observable behavior.
+		for i := range reqs {
+			out[i] = r.Do(reqs[i])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = r.Do(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines. It is the generic fan-out primitive for loops whose bodies are
+// not core simulations (the socket Monte Carlo, the APEX figure sweep).
+// workers <= 0 selects GOMAXPROCS. fn must be safe to call concurrently and
+// must write only to its own index's state.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

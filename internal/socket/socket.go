@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"power10sim/internal/power"
+	"power10sim/internal/runner"
 )
 
 // Config describes a socket offering.
@@ -157,16 +158,25 @@ func sortScale(cfg Config, d *Die) (float64, bool) {
 
 // CLY estimates Core-Limited Yield: the fraction of dies with at least
 // FunctionalCores functional cores, over trials simulated dies.
-func CLY(cfg Config, trials int) float64 {
+func CLY(cfg Config, trials int) float64 { return CLYJobs(cfg, trials, 1) }
+
+// CLYJobs is CLY with the Monte Carlo trials fanned across up to jobs
+// goroutines. Every trial is seeded by its index, so the estimate is
+// identical for any jobs value.
+func CLYJobs(cfg Config, trials, jobs int) float64 {
 	if trials <= 0 {
 		return 0
 	}
-	good := 0
-	for t := 0; t < trials; t++ {
+	counts := make([]int, trials)
+	runner.ForEach(jobs, trials, func(t int) {
 		d := SimulateDie(cfg, uint64(t)+1)
 		if d.GoodCores() >= cfg.FunctionalCores {
-			good++
+			counts[t] = 1
 		}
+	})
+	good := 0
+	for _, c := range counts {
+		good += c
 	}
 	return float64(good) / float64(trials)
 }
@@ -212,31 +222,56 @@ func SocketPower(cfg Config, rep *power.Report, dies []Die, s float64) float64 {
 // the fraction that can run the given workload at frequency scale s within
 // both the TDP and every enabled core's fmax.
 func PFLY(cfg Config, rep *power.Report, s float64, trials int) float64 {
+	return PFLYJobs(cfg, rep, s, trials, 1)
+}
+
+// pflyOutcome is one Monte Carlo trial's classification.
+type pflyOutcome uint8
+
+const (
+	pflyScreened pflyOutcome = iota // too few cores: screened before the sort
+	pflyFail
+	pflyPass
+)
+
+// pflyTrial classifies one seeded socket build.
+func pflyTrial(cfg Config, rep *power.Report, s float64, t int) pflyOutcome {
+	dies := make([]Die, cfg.ChipsPerSocket)
+	freqOK := true
+	for ci := range dies {
+		dies[ci] = SimulateDie(cfg, uint64(t*cfg.ChipsPerSocket+ci)+1)
+		fs, enough := sortScale(cfg, &dies[ci])
+		if !enough {
+			return pflyScreened
+		}
+		if fs < s {
+			freqOK = false
+		}
+	}
+	if freqOK && SocketPower(cfg, rep, dies, s) <= cfg.TDP {
+		return pflyPass
+	}
+	return pflyFail
+}
+
+// PFLYJobs is PFLY with trials fanned across up to jobs goroutines; results
+// are identical for any jobs value because every trial is seeded by index.
+func PFLYJobs(cfg Config, rep *power.Report, s float64, trials, jobs int) float64 {
 	if trials <= 0 {
 		return 0
 	}
+	outcomes := make([]pflyOutcome, trials)
+	runner.ForEach(jobs, trials, func(t int) {
+		outcomes[t] = pflyTrial(cfg, rep, s, t)
+	})
 	pass, eligible := 0, 0
-	for t := 0; t < trials; t++ {
-		dies := make([]Die, cfg.ChipsPerSocket)
-		enoughCores := true
-		freqOK := true
-		for ci := range dies {
-			dies[ci] = SimulateDie(cfg, uint64(t*cfg.ChipsPerSocket+ci)+1)
-			fs, enough := sortScale(cfg, &dies[ci])
-			if !enough {
-				enoughCores = false
-				break
-			}
-			if fs < s {
-				freqOK = false
-			}
-		}
-		if !enoughCores {
-			continue // screened out before the power/frequency sort
-		}
-		eligible++
-		if freqOK && SocketPower(cfg, rep, dies, s) <= cfg.TDP {
+	for _, oc := range outcomes {
+		switch oc {
+		case pflyPass:
 			pass++
+			eligible++
+		case pflyFail:
+			eligible++
 		}
 	}
 	if eligible == 0 {
@@ -248,9 +283,14 @@ func PFLY(cfg Config, rep *power.Report, s float64, trials int) float64 {
 // SortPoint finds the highest frequency scale (in steps of 0.01) with at
 // least the target PFLY — how a deterministic product sort is chosen.
 func SortPoint(cfg Config, rep *power.Report, targetYield float64, trials int) float64 {
+	return SortPointJobs(cfg, rep, targetYield, trials, 1)
+}
+
+// SortPointJobs is SortPoint with the frequency sweep's trials parallelized.
+func SortPointJobs(cfg Config, rep *power.Report, targetYield float64, trials, jobs int) float64 {
 	best := 0.0
 	for s := 0.70; s <= 1.40; s += 0.01 {
-		if PFLY(cfg, rep, s, trials) >= targetYield {
+		if PFLYJobs(cfg, rep, s, trials, jobs) >= targetYield {
 			best = s
 		}
 	}
@@ -271,8 +311,15 @@ type Efficiency struct {
 // workload, both evaluated at their yield-safe sort points.
 func CompareEfficiency(cfgA Config, ipcA float64, repA *power.Report,
 	cfgB Config, ipcB float64, repB *power.Report, trials int) (Efficiency, error) {
-	sA := SortPoint(cfgA, repA, 0.9, trials)
-	sB := SortPoint(cfgB, repB, 0.9, trials)
+	return CompareEfficiencyJobs(cfgA, ipcA, repA, cfgB, ipcB, repB, trials, 1)
+}
+
+// CompareEfficiencyJobs is CompareEfficiency with the Monte Carlo sort-point
+// searches parallelized across up to jobs goroutines.
+func CompareEfficiencyJobs(cfgA Config, ipcA float64, repA *power.Report,
+	cfgB Config, ipcB float64, repB *power.Report, trials, jobs int) (Efficiency, error) {
+	sA := SortPointJobs(cfgA, repA, 0.9, trials, jobs)
+	sB := SortPointJobs(cfgB, repB, 0.9, trials, jobs)
 	if sA == 0 || sB == 0 {
 		return Efficiency{}, errors.New("socket: no yield-safe sort point")
 	}
