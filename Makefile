@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench sweep
+.PHONY: build test vet race race-obs verify bench sweep profile
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,30 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# race-obs is the focused race gate for the observability plumbing: the
+# telemetry registry/tracer, the instrumented runner, and the sim-sampling
+# glue are all exercised from many goroutines.
+race-obs:
+	$(GO) test -race ./internal/telemetry ./internal/runner ./internal/simobs
+
 # verify is the full gate: vet plus both normal and race-detector test
 # passes. The race pass matters because the experiment harness fans
-# simulations across a worker pool.
-verify: vet build test race
+# simulations across a worker pool; race-obs fails fast on the telemetry
+# packages before the full-tree race run.
+verify: vet build test race-obs race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'
 
 sweep:
 	$(GO) run ./cmd/p10bench -quick
+
+# profile runs a quick single-figure sweep with metrics and trace capture,
+# then sanity-checks both artifacts with cmd/p10obscheck (sorted metrics
+# JSON, per-experiment spans, runner counters).
+profile:
+	$(GO) run ./cmd/p10bench -quick -exp fig5 \
+		-metrics /tmp/p10bench-metrics.json -trace /tmp/p10bench-trace.json >/dev/null
+	$(GO) run ./cmd/p10obscheck \
+		-metrics /tmp/p10bench-metrics.json -trace /tmp/p10bench-trace.json \
+		-require-counter runner_cache_misses_total -require-span 'exp:' -min-spans 1

@@ -10,6 +10,11 @@ import (
 
 	"power10sim/internal/experiments"
 	"power10sim/internal/runner"
+	"power10sim/internal/simobs"
+	"power10sim/internal/telemetry"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
 )
 
 var quick = experiments.Options{Quick: true}
@@ -39,6 +44,35 @@ func benchSweep(b *testing.B, workers int) {
 
 func BenchmarkRunnerSerial(b *testing.B)   { benchSweep(b, 1) }
 func BenchmarkRunnerParallel(b *testing.B) { benchSweep(b, 0) }
+
+// benchCore times one raw core simulation; the Off/On pair below is the
+// guard proving the disabled-telemetry path (the default for every
+// experiment sweep) adds no measurable overhead to uarch simulation —
+// sampling is a nil-checked option, not a hot-loop tax.
+func benchCore(b *testing.B, cfg *uarch.Config, opts ...uarch.SimOption) {
+	b.Helper()
+	w := workloads.Daxpy(4096, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := []trace.Stream{trace.NewVMStream(w.Prog, w.Budget)}
+		res, err := uarch.Simulate(cfg, streams, 10_000_000, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Activity.Cycles), "cycles")
+	}
+}
+
+func BenchmarkCoreTelemetryOff(b *testing.B) {
+	benchCore(b, uarch.POWER10())
+}
+
+func BenchmarkCoreTelemetryOn(b *testing.B) {
+	cfg := uarch.POWER10()
+	tr := telemetry.NewTracer()
+	benchCore(b, cfg, simobs.SampleOption(cfg, tr, 1000))
+}
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {

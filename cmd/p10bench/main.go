@@ -7,23 +7,30 @@
 //	p10bench -exp fig5       # one experiment
 //	p10bench -quick          # reduced budgets
 //	p10bench -jobs 4         # bound simulation parallelism (-jobs 1: serial)
+//	p10bench -metrics m.json # dump the telemetry-registry snapshot
+//	p10bench -trace t.json   # dump a Chrome trace (chrome://tracing, Perfetto)
+//	p10bench -pprof :6060    # serve net/http/pprof while the sweep runs
 //	p10bench -list
 //
 // Simulations fan out across a bounded worker pool with a memoization cache,
 // so figures that revisit the same (config, workload, SMT) point share one
 // run. Tables are printed to stdout in catalog order and are byte-identical
-// for any -jobs value; per-experiment timing goes to stderr.
+// for any -jobs value and with telemetry on or off; per-experiment timing
+// and pool diagnostics go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"time"
 
 	"power10sim/internal/experiments"
 	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
 )
 
 type renderer interface{ Table() string }
@@ -66,12 +73,32 @@ func catalog() []experiment {
 
 func main() {
 	var (
-		expName = flag.String("exp", "", "experiment to run (default: all)")
-		quick   = flag.Bool("quick", false, "reduced budgets")
-		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		list    = flag.Bool("list", false, "list experiments")
+		expName    = flag.String("exp", "", "experiment to run (default: all)")
+		quick      = flag.Bool("quick", false, "reduced budgets")
+		jobs       = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		list       = flag.Bool("list", false, "list experiments")
+		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
+	// Nil registry/tracer are valid no-op sinks, so instrumentation below is
+	// unconditional and the flags only decide whether anything is recorded.
+	var reg *telemetry.Registry
+	var tr *telemetry.Tracer
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *traceOut != "" {
+		tr = telemetry.NewTracer()
+	}
 	cat := catalog()
 	if *list {
 		names := make([]string, len(cat))
@@ -85,7 +112,9 @@ func main() {
 		return
 	}
 	pool := runner.New(*jobs)
-	opt := experiments.Options{Quick: *quick, Jobs: pool.Workers(), Runner: pool}
+	pool.Instrument(reg, tr)
+	opt := experiments.Options{Quick: *quick, Jobs: pool.Workers(), Runner: pool, Metrics: reg, Trace: tr}
+	expSeconds := telemetry.ExpBuckets(0.001, 4, 10)
 	ran := 0
 	sweepStart := time.Now()
 	for _, e := range cat {
@@ -95,14 +124,19 @@ func main() {
 		ran++
 		fmt.Printf("=== %s ===\n", e.title)
 		start := time.Now()
+		sp := tr.Begin("exp:"+e.name, "experiment")
 		r, err := e.run(opt)
+		sp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		reg.Counter("experiments_run_total", telemetry.L("exp", e.name)).Inc()
+		reg.Histogram("experiment_seconds", expSeconds, telemetry.L("exp", e.name)).Observe(elapsed.Seconds())
 		fmt.Print(r.Table())
 		fmt.Println()
-		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", e.name, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", e.name, elapsed.Seconds())
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expName)
@@ -119,5 +153,22 @@ func main() {
 	}
 	fmt.Printf("runner: %d simulation requests, %d unique runs, %d cache hits (%.1f%%)\n",
 		total, st.Misses, st.Hits, pct)
-	fmt.Fprintf(os.Stderr, "total: %.1fs with %d workers\n", time.Since(sweepStart).Seconds(), pool.Workers())
+	// Pool-pressure diagnostics are scheduling-dependent, so they join the
+	// timing on stderr rather than the deterministic stdout summary.
+	fmt.Fprintf(os.Stderr, "total: %.1fs with %d workers, peak in-flight %d, total queue wait %.2fs\n",
+		time.Since(sweepStart).Seconds(), pool.Workers(), st.PeakInFlight, st.QueueWait.Seconds())
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events)\n", *traceOut, tr.Len())
+	}
 }

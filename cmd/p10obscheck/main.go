@@ -1,0 +1,156 @@
+// Command p10obscheck sanity-checks the observability artifacts a sweep
+// produces: the metrics-registry JSON snapshot (-metrics) and the Chrome
+// trace_event file (-trace). It is the verification half of `make profile`.
+//
+// Checks performed:
+//
+//   - metrics: valid JSON, series sorted by (name, labels), histogram bucket
+//     counts summing to the series count, and — when -require-counter is
+//     given — the named counter present with a non-zero value.
+//   - trace: valid JSON with a traceEvents array, every span ("X") event
+//     carrying a positive duration, and — when -require-span is given — at
+//     least -min-spans spans whose name starts with the prefix.
+//
+// Exit status 0 when every check passes; 1 with a message on stderr
+// otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"power10sim/internal/telemetry"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "p10obscheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// labelsKey rebuilds the canonical sorted label string from a snapshot's
+// map form; series must come out of the registry ordered by name then this.
+func labelsKey(labels map[string]string) string {
+	out := make([]string, 0, len(labels))
+	for k, v := range labels {
+		out = append(out, k+"="+v)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+func checkMetrics(path, requireCounter string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		fail("metrics: invalid JSON: %v", err)
+	}
+	checkSorted := func(kind string, keys []string) {
+		for i := 1; i < len(keys); i++ {
+			if keys[i] < keys[i-1] {
+				fail("metrics: %s series not sorted: %q after %q", kind, keys[i], keys[i-1])
+			}
+		}
+	}
+	var ck []string
+	for _, c := range snap.Counters {
+		ck = append(ck, c.Name+"\x00"+labelsKey(c.Labels))
+	}
+	checkSorted("counter", ck)
+	var gk []string
+	for _, g := range snap.Gauges {
+		gk = append(gk, g.Name+"\x00"+labelsKey(g.Labels))
+	}
+	checkSorted("gauge", gk)
+	var hk []string
+	for _, h := range snap.Histograms {
+		hk = append(hk, h.Name+"\x00"+labelsKey(h.Labels))
+		var sum uint64
+		for _, bk := range h.Buckets {
+			sum += bk.Count
+		}
+		if sum != h.Count {
+			fail("metrics: histogram %s buckets sum to %d, count says %d", h.Name, sum, h.Count)
+		}
+	}
+	checkSorted("histogram", hk)
+	if requireCounter != "" {
+		found := false
+		for _, c := range snap.Counters {
+			if c.Name == requireCounter {
+				found = true
+				if c.Value == 0 {
+					fail("metrics: required counter %s is zero", requireCounter)
+				}
+			}
+		}
+		if !found {
+			fail("metrics: required counter %s missing", requireCounter)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "p10obscheck: metrics ok (%d counters, %d gauges, %d histograms)\n",
+		len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+}
+
+func checkTrace(path, requireSpan string, minSpans int) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fail("trace: %v", err)
+	}
+	var tf struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []telemetry.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &tf); err != nil {
+		fail("trace: invalid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("trace: no events")
+	}
+	spans, matching := 0, 0
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur < 1 {
+				fail("trace: span %q has non-positive duration %d", e.Name, e.Dur)
+			}
+			if requireSpan != "" && strings.HasPrefix(e.Name, requireSpan) {
+				matching++
+			}
+		case "C", "M", "i":
+		default:
+			fail("trace: unexpected event phase %q (event %q)", e.Ph, e.Name)
+		}
+	}
+	if requireSpan != "" && matching < minSpans {
+		fail("trace: %d spans with prefix %q, want >= %d", matching, requireSpan, minSpans)
+	}
+	fmt.Fprintf(os.Stderr, "p10obscheck: trace ok (%d events, %d spans)\n", len(tf.TraceEvents), spans)
+}
+
+func main() {
+	var (
+		metricsPath    = flag.String("metrics", "", "metrics snapshot JSON to check")
+		tracePath      = flag.String("trace", "", "Chrome trace JSON to check")
+		requireCounter = flag.String("require-counter", "", "counter that must exist with a non-zero value")
+		requireSpan    = flag.String("require-span", "", "span-name prefix that must appear")
+		minSpans       = flag.Int("min-spans", 1, "minimum spans matching -require-span")
+	)
+	flag.Parse()
+	if *metricsPath == "" && *tracePath == "" {
+		fail("nothing to check: pass -metrics and/or -trace")
+	}
+	if *metricsPath != "" {
+		checkMetrics(*metricsPath, *requireCounter)
+	}
+	if *tracePath != "" {
+		checkTrace(*tracePath, *requireSpan, *minSpans)
+	}
+}

@@ -4,17 +4,26 @@
 // Usage:
 //
 //	p10sim -workload dgemm-mma -config POWER10 -smt 1
+//	p10sim -workload dgemm-mma -trace t.json -sample 1000   # cycle-resolved
 //	p10sim -list
+//
+// With -trace, the simulation records IPC, unit occupancy, branch/cache and
+// component-power counter tracks every -sample cycles; load the file in
+// chrome://tracing or Perfetto. The stdout report is unchanged by telemetry.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 
 	"power10sim/internal/isa"
 	"power10sim/internal/power"
+	"power10sim/internal/simobs"
+	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
@@ -74,13 +83,24 @@ func configByName(name string) *uarch.Config {
 
 func main() {
 	var (
-		wlName  = flag.String("workload", "intcompute", "workload name (see -list)")
-		cfgName = flag.String("config", "POWER10", "POWER9 | POWER10 | POWER10-noMMA")
-		smt     = flag.Int("smt", 1, "number of hardware threads (copies of the workload)")
-		budget  = flag.Uint64("budget", 0, "dynamic instruction budget per thread (0 = workload default)")
-		list    = flag.Bool("list", false, "list workloads and exit")
+		wlName     = flag.String("workload", "intcompute", "workload name (see -list)")
+		cfgName    = flag.String("config", "POWER10", "POWER9 | POWER10 | POWER10-noMMA")
+		smt        = flag.Int("smt", 1, "number of hardware threads (copies of the workload)")
+		budget     = flag.Uint64("budget", 0, "dynamic instruction budget per thread (0 = workload default)")
+		list       = flag.Bool("list", false, "list workloads and exit")
+		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
+		sample     = flag.Uint64("sample", 1000, "cycle-sampling interval for -trace counter tracks (0 = off)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
 
 	cat := catalog()
 	if *list {
@@ -116,7 +136,19 @@ func main() {
 	for i := 0; i < *smt; i++ {
 		streams = append(streams, trace.NewVMStream(w.Prog, bud))
 	}
-	res, err := uarch.Simulate(cfg, streams, 50_000_000, uarch.WithWarmup(w.Warmup*uint64(*smt)))
+	var reg *telemetry.Registry
+	var tr *telemetry.Tracer
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *traceOut != "" {
+		tr = telemetry.NewTracer()
+	}
+	sp := tr.Begin(fmt.Sprintf("sim:%s@%s/smt%d", w.Name, cfg.Name, *smt), "p10sim")
+	res, err := uarch.Simulate(cfg, streams, 50_000_000,
+		uarch.WithWarmup(w.Warmup*uint64(*smt)),
+		simobs.SampleOption(cfg, tr, *sample))
+	sp.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -142,6 +174,30 @@ func main() {
 		rep.Total, rep.Clock, rep.Switching, rep.Array, rep.Leakage)
 	fmt.Printf("perf/W (norm)   %.4f\n", a.IPC()/rep.Total)
 	_ = isa.NumOpcodes
+
+	if *metricsOut != "" {
+		labels := []telemetry.Label{
+			telemetry.L("workload", w.Name),
+			telemetry.L("config", cfg.Name),
+			telemetry.L("smt", fmt.Sprint(*smt)),
+		}
+		reg.Counter("sim_cycles_total", labels...).Add(a.Cycles)
+		reg.Counter("sim_instructions_total", labels...).Add(a.Instructions)
+		reg.Gauge("sim_ipc", labels...).Set(a.IPC())
+		reg.Gauge("sim_power_total", labels...).Set(rep.Total)
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events)\n", *traceOut, tr.Len())
+	}
 }
 
 func max1(v uint64) float64 {

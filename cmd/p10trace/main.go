@@ -6,6 +6,9 @@
 //
 //	p10trace -workload compress -mode proxies
 //	p10trace -workload interp -mode tracepoints
+//
+// Result tables go to stdout; progress and diagnostic messages go to stderr
+// (the p10bench convention), so stdout stays pipeable.
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 
 	switch *mode {
 	case "proxies":
+		fmt.Fprintf(os.Stderr, "extracting proxies from %s...\n", w.Name)
 		res, err := proxy.Extract(w, proxy.DefaultOptions())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -55,12 +59,15 @@ func main() {
 		}
 	case "tracepoints":
 		cfg := uarch.POWER10()
+		fmt.Fprintf(os.Stderr, "profiling %s on %s...\n", w.Name, cfg.Name)
 		prof, err := tracepoints.Collect(w, cfg, 2000)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("profiled %s: %d epochs over %d instructions, CPI %.3f\n",
+		// Progress/diagnostic line: stderr, so stdout carries only the
+		// tracepoints-vs-simpoints result table.
+		fmt.Fprintf(os.Stderr, "profiled %s: %d epochs over %d instructions, CPI %.3f\n",
 			w.Name, len(prof.Epochs), len(prof.Recs), prof.Total.CPI())
 		tp, err := tracepoints.SelectTracepoints(prof, 4)
 		if err != nil {
@@ -137,7 +144,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "verify: record count mismatch")
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d bytes) and %s (%d records), verified\n",
+		// Diagnostic: the command's product is the two files, so the status
+		// line goes to stderr and stdout stays empty/pipeable.
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes) and %s (%d records), verified\n",
 			objPath, len(img), trcPath, len(recs2))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)

@@ -17,6 +17,7 @@ import (
 
 	"power10sim/internal/power"
 	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
 )
@@ -35,6 +36,12 @@ type Options struct {
 	// (GOMAXPROCS workers) is used, so repeated baseline points are
 	// simulated once per process.
 	Runner *runner.Runner
+	// Metrics, when non-nil, receives per-batch request counters. Per-run
+	// metrics come from instrumenting the Runner directly.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives a span per batched fan-out so sweeps
+	// show where wall-clock goes. Nil disables tracing at zero cost.
+	Trace *telemetry.Tracer
 }
 
 // scale applies the option's budget scaling: quick mode halves the budget.
@@ -112,6 +119,11 @@ func RunOn(cfg *uarch.Config, w *workloads.Workload, smt int, o Options) (*uarch
 // byte-identically to their original serial form. The first error in
 // request order aborts the batch.
 func runBatch(o Options, reqs []runner.Request) ([]runner.Result, error) {
+	if o.Trace != nil {
+		sp := o.Trace.Begin(fmt.Sprintf("batch:%d-reqs", len(reqs)), "experiments")
+		defer sp.End()
+	}
+	o.Metrics.Counter("experiments_batch_requests_total").Add(uint64(len(reqs)))
 	results := o.pool().RunAll(reqs)
 	for i := range results {
 		if results[i].Err != nil {

@@ -18,9 +18,12 @@ package runner
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"power10sim/internal/power"
+	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
@@ -94,13 +97,34 @@ type entry struct {
 	res   Result
 }
 
-// Stats reports cache effectiveness for a sweep.
+// Stats reports cache effectiveness and pool pressure for a sweep. Hits and
+// Misses are deterministic for a given request sequence; QueueWait and
+// PeakInFlight depend on scheduling and worker count, so callers report them
+// on diagnostic channels (p10bench prints them to stderr), never as part of
+// the byte-identical stdout contract.
 type Stats struct {
 	// Hits counts requests served from the cache (including waits on an
 	// in-flight identical request).
 	Hits uint64
 	// Misses counts simulations actually executed (unique requests).
 	Misses uint64
+	// QueueWait is the total time executed requests spent waiting for a
+	// worker slot before their simulation started.
+	QueueWait time.Duration
+	// PeakInFlight is the maximum number of simulations executing
+	// simultaneously over the runner's lifetime.
+	PeakInFlight int
+}
+
+// obs holds the runner's telemetry handles. All fields are nil until
+// Instrument is called; every metric method is nil-safe, so the
+// uninstrumented hot path pays only dead branches.
+type obs struct {
+	hits, misses, coalesced *telemetry.Counter
+	queueWait, runLatency   *telemetry.Histogram
+	busyWorkers             *telemetry.Gauge
+	peakInFlight            *telemetry.Gauge
+	tracer                  *telemetry.Tracer
 }
 
 // Runner is a bounded worker pool with a keyed memoization cache.
@@ -109,9 +133,12 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 
-	mu    sync.Mutex
-	cache map[key]*entry
-	stats Stats
+	mu       sync.Mutex
+	cache    map[key]*entry
+	stats    Stats
+	inflight int
+
+	obs obs
 }
 
 // New creates a runner allowing up to workers concurrent simulations.
@@ -131,9 +158,36 @@ func New(workers int) *Runner {
 // Workers returns the concurrency bound.
 func (r *Runner) Workers() int { return r.workers }
 
-// Stats returns a snapshot of the cache counters. Both counters are
-// deterministic for a given request sequence regardless of the worker count:
-// misses equals the number of unique keys and hits the remainder.
+// Instrument attaches a metrics registry and tracer to the runner. Either
+// may be nil (that aspect stays off). Metrics exported:
+//
+//	runner_cache_hits_total / runner_cache_misses_total /
+//	runner_inflight_coalesced_total   cache effectiveness counters
+//	runner_queue_wait_seconds         histogram of worker-slot waits
+//	runner_run_seconds                histogram of simulation latencies
+//	runner_workers_busy               gauge of currently executing sims
+//	runner_inflight_peak              gauge of the peak concurrency seen
+//
+// With a tracer attached, every executed (cache-miss) simulation also emits
+// a span named sim:<workload>@<config>/smt<N>. Call before submitting
+// requests; Instrument is not synchronized with Do.
+func (r *Runner) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	r.obs = obs{
+		hits:         reg.Counter("runner_cache_hits_total"),
+		misses:       reg.Counter("runner_cache_misses_total"),
+		coalesced:    reg.Counter("runner_inflight_coalesced_total"),
+		queueWait:    reg.Histogram("runner_queue_wait_seconds", telemetry.DurationBuckets()),
+		runLatency:   reg.Histogram("runner_run_seconds", telemetry.DurationBuckets()),
+		busyWorkers:  reg.Gauge("runner_workers_busy"),
+		peakInFlight: reg.Gauge("runner_inflight_peak"),
+		tracer:       tr,
+	}
+}
+
+// Stats returns a snapshot of the runner counters. Hits and Misses are
+// deterministic for a given request sequence regardless of the worker count
+// (misses equals the number of unique keys and hits the remainder);
+// QueueWait and PeakInFlight are scheduling-dependent diagnostics.
 func (r *Runner) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -152,19 +206,64 @@ func (r *Runner) Do(req Request) Result {
 	if e, hit := r.cache[k]; hit {
 		r.stats.Hits++
 		r.mu.Unlock()
-		<-e.ready
+		r.obs.hits.Inc()
+		select {
+		case <-e.ready:
+		default:
+			// The identical simulation is still in flight: this request
+			// coalesces onto it instead of running its own copy.
+			r.obs.coalesced.Inc()
+			<-e.ready
+		}
 		return e.res.clone()
 	}
 	e := &entry{ready: make(chan struct{})}
 	r.cache[k] = e
 	r.stats.Misses++
 	r.mu.Unlock()
+	r.obs.misses.Inc()
 
+	enqueued := time.Now()
 	r.sem <- struct{}{}
+	wait := time.Since(enqueued)
+	r.mu.Lock()
+	r.stats.QueueWait += wait
+	r.inflight++
+	inflight := r.inflight
+	if inflight > r.stats.PeakInFlight {
+		r.stats.PeakInFlight = inflight
+	}
+	r.mu.Unlock()
+	r.obs.queueWait.Observe(wait.Seconds())
+	r.obs.busyWorkers.Set(float64(inflight))
+	r.obs.peakInFlight.SetMax(float64(inflight))
+
+	var sp telemetry.Span
+	if r.obs.tracer != nil {
+		sp = r.obs.tracer.Begin(spanName(req), "runner")
+	}
+	start := time.Now()
 	e.res = req.run()
+	r.obs.runLatency.Observe(time.Since(start).Seconds())
+	sp.End()
+
+	r.mu.Lock()
+	r.inflight--
+	inflight = r.inflight
+	r.mu.Unlock()
+	r.obs.busyWorkers.Set(float64(inflight))
 	<-r.sem
 	close(e.ready)
 	return e.res.clone()
+}
+
+// spanName labels an executed simulation's trace span.
+func spanName(req Request) string {
+	smt := req.SMT
+	if smt < 1 {
+		smt = 1
+	}
+	return "sim:" + req.W.Name + "@" + req.Cfg.Name + "/smt" + strconv.Itoa(smt)
 }
 
 // RunAll fans the requests out across the pool and returns their results in

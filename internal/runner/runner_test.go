@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"power10sim/internal/telemetry"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
 )
@@ -189,6 +190,85 @@ func TestForEach(t *testing.T) {
 	}
 	// n <= 0 must be a no-op.
 	ForEach(4, 0, func(int) { t.Fatal("called for n=0") })
+}
+
+func TestStatsQueueAndPeak(t *testing.T) {
+	r := New(2)
+	var reqs []Request
+	p9, p10 := uarch.POWER9(), uarch.POWER10()
+	for _, w := range workloads.SPECintSuite()[:3] {
+		reqs = append(reqs, testRequest(p9, w, 1), testRequest(p10, w, 1))
+	}
+	for i, res := range r.RunAll(reqs) {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+	}
+	st := r.Stats()
+	if st.PeakInFlight < 1 || st.PeakInFlight > 2 {
+		t.Errorf("peak in-flight = %d, want within [1, workers=2]", st.PeakInFlight)
+	}
+	if st.QueueWait < 0 {
+		t.Errorf("queue wait = %v, want >= 0", st.QueueWait)
+	}
+}
+
+func TestInstrumentedRunnerMetricsMatchStats(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer()
+	r := New(4)
+	r.Instrument(reg, tr)
+	reqs := []Request{
+		testRequest(uarch.POWER10(), workloads.Compress(), 1),
+		testRequest(uarch.POWER10(), workloads.Compress(), 1), // dedupes
+		testRequest(uarch.POWER9(), workloads.Compress(), 1),
+	}
+	for i, res := range r.RunAll(reqs) {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+	}
+	st := r.Stats()
+	if got := reg.Counter("runner_cache_hits_total").Value(); got != st.Hits {
+		t.Errorf("hits counter = %d, stats = %d", got, st.Hits)
+	}
+	if got := reg.Counter("runner_cache_misses_total").Value(); got != st.Misses {
+		t.Errorf("misses counter = %d, stats = %d", got, st.Misses)
+	}
+	if got := reg.Histogram("runner_run_seconds", nil).Count(); got != st.Misses {
+		t.Errorf("run-latency observations = %d, want one per miss (%d)", got, st.Misses)
+	}
+	if got := reg.Histogram("runner_queue_wait_seconds", nil).Count(); got != st.Misses {
+		t.Errorf("queue-wait observations = %d, want one per miss (%d)", got, st.Misses)
+	}
+	if got := reg.Gauge("runner_inflight_peak").Value(); got != float64(st.PeakInFlight) {
+		t.Errorf("peak gauge = %v, stats = %d", got, st.PeakInFlight)
+	}
+	if got := reg.Gauge("runner_workers_busy").Value(); got != 0 {
+		t.Errorf("busy gauge = %v after drain, want 0", got)
+	}
+	// One span per executed simulation.
+	if got, want := tr.Len(), int(st.Misses); got != want {
+		t.Errorf("trace has %d events, want %d (one span per unique run)", got, want)
+	}
+}
+
+func TestUninstrumentedRunnerUnchanged(t *testing.T) {
+	// The zero-telemetry path must behave exactly as before: this re-runs
+	// the dedup scenario on a bare runner and checks nothing panics and
+	// stats still add up (the nil-safe metric handles are exercised).
+	r := New(2)
+	res := r.Do(testRequest(uarch.POWER10(), workloads.Compress(), 1))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	res = r.Do(testRequest(uarch.POWER10(), workloads.Compress(), 1))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if st := r.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
 }
 
 func TestErrorsAreCachedAndReported(t *testing.T) {

@@ -1,0 +1,68 @@
+// Package simobs bridges the core timing model and the telemetry tracer: it
+// turns uarch cycle samples into Chrome-trace counter tracks — IPC, per-unit
+// occupancy, branch/cache health, and the component power the rtl-latch-based
+// power model assigns to each window. Loading the resulting file in
+// chrome://tracing or Perfetto shows how a workload's behavior and power
+// evolve cycle by cycle, the per-epoch activity view the paper's Tracepoints
+// and APEX methodologies are built on.
+package simobs
+
+import (
+	"power10sim/internal/power"
+	"power10sim/internal/telemetry"
+	"power10sim/internal/uarch"
+)
+
+// SampleOption returns a uarch.SimOption that streams one set of counter
+// samples to tr every `every` cycles, in the simulation-cycle time domain
+// (one cycle = one trace microsecond, under the tracer's "core simulation"
+// process). A nil tracer or every == 0 yields an inert option, so call
+// sites can pass flags through unconditionally.
+//
+// The power samples reuse one power.Model per simulation: each window's
+// activity delta is priced exactly like a full-run report, so the "power"
+// track integrates to the run's bottom-up energy.
+func SampleOption(cfg *uarch.Config, tr *telemetry.Tracer, every uint64) uarch.SimOption {
+	if tr == nil || every == 0 || cfg == nil {
+		return uarch.WithSampler(0, nil)
+	}
+	mdl := power.NewModel(cfg)
+	return uarch.WithSampler(every, func(s uarch.CycleSample) {
+		d := &s.Delta
+		ts := int64(s.Cycle)
+		tr.CounterAt(ts, "ipc", map[string]float64{
+			"ipc":         d.IPC(),
+			"flops/cycle": d.FlopsPerCycle(),
+		})
+		tr.CounterAt(ts, "occupancy", map[string]float64{
+			"fetch": d.BusyFraction(uarch.UnitFetch),
+			"fxu":   d.BusyFraction(uarch.UnitFXU),
+			"vsu":   d.BusyFraction(uarch.UnitVSU),
+			"mma":   d.BusyFraction(uarch.UnitMMA),
+			"lsu":   d.BusyFraction(uarch.UnitLSU),
+			"l2":    d.BusyFraction(uarch.UnitL2),
+		})
+		cyc := float64(d.Cycles)
+		if cyc == 0 {
+			cyc = 1
+		}
+		tr.CounterAt(ts, "frontend", map[string]float64{
+			"branch-mpki":     d.MispredictsPerKI(),
+			"icache-miss/kc":  1000 * float64(d.ICacheMisses) / cyc,
+			"fetch-stalls/kc": 1000 * float64(d.FetchStallCycles) / cyc,
+		})
+		tr.CounterAt(ts, "memory", map[string]float64{
+			"l1d-miss/kc": 1000 * float64(d.L1DMisses) / cyc,
+			"l2-miss/kc":  1000 * float64(d.L2Misses) / cyc,
+			"mem-acc/kc":  1000 * float64(d.MemAccesses) / cyc,
+		})
+		rep := mdl.Report(d)
+		tr.CounterAt(ts, "power", map[string]float64{
+			"total":     rep.Total,
+			"clock":     rep.Clock,
+			"switching": rep.Switching,
+			"array":     rep.Array,
+			"leakage":   rep.Leakage,
+		})
+	})
+}

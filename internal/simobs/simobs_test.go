@@ -1,0 +1,85 @@
+package simobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"power10sim/internal/isa"
+	"power10sim/internal/telemetry"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+)
+
+func loopProg(t *testing.T, iters int64) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("simobs-loop")
+	b.Li(isa.GPR(1), 0x4000)
+	b.Li(isa.GPR(2), 0)
+	b.Li(isa.GPR(3), iters)
+	b.Label("top")
+	b.Ld(isa.GPR(4), isa.GPR(1), 0)
+	b.Add(isa.GPR(5), isa.GPR(4), isa.GPR(2))
+	b.St(isa.GPR(5), isa.GPR(1), 8)
+	b.Addi(isa.GPR(2), isa.GPR(2), 1)
+	b.Bc(isa.CondLT, isa.GPR(2), isa.GPR(3), "top")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSampleOptionEmitsCounterTracks(t *testing.T) {
+	p := loopProg(t, 3000)
+	tr := telemetry.NewTracer()
+	cfg := uarch.POWER10()
+	_, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)},
+		10_000_000, SampleOption(cfg, tr, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []telemetry.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	tracks := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "C" && e.Pid == telemetry.PidSimCycles {
+			tracks[e.Name]++
+		}
+	}
+	for _, want := range []string{"ipc", "occupancy", "frontend", "memory", "power"} {
+		if tracks[want] < 2 {
+			t.Errorf("track %q has %d samples, want >= 2 (tracks: %v)", want, tracks[want], tracks)
+		}
+	}
+	// Power samples must carry the decomposition keys with sane values.
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "C" && e.Name == "power" {
+			total, ok := e.Args["total"].(float64)
+			if !ok || total <= 0 {
+				t.Errorf("power sample total = %v, want > 0", e.Args["total"])
+			}
+			break
+		}
+	}
+}
+
+func TestSampleOptionDisabled(t *testing.T) {
+	p := loopProg(t, 200)
+	cfg := uarch.POWER10()
+	for _, opt := range []uarch.SimOption{
+		SampleOption(cfg, nil, 500),
+		SampleOption(cfg, telemetry.NewTracer(), 0),
+		SampleOption(nil, telemetry.NewTracer(), 500),
+	} {
+		if _, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)},
+			10_000_000, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

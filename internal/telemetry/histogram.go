@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// ExpBuckets returns n exponential bucket upper bounds start, start*factor,
+// start*factor^2, ... — the fixed-bucket scheme every histogram in the
+// harness uses. factor must be > 1 and start > 0; n must be >= 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the default latency scale: 1µs .. ~67s in 26 doubling
+// buckets, in seconds.
+func DurationBuckets() []float64 { return ExpBuckets(1e-6, 2, 26) }
+
+// Histogram counts observations into fixed exponential buckets. An
+// observation v lands in the first bucket whose upper bound satisfies
+// v <= bound; values above the last bound land in the implicit +Inf
+// overflow bucket.
+type Histogram struct {
+	name   string
+	labels []Label
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(name string, bounds []float64, labels []Label) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{
+		name:   name,
+		labels: append([]Label(nil), labels...),
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+	}
+}
+
+// Observe records one value. Safe on nil and safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	// SearchFloat64s returns the first index with bounds[i] >= v, which is
+	// exactly the "v <= bound" bucket; v above every bound yields
+	// len(bounds), the overflow slot.
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations. Safe on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values. Safe on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}

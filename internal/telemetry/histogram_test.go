@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ExpBuckets(0, 2, 4) != nil || ExpBuckets(1, 1, 4) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Error("invalid parameters should return nil bounds")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket assignment rule
+// (v <= bound, first match) exactly at and around every boundary.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Bounds 1, 2, 4, 8 plus the implicit +Inf overflow bucket.
+	cases := []struct {
+		v    float64
+		want int // bucket index the observation must land in
+	}{
+		{-1, 0},                   // below the scale clamps into the first bucket
+		{0, 0},                    //
+		{0.5, 0},                  //
+		{1, 0},                    // exactly on a bound: inclusive upper edge
+		{math.Nextafter(1, 2), 1}, // just above a bound: next bucket
+		{1.5, 1},                  //
+		{2, 1},                    //
+		{3, 2},                    //
+		{4, 2},                    //
+		{7.999, 3},                //
+		{8, 3},                    // last finite bound, inclusive
+		{math.Nextafter(8, 9), 4}, // above every bound: overflow
+		{1e9, 4},                  //
+	}
+	for _, c := range cases {
+		reg := NewRegistry()
+		h := reg.Histogram("h", ExpBuckets(1, 2, 4))
+		h.Observe(c.v)
+		snap := reg.Snapshot()
+		hs := snap.Histograms[0]
+		if len(hs.Buckets) != 5 {
+			t.Fatalf("bucket count = %d, want 5", len(hs.Buckets))
+		}
+		for i, b := range hs.Buckets {
+			want := uint64(0)
+			if i == c.want {
+				want = 1
+			}
+			if b.Count != want {
+				t.Errorf("Observe(%v): bucket %d count = %d, want %d", c.v, i, b.Count, want)
+			}
+		}
+		if hs.Count != 1 {
+			t.Errorf("Observe(%v): count = %d, want 1", c.v, hs.Count)
+		}
+		if hs.Sum != c.v {
+			t.Errorf("Observe(%v): sum = %v", c.v, hs.Sum)
+		}
+	}
+}
+
+func TestHistogramSumAndOverflowBound(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", ExpBuckets(1, 2, 3))
+	for _, v := range []float64{0.5, 1.5, 100} {
+		h.Observe(v)
+	}
+	if got, want := h.Sum(), 102.0; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	snap := reg.Snapshot()
+	last := snap.Histograms[0].Buckets[len(snap.Histograms[0].Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) {
+		t.Errorf("overflow bound = %v, want +Inf", last.UpperBound)
+	}
+	if last.Count != 1 {
+		t.Errorf("overflow count = %d, want 1", last.Count)
+	}
+}

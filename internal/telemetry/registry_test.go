@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// registering, incrementing and snapshotting concurrently — and checks the
+// final totals. Run under -race (make verify does) to prove the registry is
+// race-safe.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Same series from every goroutine: registration must be
+				// idempotent and increments atomic.
+				reg.Counter("ops_total", L("kind", "shared")).Inc()
+				reg.Gauge("inflight").Add(1)
+				reg.Gauge("inflight").Add(-1)
+				reg.Histogram("latency_seconds", DurationBuckets()).Observe(float64(i%7) * 1e-5)
+				if i%100 == 0 {
+					_ = reg.Snapshot() // snapshots race against writers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("ops_total", L("kind", "shared")).Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Gauge("inflight").Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	h := reg.Histogram("latency_seconds", DurationBuckets())
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	var bucketSum uint64
+	snap := reg.Snapshot()
+	for _, hs := range snap.Histograms {
+		for _, b := range hs.Buckets {
+			bucketSum += b.Count
+		}
+	}
+	if bucketSum != goroutines*perG {
+		t.Errorf("bucket counts sum to %d, want %d", bucketSum, goroutines*perG)
+	}
+}
+
+// TestNilRegistryIsNoOp: the whole API must be callable through nil so
+// uninstrumented call sites need no branching.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var reg *Registry
+	reg.Counter("c").Inc()
+	reg.Counter("c").Add(5)
+	reg.Gauge("g").Set(1)
+	reg.Gauge("g").Add(2)
+	reg.Gauge("g").SetMax(9)
+	reg.Histogram("h", DurationBuckets()).Observe(0.5)
+	if v := reg.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := reg.Gauge("g").Value(); v != 0 {
+		t.Errorf("nil gauge value = %v", v)
+	}
+	if n := reg.Histogram("h", nil).Count(); n != 0 {
+		t.Errorf("nil histogram count = %d", n)
+	}
+	s := reg.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", s)
+	}
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}
+
+// TestSnapshotSorted: series come out ordered by (name, canonical labels)
+// regardless of registration order, and label order within a call does not
+// create distinct series.
+func TestSnapshotSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zeta").Inc()
+	reg.Counter("alpha", L("exp", "fig5")).Inc()
+	reg.Counter("alpha", L("exp", "fig4")).Inc()
+	reg.Counter("alpha", L("workload", "w"), L("exp", "fig4")).Inc()
+	// Same series, labels given in a different order.
+	reg.Counter("alpha", L("exp", "fig4"), L("workload", "w")).Inc()
+
+	s := reg.Snapshot()
+	if len(s.Counters) != 4 {
+		t.Fatalf("got %d counter series, want 4", len(s.Counters))
+	}
+	wantOrder := []string{"alpha", "alpha", "alpha", "zeta"}
+	for i, c := range s.Counters {
+		if c.Name != wantOrder[i] {
+			t.Errorf("series %d name = %q, want %q", i, c.Name, wantOrder[i])
+		}
+	}
+	// The label-order-insensitive series accumulated both increments.
+	for _, c := range s.Counters {
+		if c.Labels["workload"] == "w" && c.Value != 2 {
+			t.Errorf("label-canonicalized series value = %d, want 2", c.Value)
+		}
+	}
+	if s.Counters[0].Labels["exp"] != "fig4" || s.Counters[1].Labels["exp"] != "fig4" || s.Counters[2].Labels["exp"] != "fig5" {
+		t.Errorf("label sort order wrong: %+v", s.Counters)
+	}
+}
+
+// TestGaugeSetMax tracks a running peak.
+func TestGaugeSetMax(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("peak")
+	for _, v := range []float64{3, 7, 2, 7, 5} {
+		g.SetMax(v)
+	}
+	if got := g.Value(); got != 7 {
+		t.Errorf("peak = %v, want 7", got)
+	}
+}

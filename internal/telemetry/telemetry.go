@@ -1,0 +1,204 @@
+// Package telemetry is the observability backbone of the harness: a
+// dependency-free, race-safe metrics registry (counters, gauges, histograms
+// with fixed exponential buckets, all optionally labeled) plus a lightweight
+// span/event tracer that emits Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto.
+//
+// The package is built around two conventions:
+//
+//   - Nil is off. Every method on *Registry, *Tracer and the metric handles
+//     they return is safe on a nil receiver and does nothing, so call sites
+//     instrument unconditionally and the uninstrumented path stays
+//     allocation-free (guarded by BenchmarkCoreTelemetryOff at the repo
+//     root).
+//
+//   - Snapshots are stable. Snapshot() orders every metric by (name, sorted
+//     labels) and WriteJSON marshals with a fixed field order, so two
+//     snapshots of equal state are byte-identical — the property the
+//     golden-file tests and `make profile` checker rely on.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value metric dimension (experiment, config, workload...).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// canonical renders labels in sorted-key order; it is the registry's
+// identity for a (name, labels) series.
+func canonical(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomic.Uint64
+}
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Safe on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count. Safe on nil.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (may be negative). Safe on nil.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value. Safe on nil.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// SetMax raises the gauge to v if v is larger (a running peak). Safe on nil.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Registry holds all metric series. The zero value is not usable; construct
+// with NewRegistry. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]any // "kind\x00name\x00labels" -> *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: map[string]any{}}
+}
+
+func seriesKey(kind, name string, labels []Label) string {
+	return kind + "\x00" + name + "\x00" + canonical(labels)
+}
+
+// Counter returns (registering on first use) the counter series for
+// name+labels. Returns nil on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey("c", name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.series[k]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{name: name, labels: append([]Label(nil), labels...)}
+	r.series[k] = c
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge series for name+labels.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey("g", name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.series[k]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{name: name, labels: append([]Label(nil), labels...)}
+	r.series[k] = g
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram series for
+// name+labels with the given bucket upper bounds (use ExpBuckets). Bounds are
+// fixed at first registration; later calls with the same name+labels return
+// the existing series regardless of the bounds argument. Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey("h", name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.series[k]; ok {
+		return m.(*Histogram)
+	}
+	h := newHistogram(name, bounds, labels)
+	r.series[k] = h
+	return h
+}

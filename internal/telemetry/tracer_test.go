@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock is a deterministic microsecond clock advancing a fixed step per
+// reading.
+func fakeClock(step int64) func() int64 {
+	var t int64
+	return func() int64 {
+		t += step
+		return t
+	}
+}
+
+// buildDeterministicTrace exercises every event kind with the fake clock.
+func buildDeterministicTrace() *Tracer {
+	tr := NewTracerWithClock(fakeClock(10))
+	sp := tr.Begin("exp:fig5", "experiment")
+	inner := tr.Begin("sim:dgemm-mma@POWER10/smt1", "runner")
+	inner.End()
+	tr.Counter("runner", map[string]float64{"hits": 3, "misses": 1})
+	tr.CounterAt(500, "power", map[string]float64{"total": 1.25, "clock": 0.5})
+	tr.CounterAt(1000, "ipc", map[string]float64{"ipc": 2.5})
+	tr.Instant("sweep-done", "harness")
+	sp.End()
+	return tr
+}
+
+// TestTraceGolden locks the Chrome trace output byte-for-byte: the format
+// must be stable across runs (and refactors) because external tooling —
+// chrome://tracing, Perfetto, cmd/p10obscheck — consumes it.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildDeterministicTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output differs from golden file %s\ngot:\n%s", golden, buf.String())
+	}
+
+	// A second build must produce identical bytes (stability across runs).
+	var buf2 bytes.Buffer
+	if err := buildDeterministicTrace().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two identical trace builds produced different bytes")
+	}
+}
+
+// TestTraceValidJSON checks structural validity: parseable, the required
+// trace_event fields present, spans carry positive durations, and concurrent
+// spans get distinct tid lanes.
+func TestTraceValidJSON(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(7))
+	a := tr.Begin("outer", "t")
+	b := tr.Begin("overlapping", "t")
+	if a.tid == b.tid {
+		t.Errorf("concurrent spans share tid %d", a.tid)
+	}
+	b.End()
+	c := tr.Begin("reuses-lane", "t")
+	if c.tid != b.tid {
+		t.Errorf("freed lane not reused: got %d, want %d", c.tid, b.tid)
+	}
+	c.End()
+	a.End()
+	tr.Counter("track", map[string]float64{"v": 1})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("trace output is not valid JSON")
+	}
+	var tf struct {
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+		TraceEvents     []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	var spans, counters, meta int
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur < 1 {
+				t.Errorf("span %q has dur %d", e.Name, e.Dur)
+			}
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 3 || counters != 1 || meta != 2 {
+		t.Errorf("event mix = %d spans, %d counters, %d meta; want 3/1/2", spans, counters, meta)
+	}
+}
+
+// TestNilTracerIsNoOp: the nil fast path must be inert end to end.
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", "y")
+	sp.End()
+	tr.Counter("c", map[string]float64{"v": 1})
+	tr.CounterAt(5, "c", nil)
+	tr.Instant("i", "")
+	if tr.Len() != 0 {
+		t.Error("nil tracer accumulated events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("nil tracer output invalid")
+	}
+}

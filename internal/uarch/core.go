@@ -122,6 +122,8 @@ type simOptions struct {
 	warmupInsts   uint64
 	epochCycles   uint64
 	epochCallback func(Activity)
+	sampleEvery   uint64
+	sampleFn      func(CycleSample)
 }
 
 // WithWarmup discards all statistics gathered before the first n retired
@@ -138,6 +140,29 @@ func WithEpochs(cycles uint64, cb func(Activity)) SimOption {
 	return func(o *simOptions) {
 		o.epochCycles = cycles
 		o.epochCallback = cb
+	}
+}
+
+// CycleSample is one observation window delivered to a WithSampler hook:
+// the window's end cycle and the activity delta accumulated inside it.
+type CycleSample struct {
+	// Cycle is the window's exclusive end cycle (relative to simulation
+	// start; warmup resets restart the window but not this clock).
+	Cycle uint64
+	// Delta is the activity of this window only, with Delta.Cycles set to
+	// the window length.
+	Delta Activity
+}
+
+// WithSampler invokes fn with a CycleSample every `every` cycles — the
+// telemetry hook behind cycle-resolved IPC/occupancy/power trace tracks.
+// The final partial window is also delivered. every == 0 or a nil fn
+// disables sampling; the disabled path adds no per-cycle work beyond one
+// nil check (guarded by BenchmarkCoreTelemetryOff).
+func WithSampler(every uint64, fn func(CycleSample)) SimOption {
+	return func(o *simOptions) {
+		o.sampleEvery = every
+		o.sampleFn = fn
 	}
 }
 
@@ -205,6 +230,18 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 		epochPrev.Cycles = 0
 		epochStart = end
 	}
+	sampling := o.sampleFn != nil && o.sampleEvery > 0
+	var samplePrev Activity
+	var sampleStart uint64
+	emitSample := func(end uint64) {
+		c.syncActivity()
+		d := c.act.Sub(&samplePrev)
+		d.Cycles = end - sampleStart
+		o.sampleFn(CycleSample{Cycle: end, Delta: d})
+		samplePrev = c.act
+		samplePrev.Cycles = 0
+		sampleStart = end
+	}
 	for c.now = 0; c.now < maxCycles; c.now++ {
 		c.busy = [NumUnits]bool{}
 		c.retire()
@@ -223,9 +260,14 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 			c.resetStats()
 			epochPrev = Activity{}
 			epochStart = c.now + 1
+			samplePrev = Activity{}
+			sampleStart = c.now + 1
 		}
 		if o.epochCallback != nil && o.epochCycles > 0 && c.now+1-epochStart >= o.epochCycles {
 			emitEpoch(c.now + 1)
+		}
+		if sampling && c.now+1-sampleStart >= o.sampleEvery {
+			emitSample(c.now + 1)
 		}
 		if c.finished() {
 			c.now++
@@ -240,6 +282,9 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 	}
 	if o.epochCallback != nil && c.now > epochStart {
 		emitEpoch(c.now)
+	}
+	if sampling && c.now > sampleStart {
+		emitSample(c.now)
 	}
 	c.syncActivity()
 	c.act.Cycles = c.now - warmStart

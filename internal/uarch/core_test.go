@@ -394,6 +394,68 @@ func TestEpochCallbackDeltasSumToTotal(t *testing.T) {
 	}
 }
 
+func TestSamplerDeltasSumToTotal(t *testing.T) {
+	p := simpleLoop(4000)
+	var samples []CycleSample
+	res, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1<<20)},
+		10_000_000, WithSampler(700, func(s CycleSample) { samples = append(samples, s) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 3 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	var cyc, insts, l1d uint64
+	prevEnd := uint64(0)
+	for i, s := range samples {
+		if s.Cycle <= prevEnd {
+			t.Errorf("sample %d end cycle %d not increasing past %d", i, s.Cycle, prevEnd)
+		}
+		if i < len(samples)-1 && s.Delta.Cycles != 700 {
+			t.Errorf("sample %d window = %d cycles, want 700", i, s.Delta.Cycles)
+		}
+		prevEnd = s.Cycle
+		cyc += s.Delta.Cycles
+		insts += s.Delta.Instructions
+		l1d += s.Delta.L1DAccesses
+	}
+	if insts != res.Activity.Instructions {
+		t.Errorf("sample insts %d != total %d", insts, res.Activity.Instructions)
+	}
+	if cyc != res.Activity.Cycles {
+		t.Errorf("sample cycles %d != total %d", cyc, res.Activity.Cycles)
+	}
+	if l1d != res.Activity.L1DAccesses {
+		t.Errorf("sample l1d %d != total %d", l1d, res.Activity.L1DAccesses)
+	}
+}
+
+func TestSamplerAndEpochsCoexist(t *testing.T) {
+	// Samplers and epoch callbacks maintain independent window state; both
+	// must see the full run, and disabled sampling (every=0 or nil fn) must
+	// not fire.
+	p := simpleLoop(2000)
+	var nSamples, nEpochs int
+	_, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1<<20)},
+		10_000_000,
+		WithEpochs(500, func(Activity) { nEpochs++ }),
+		WithSampler(300, func(CycleSample) { nSamples++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nEpochs < 2 || nSamples < 2 {
+		t.Errorf("epochs=%d samples=%d, want both >= 2", nEpochs, nSamples)
+	}
+	if _, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1<<20)},
+		10_000_000, WithSampler(0, func(CycleSample) { t.Error("disabled sampler fired") })); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1<<20)},
+		10_000_000, WithSampler(500, nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestActivitySubRoundTrip(t *testing.T) {
 	p := simpleLoop(500)
 	res := simOne(t, POWER10(), p, 1<<20)
