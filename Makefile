@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs verify bench sweep profile
+.PHONY: build test vet race race-obs chaos verify bench sweep profile
 
 build:
 	$(GO) build ./...
@@ -22,11 +22,25 @@ race:
 race-obs:
 	$(GO) test -race ./internal/telemetry ./internal/runner ./internal/simobs
 
+# chaos is the fault-tolerance gate: the runner hardening tests under the
+# race detector, then a p10faults self-test campaign with forced panics,
+# transient failures, and hangs. The campaign must degrade gracefully —
+# classify what it can, tag what it lost, exit nonzero — and its metrics
+# snapshot must prove the panic-recovery path actually fired.
+chaos:
+	$(GO) test -race -run 'TestPanic|TestRetry|TestWatchdog|TestCancellation|TestChaos|TestCampaignSurvivesChaos' \
+		./internal/runner ./internal/faultinject
+	$(GO) run ./cmd/p10faults -chaos -trials 40 -jobs 4 \
+		-metrics /tmp/p10faults-chaos-metrics.json >/dev/null 2>/tmp/p10faults-chaos.log; \
+		test $$? -eq 1 || { echo "chaos campaign did not exit 1"; cat /tmp/p10faults-chaos.log; exit 1; }
+	$(GO) run ./cmd/p10obscheck -metrics /tmp/p10faults-chaos-metrics.json \
+		-require-counter runner_panics_recovered_total
+
 # verify is the full gate: vet plus both normal and race-detector test
 # passes. The race pass matters because the experiment harness fans
 # simulations across a worker pool; race-obs fails fast on the telemetry
 # packages before the full-tree race run.
-verify: vet build test race-obs race
+verify: vet build test race-obs race chaos
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'

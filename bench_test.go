@@ -74,6 +74,14 @@ func BenchmarkCoreTelemetryOn(b *testing.B) {
 	benchCore(b, cfg, simobs.SampleOption(cfg, tr, 1000))
 }
 
+// BenchmarkCoreInjectionOff is the zero-rate guard for the fault-injection
+// hook: with a nil upset (the default for every performance sweep) the only
+// added work is one nil check per cycle, so this must track
+// BenchmarkCoreTelemetryOff within noise.
+func BenchmarkCoreInjectionOff(b *testing.B) {
+	benchCore(b, uarch.POWER10(), uarch.WithUpset(nil))
+}
+
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.TableI(quick)

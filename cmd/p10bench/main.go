@@ -17,17 +17,26 @@
 // run. Tables are printed to stdout in catalog order and are byte-identical
 // for any -jobs value and with telemetry on or off; per-experiment timing
 // and pool diagnostics go to stderr.
+//
+// The sweep degrades gracefully: a failed simulation point renders as a
+// tagged partial row and a failed experiment is skipped, with every failure
+// listed in an end-of-sweep stderr summary and a nonzero exit status.
+// SIGINT cancels in-flight simulations cooperatively. Telemetry files are
+// written even for degraded or interrupted sweeps.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
+	"power10sim/internal/cliutil"
 	"power10sim/internal/experiments"
 	"power10sim/internal/runner"
 	"power10sim/internal/telemetry"
@@ -82,6 +91,15 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	if *jobs < 0 {
+		cliutil.Usagef("-jobs %d: must be >= 0", *jobs)
+	}
+	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	if err := cliutil.CheckOutputPath("trace", *traceOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
 	if *pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
@@ -111,15 +129,30 @@ func main() {
 		}
 		return
 	}
+	// SIGINT cancels the in-flight sweep cooperatively: the pool's context
+	// reaches every running simulation, which bails out at the next
+	// cancellation check instead of leaving the terminal wedged.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	pool := runner.New(*jobs)
 	pool.Instrument(reg, tr)
-	opt := experiments.Options{Quick: *quick, Jobs: pool.Workers(), Runner: pool, Metrics: reg, Trace: tr}
+	pool.SetContext(ctx)
+	// Tolerant sweep: a failed simulation point (or whole experiment) is
+	// recorded and reported at end of sweep instead of aborting the run, so
+	// one bad point cannot void hours of completed figures.
+	failures := new(experiments.FailureLog)
+	opt := experiments.Options{Quick: *quick, Jobs: pool.Workers(), Runner: pool,
+		Metrics: reg, Trace: tr, Failures: failures}
 	expSeconds := telemetry.ExpBuckets(0.001, 4, 10)
 	ran := 0
+	var failedExps []string
 	sweepStart := time.Now()
 	for _, e := range cat {
 		if *expName != "" && e.name != *expName {
 			continue
+		}
+		if ctx.Err() != nil {
+			break
 		}
 		ran++
 		fmt.Printf("=== %s ===\n", e.title)
@@ -127,13 +160,14 @@ func main() {
 		sp := tr.Begin("exp:"+e.name, "experiment")
 		r, err := e.run(opt)
 		sp.End()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
-		}
 		elapsed := time.Since(start)
 		reg.Counter("experiments_run_total", telemetry.L("exp", e.name)).Inc()
 		reg.Histogram("experiment_seconds", expSeconds, telemetry.L("exp", e.name)).Observe(elapsed.Seconds())
+		if err != nil {
+			failedExps = append(failedExps, e.name)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			continue
+		}
 		fmt.Print(r.Table())
 		fmt.Println()
 		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", e.name, elapsed.Seconds())
@@ -157,18 +191,40 @@ func main() {
 	// timing on stderr rather than the deterministic stdout summary.
 	fmt.Fprintf(os.Stderr, "total: %.1fs with %d workers, peak in-flight %d, total queue wait %.2fs\n",
 		time.Since(sweepStart).Seconds(), pool.Workers(), st.PeakInFlight, st.QueueWait.Seconds())
+	// Telemetry files are written even when the sweep degraded or was
+	// interrupted: a partial run's diagnostics are exactly what you want to
+	// inspect afterwards.
+	exit := 0
 	if *metricsOut != "" {
 		if err := reg.WriteFile(*metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
-			os.Exit(1)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
 		}
-		fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
 	}
 	if *traceOut != "" {
 		if err := tr.WriteFile(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events)\n", *traceOut, tr.Len())
 		}
-		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events)\n", *traceOut, tr.Len())
 	}
+	// End-of-sweep failure accounting: every degraded point and every failed
+	// experiment is listed, and a degraded sweep exits nonzero so automation
+	// never mistakes partial results for a clean run.
+	if s := failures.Summary(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+		exit = 1
+	}
+	if len(failedExps) > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed: %v\n", len(failedExps), failedExps)
+		exit = 1
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "sweep interrupted")
+		exit = 1
+	}
+	os.Exit(exit)
 }

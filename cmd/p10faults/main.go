@@ -1,0 +1,184 @@
+// Command p10faults runs the statistical latch fault-injection campaign and
+// cross-validates SERMiner's analytic derating (Figs. 13-14 machinery)
+// against injection-measured masking.
+//
+// Usage:
+//
+//	p10faults                          # default campaign on POWER10
+//	p10faults -trials 4000 -seed 7     # bigger sample, different seed
+//	p10faults -vts 10,50,90 -refvt 50  # custom VT sweep
+//	p10faults -consequences=false      # stage-1 masking validation only
+//	p10faults -chaos -trials 40        # harness self-test: forced panics,
+//	                                   # transient failures and hangs; must
+//	                                   # degrade gracefully and exit nonzero
+//
+// Validation and outcome tables go to stdout; a failure summary (trials lost
+// to injected or real harness faults) goes to stderr and makes the exit
+// status nonzero, so automation cannot mistake a degraded campaign for a
+// clean one. The campaign is deterministic in (seed, trials, workloads) for
+// any -jobs value.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"power10sim/internal/cliutil"
+	"power10sim/internal/faultinject"
+	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
+	"power10sim/internal/uarch"
+)
+
+func configByName(name string) *uarch.Config {
+	switch name {
+	case "POWER9", "p9":
+		return uarch.POWER9()
+	case "POWER10", "p10":
+		return uarch.POWER10()
+	case "POWER10-noMMA", "p10-nomma":
+		return uarch.POWER10NoMMA()
+	}
+	return nil
+}
+
+func main() {
+	var (
+		trials       = flag.Int("trials", 400, "Monte Carlo trials per workload")
+		seed         = flag.Uint64("seed", 42, "campaign RNG seed")
+		cfgName      = flag.String("config", "POWER10", "POWER9 | POWER10 | POWER10-noMMA")
+		smt          = flag.Int("smt", 1, "hardware threads per simulation")
+		budget       = flag.Uint64("budget", 0, "dynamic instruction budget per workload (0 = campaign default)")
+		window       = flag.Uint64("window", 0, "switching-activity window in cycles (0 = campaign default)")
+		vtsFlag      = flag.String("vts", "", "comma-separated VT sweep percentages (default 10,30,50,70,90)")
+		refVT        = flag.Int("refvt", 0, "reference VT%% for consequence trials (0 = sweep median)")
+		consequences = flag.Bool("consequences", true, "classify captured trials (SDC/detected/hang/masked)")
+		jobs         = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "per-simulation watchdog deadline")
+		chaos        = flag.Bool("chaos", false, "inject panics/transient failures/hangs into the harness (self-test)")
+		metricsOut   = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	)
+	flag.Parse()
+	if *trials < 1 {
+		cliutil.Usagef("-trials %d: must be >= 1", *trials)
+	}
+	if *smt < 1 {
+		cliutil.Usagef("-smt %d: must be >= 1", *smt)
+	}
+	if *jobs < 0 {
+		cliutil.Usagef("-jobs %d: must be >= 0", *jobs)
+	}
+	if *refVT < 0 || *refVT > 100 {
+		cliutil.Usagef("-refvt %d: must be in [0,100]", *refVT)
+	}
+	vts, err := cliutil.ParseIntList("vts", *vtsFlag)
+	if err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	for _, vt := range vts {
+		if vt < 1 || vt > 100 {
+			cliutil.Usagef("-vts %s: %d out of range [1,100]", *vtsFlag, vt)
+		}
+	}
+	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	cfg := configByName(*cfgName)
+	if cfg == nil {
+		cliutil.Usagef("unknown config %q", *cfgName)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	pool := runner.New(*jobs)
+	pool.Instrument(reg, nil)
+	pool.SetContext(ctx)
+	policy := runner.Policy{Timeout: *timeout, MaxAttempts: 3, Backoff: 10 * time.Millisecond}
+	if *chaos {
+		// Self-test mode: short watchdog and a retry budget smaller than the
+		// forced-failure stream, so the campaign must exercise panic
+		// recovery, retries, the watchdog, and graceful degradation — and
+		// finish with tagged failed trials (nonzero exit) rather than crash.
+		policy = runner.Policy{Timeout: time.Second, MaxAttempts: 2, Backoff: time.Millisecond}
+	}
+	pool.SetPolicy(policy)
+
+	cases, err := faultinject.DefaultCases()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c := &faultinject.Campaign{
+		Cfg:          cfg,
+		Cases:        cases,
+		SMT:          *smt,
+		Trials:       *trials,
+		Seed:         *seed,
+		VTs:          vts,
+		RefVT:        *refVT,
+		Budget:       *budget,
+		WindowCycles: *window,
+		Consequences: *consequences,
+		Pool:         pool,
+		Metrics:      reg,
+		Ctx:          ctx,
+	}
+	if *chaos {
+		c.Consequences = true
+		c.Chaos = &runner.ChaosSpec{PanicFirst: 3, FailFirst: 3, Hang: true}
+	}
+
+	start := time.Now()
+	res, runErr := c.Run()
+
+	exit := 0
+	writeMetrics := func() {
+		// Metrics are written even on the failure path: a degraded
+		// campaign's recovered-panic / retry / watchdog counters are the
+		// evidence worth inspecting.
+		if *metricsOut == "" {
+			return
+		}
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			exit = 1
+			return
+		}
+		fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		writeMetrics()
+		os.Exit(1)
+	}
+
+	fmt.Printf("fault-injection campaign: %s, %d trials/workload, seed %d, %d latches\n",
+		res.Cfg, res.Trials, res.Seed, res.TotalLatches)
+	fmt.Println()
+	fmt.Print(res.ValidationTable())
+	if c.Consequences {
+		fmt.Println()
+		fmt.Print(res.OutcomeTable())
+	}
+	st := pool.Stats()
+	fmt.Fprintf(os.Stderr, "campaign: %.1fs with %d workers; pool: %d runs, %d retries, %d panics recovered, %d watchdog timeouts\n",
+		time.Since(start).Seconds(), pool.Workers(), st.Misses, st.Retries, st.Panics, st.Timeouts)
+	if s := res.FailureSummary(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+		exit = 1
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "campaign interrupted")
+		exit = 1
+	}
+	writeMetrics()
+	os.Exit(exit)
+}

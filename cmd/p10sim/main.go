@@ -20,6 +20,7 @@ import (
 	"os"
 	"sort"
 
+	"power10sim/internal/cliutil"
 	"power10sim/internal/isa"
 	"power10sim/internal/power"
 	"power10sim/internal/simobs"
@@ -94,6 +95,23 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	if *smt < 1 {
+		cliutil.Usagef("-smt %d: must be >= 1", *smt)
+	}
+	// -budget 0 is the "workload default" sentinel only when the flag is
+	// unset; an explicit -budget 0 is a request for zero work and is rejected
+	// instead of silently running the default budget.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "budget" && *budget == 0 {
+			cliutil.Usagef("-budget 0: must be > 0 (omit the flag for the workload default)")
+		}
+	})
+	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	if err := cliutil.CheckOutputPath("trace", *traceOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
 	if *pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {

@@ -1,0 +1,42 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCheckOutputPath(t *testing.T) {
+	dir := t.TempDir()
+	if err := CheckOutputPath("metrics", filepath.Join(dir, "m.json")); err != nil {
+		t.Errorf("existing parent rejected: %v", err)
+	}
+	if err := CheckOutputPath("metrics", ""); err != nil {
+		t.Errorf("unset flag rejected: %v", err)
+	}
+	if err := CheckOutputPath("metrics", filepath.Join(dir, "no", "such", "m.json")); err == nil {
+		t.Error("missing parent accepted")
+	}
+	// Parent exists but is a file, not a directory.
+	f := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(f, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckOutputPath("trace", filepath.Join(f, "t.json")); err == nil {
+		t.Error("file-as-parent accepted")
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("vts", "10, 50,90")
+	if err != nil || !reflect.DeepEqual(got, []int{10, 50, 90}) {
+		t.Errorf("ParseIntList = %v, %v", got, err)
+	}
+	if got, err := ParseIntList("vts", ""); err != nil || got != nil {
+		t.Errorf("empty list = %v, %v", got, err)
+	}
+	if _, err := ParseIntList("vts", "10,x"); err == nil {
+		t.Error("bad element accepted")
+	}
+}

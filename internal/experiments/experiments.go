@@ -42,6 +42,58 @@ type Options struct {
 	// Trace, when non-nil, receives a span per batched fan-out so sweeps
 	// show where wall-clock goes. Nil disables tracing at zero cost.
 	Trace *telemetry.Tracer
+	// Failures, when non-nil, switches batched sweeps into tolerant mode:
+	// a failed simulation point no longer aborts its figure — the point is
+	// logged here and the figure renders a tagged partial row, so one bad
+	// run cannot void an entire sweep. Nil keeps the strict legacy
+	// behavior (first error aborts the batch).
+	Failures *FailureLog
+}
+
+// FailureLog accumulates per-point simulation failures across a tolerant
+// sweep. It is safe for concurrent use; cmd/p10bench prints its summary at
+// end of sweep and exits nonzero when it is non-empty.
+type FailureLog struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+// Add records one failed point.
+func (l *FailureLog) Add(context string, err error) {
+	if l == nil || err == nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries = append(l.entries, fmt.Sprintf("%s: %v", context, err))
+	l.mu.Unlock()
+}
+
+// Count returns the number of recorded failures.
+func (l *FailureLog) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Summary renders the failure list ("" when clean).
+func (l *FailureLog) Summary() string {
+	if l == nil {
+		return ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d simulation point(s) failed:\n", len(l.entries))
+	for _, e := range l.entries {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
 }
 
 // scale applies the option's budget scaling: quick mode halves the budget.
@@ -128,6 +180,34 @@ func runBatch(o Options, reqs []runner.Request) ([]runner.Result, error) {
 	for i := range results {
 		if results[i].Err != nil {
 			return nil, results[i].Err
+		}
+	}
+	return results, nil
+}
+
+// runBatchTolerant is runBatch under the graceful-degradation contract:
+// with a FailureLog installed, failed points are logged and returned with
+// their errors in place (callers skip them and render tagged partial rows)
+// instead of aborting the whole batch. Without one it falls back to strict
+// runBatch. The label contextualizes failures in the sweep summary.
+func runBatchTolerant(o Options, label string, reqs []runner.Request) ([]runner.Result, error) {
+	if o.Failures == nil {
+		return runBatch(o, reqs)
+	}
+	if o.Trace != nil {
+		sp := o.Trace.Begin(fmt.Sprintf("batch:%d-reqs", len(reqs)), "experiments")
+		defer sp.End()
+	}
+	o.Metrics.Counter("experiments_batch_requests_total").Add(uint64(len(reqs)))
+	results := o.pool().RunAll(reqs)
+	for i := range results {
+		if results[i].Err != nil {
+			req := reqs[i]
+			ctx := label
+			if req.W != nil && req.Cfg != nil {
+				ctx = fmt.Sprintf("%s %s@%s/smt%d", label, req.W.Name, req.Cfg.Name, req.SMT)
+			}
+			o.Failures.Add(ctx, results[i].Err)
 		}
 	}
 	return results, nil

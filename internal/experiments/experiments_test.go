@@ -185,6 +185,59 @@ func TestFig13Fig14Experiments(t *testing.T) {
 	}
 }
 
+// TestTolerantSweepDegradesGracefully covers the graceful-degradation
+// contract: with a FailureLog installed, a failing simulation point is logged
+// and returned in place instead of aborting the batch, and partial figures
+// render tagged rows.
+func TestTolerantSweepDegradesGracefully(t *testing.T) {
+	pool := runner.New(2)
+	pool.SetPolicy(runner.Policy{MaxAttempts: 1})
+	o := Options{Quick: true, Runner: pool, Failures: new(FailureLog)}
+	good := o.request(uarch.POWER10(), workloads.Compress(), 1)
+	bad := o.request(uarch.POWER10(), workloads.Interp(), 1)
+	bad.Chaos = &runner.ChaosSpec{FailFirst: 1 << 30}
+	results, err := runBatchTolerant(o, "test-sweep", []runner.Request{good, bad})
+	if err != nil {
+		t.Fatalf("tolerant batch aborted: %v", err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("healthy point failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("chaos point did not fail")
+	}
+	if o.Failures.Count() != 1 {
+		t.Errorf("failure log has %d entries, want 1", o.Failures.Count())
+	}
+	if s := o.Failures.Summary(); !strings.Contains(s, "test-sweep") ||
+		!strings.Contains(s, "interp") {
+		t.Errorf("summary lacks context:\n%s", s)
+	}
+
+	// Strict mode (no log) keeps the legacy abort-on-first-error contract.
+	strict := Options{Quick: true, Runner: pool}
+	if _, err := runBatchTolerant(strict, "strict", []runner.Request{bad}); err == nil {
+		t.Error("strict mode swallowed the failure")
+	}
+
+	// Partial figures render failed points as tagged rows.
+	r13 := &Fig13Result{VTs: []int{10, 50, 90}, Failed: []string{"st_dd0_zero"}}
+	if tab := r13.Table(); !strings.Contains(tab, "st_dd0_zero") || !strings.Contains(tab, "FAILED") {
+		t.Errorf("Fig13 table missing tagged partial row:\n%s", tab)
+	}
+	r14 := &Fig14Result{VTs: nil, Failed: []string{"smt4_spec"}}
+	if tab := r14.Table(); !strings.Contains(tab, "PARTIAL") || !strings.Contains(tab, "smt4_spec") {
+		t.Errorf("Fig14 table missing partial notice:\n%s", tab)
+	}
+
+	// A nil log is inert (shared Options value passed around by copy).
+	var nilLog *FailureLog
+	nilLog.Add("x", err)
+	if nilLog.Count() != 0 || nilLog.Summary() != "" {
+		t.Error("nil FailureLog not inert")
+	}
+}
+
 func TestTableHelper(t *testing.T) {
 	tb := &table{header: []string{"a", "bb"}}
 	tb.add("x", "y")

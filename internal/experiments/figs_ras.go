@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"power10sim/internal/microprobe"
 	"power10sim/internal/runner"
@@ -13,12 +14,15 @@ import (
 // serStudy builds a SERMiner study for one configuration over the Fig. 13
 // workload set: microprobe sweeps plus SPEC proxies at each SMT level. The
 // whole sweep is one runner batch; runs are added to the study in sweep
-// order so the report tables stay byte-identical to the serial form.
-func serStudy(cfg *uarch.Config, o Options) (*serminer.Study, error) {
-	study := serminer.NewStudy(cfg)
+// order so the report tables stay byte-identical to the serial form. In
+// tolerant mode (Options.Failures set) a failed point is dropped from the
+// study and returned in failed, so the caller renders a tagged partial row
+// instead of aborting the figure.
+func serStudy(cfg *uarch.Config, o Options) (study *serminer.Study, failed []string, err error) {
+	study = serminer.NewStudy(cfg)
 	suite, err := microprobe.Fig13Suite()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	specRep := workloads.Compress()
 	specSMTs := []int{1, 2, 4}
@@ -29,11 +33,15 @@ func serStudy(cfg *uarch.Config, o Options) (*serminer.Study, error) {
 	for _, smt := range specSMTs {
 		reqs = append(reqs, o.request(cfg, specRep, smt))
 	}
-	batch, err := runBatch(o, reqs)
+	batch, err := runBatchTolerant(o, "serStudy["+cfg.Name+"]", reqs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i, tc := range suite {
+		if batch[i].Err != nil {
+			failed = append(failed, tc.Name)
+			continue
+		}
 		study.AddRun(tc.Name, batch[i].Activity, tc.DataToggle)
 	}
 	// SPEC proxy entries per SMT level (st_spec, smt2_spec, smt4_spec).
@@ -42,25 +50,32 @@ func serStudy(cfg *uarch.Config, o Options) (*serminer.Study, error) {
 		if smt > 1 {
 			name = fmt.Sprintf("smt%d_spec", smt)
 		}
+		if batch[len(suite)+i].Err != nil {
+			failed = append(failed, name)
+			continue
+		}
 		study.AddRun(name, batch[len(suite)+i].Activity, 0)
 	}
-	return study, nil
+	return study, failed, nil
 }
 
 // Fig13Result is the per-suite derating table.
 type Fig13Result struct {
 	Reports []serminer.Report
 	VTs     []int
+	// Failed lists points dropped in tolerant mode; Table renders them as
+	// tagged partial rows.
+	Failed []string
 }
 
 // Fig13 computes static and runtime derating per testcase suite.
 func Fig13(o Options) (*Fig13Result, error) {
-	study, err := serStudy(uarch.POWER10(), o)
+	study, failed, err := serStudy(uarch.POWER10(), o)
 	if err != nil {
 		return nil, err
 	}
 	vts := []int{10, 50, 90}
-	return &Fig13Result{Reports: study.PerWorkload(vts), VTs: vts}, nil
+	return &Fig13Result{Reports: study.PerWorkload(vts), VTs: vts, Failed: failed}, nil
 }
 
 // Table renders Fig. 13.
@@ -70,6 +85,9 @@ func (r *Fig13Result) Table() string {
 		t.add(rep.Name, pct(rep.StaticDerating),
 			pct(rep.RuntimeDerating[10]), pct(rep.RuntimeDerating[50]), pct(rep.RuntimeDerating[90]))
 	}
+	for _, name := range r.Failed {
+		t.add(name, "FAILED", "-", "-", "-")
+	}
 	return t.String() + "runtime derating columns; paper Fig. 13 spans ~20-90% across suites and VTs\n"
 }
 
@@ -78,18 +96,22 @@ type Fig14Result struct {
 	VTs []int
 	P9  serminer.Report
 	P10 serminer.Report
+	// Failed lists points dropped in tolerant mode; the aggregate is then
+	// computed over the surviving runs and the table carries a notice.
+	Failed []string
 }
 
 // Fig14 evaluates both cores against the POWER9-referenced thresholds.
 func Fig14(o Options) (*Fig14Result, error) {
-	s9, err := serStudy(uarch.POWER9(), o)
+	s9, failed9, err := serStudy(uarch.POWER9(), o)
 	if err != nil {
 		return nil, err
 	}
-	s10, err := serStudy(uarch.POWER10(), o)
+	s10, failed10, err := serStudy(uarch.POWER10(), o)
 	if err != nil {
 		return nil, err
 	}
+	failed := append(failed9, failed10...)
 	vts := []int{10, 30, 50, 70, 90}
 	thr := s9.Thresholds(vts)
 	a9, err := s9.Aggregate(vts, thr)
@@ -100,7 +122,7 @@ func Fig14(o Options) (*Fig14Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fig14Result{VTs: vts, P9: a9, P10: a10}, nil
+	return &Fig14Result{VTs: vts, P9: a9, P10: a10, Failed: failed}, nil
 }
 
 // Table renders Fig. 14.
@@ -112,5 +134,10 @@ func (r *Fig14Result) Table() string {
 	}
 	t.add("static", pct(r.P9.StaticDerating), pct(r.P10.StaticDerating),
 		pct(r.P10.StaticDerating-r.P9.StaticDerating))
-	return t.String() + "paper: P10 runtime derating higher (gap 6% at VT=10% to 21% at VT=90%); static ~10% lower\n"
+	s := t.String() + "paper: P10 runtime derating higher (gap 6% at VT=10% to 21% at VT=90%); static ~10% lower\n"
+	if len(r.Failed) > 0 {
+		s += fmt.Sprintf("PARTIAL: %d point(s) failed and were excluded: %s\n",
+			len(r.Failed), strings.Join(r.Failed, ", "))
+	}
+	return s
 }

@@ -1,0 +1,234 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
+	"power10sim/internal/uarch"
+)
+
+// testCampaign builds a small but statistically meaningful campaign.
+func testCampaign(t *testing.T, pool *runner.Runner, trials int, consequences bool) *Campaign {
+	t.Helper()
+	cases, err := DefaultCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Campaign{
+		Cfg:          uarch.POWER10(),
+		Cases:        cases,
+		Trials:       trials,
+		Seed:         42,
+		Consequences: consequences,
+		Pool:         pool,
+	}
+}
+
+func TestValidationAnalyticMatchesMeasured(t *testing.T) {
+	// The acceptance criterion: across >= 2 workloads with different
+	// vulnerability profiles (zero- vs random-data microprobe cases plus a
+	// SPEC proxy) and the full VT sweep, the injection-measured non-masked
+	// fraction must track SERMiner's analytic vulnerable fraction. The two
+	// sides share the classification rule (serminer.VulnerableAt), so the
+	// residual gap is Monte Carlo sampling error (~1/sqrt(trials)) plus
+	// workload phase variation (window-level vs run-level switching).
+	c := testCampaign(t, nil, 4000, false)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) < 3 {
+		t.Fatalf("campaign covered %d workloads, want 3", len(res.Workloads))
+	}
+	const tolerance = 0.08
+	for _, w := range res.Workloads {
+		for _, v := range w.PerVT {
+			if g := v.Gap(); g > tolerance || g < -tolerance {
+				t.Errorf("%s VT=%d%%: analytic %.3f vs measured %.3f (gap %+.3f > %.2f)",
+					w.Name, v.VT, v.Analytic, v.Measured, g, tolerance)
+			}
+		}
+	}
+	// The zero- and random-data cases must actually differ in vulnerability
+	// (otherwise the validation is vacuous).
+	zero, random := res.Workloads[0], res.Workloads[1]
+	lowVT := res.VTs[0]
+	var zv, rv float64
+	for _, v := range zero.PerVT {
+		if v.VT == lowVT {
+			zv = v.Measured
+		}
+	}
+	for _, v := range random.PerVT {
+		if v.VT == lowVT {
+			rv = v.Measured
+		}
+	}
+	if zv >= rv {
+		t.Errorf("zero-data measured vulnerability %.3f not below random-data %.3f", zv, rv)
+	}
+}
+
+func TestCampaignDeterministicAcrossJobs(t *testing.T) {
+	// The determinism regression: an identical seeded campaign must be
+	// bit-identical whether stage-2 simulations run on 1 worker or 8. Run
+	// under -race this also proves the parallel path is data-race free.
+	run := func(workers int) *CampaignResult {
+		pool := runner.New(workers)
+		pool.SetPolicy(runner.Policy{Timeout: time.Minute, MaxAttempts: 2})
+		res, err := testCampaign(t, pool, 120, true).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("campaign results differ between -jobs 1 and -jobs 8:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+func TestConsequenceTaxonomyCoverage(t *testing.T) {
+	// With consequence classification on, every trial lands in exactly one
+	// outcome bin and the interesting classes are populated.
+	pool := runner.New(4)
+	pool.SetPolicy(runner.Policy{Timeout: time.Minute, MaxAttempts: 2})
+	reg := telemetry.NewRegistry()
+	c := testCampaign(t, pool, 200, true)
+	c.Metrics = reg
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.FailureSummary(); s != "" {
+		t.Fatalf("healthy campaign reported failures:\n%s", s)
+	}
+	var totalStageB, totalHang, totalMaskedLatch, consequential int
+	for _, w := range res.Workloads {
+		var sum int
+		for _, n := range w.Outcomes {
+			sum += n
+		}
+		if sum+w.Failed != w.Trials {
+			t.Errorf("%s: outcome bins sum to %d of %d trials", w.Name, sum+w.Failed, w.Trials)
+		}
+		totalStageB += w.StageB
+		totalHang += w.Outcomes[OutcomeHang]
+		totalMaskedLatch += w.Outcomes[OutcomeMaskedLatch]
+		consequential += w.Outcomes[OutcomeSDC] + w.Outcomes[OutcomeDetected] +
+			w.Outcomes[OutcomeHang] + w.Outcomes[OutcomeMaskedArch]
+	}
+	if totalStageB == 0 {
+		t.Error("no trials reached consequence classification")
+	}
+	if totalMaskedLatch == 0 {
+		t.Error("no trials were latch-masked (derating would be zero)")
+	}
+	if consequential == 0 {
+		t.Error("no captured trial produced a consequence")
+	}
+	if totalHang == 0 {
+		t.Error("no hang outcomes: the wedge/watchdog path went unexercised")
+	}
+	// Telemetry must account for every trial.
+	wantTrials := uint64(len(res.Workloads) * res.Trials)
+	if got := reg.Counter("faultinject_trials_total").Value(); got != wantTrials {
+		t.Errorf("trials counter = %d, want %d", got, wantTrials)
+	}
+	if got := reg.Counter("faultinject_stageb_sims_total").Value(); got != uint64(totalStageB) {
+		t.Errorf("stage-B counter = %d, want %d", got, totalStageB)
+	}
+	var outcomeSum uint64
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		name := "faultinject_outcome_" + map[Outcome]string{
+			OutcomeMaskedLatch: "masked_latch", OutcomeMaskedArch: "masked_arch",
+			OutcomeSDC: "sdc", OutcomeDetected: "detected", OutcomeHang: "hang",
+		}[o] + "_total"
+		outcomeSum += reg.Counter(name).Value()
+	}
+	if outcomeSum != wantTrials {
+		t.Errorf("outcome counters sum to %d, want %d", outcomeSum, wantTrials)
+	}
+}
+
+func TestCampaignSurvivesChaos(t *testing.T) {
+	// Chaos acceptance: with panics and transient errors forced into the
+	// stage-2 execution path, a campaign with a retry policy must complete
+	// with full accounting and no lost trials — MaxAttempts exceeds the
+	// whole chaos budget, so even if scheduling concentrates every forced
+	// failure on one request, its retries absorb them.
+	pool := runner.New(4)
+	pool.SetPolicy(runner.Policy{Timeout: 30 * time.Second, MaxAttempts: 6, Backoff: time.Microsecond})
+	c := testCampaign(t, pool, 150, true)
+	c.Chaos = &runner.ChaosSpec{PanicFirst: 2, FailFirst: 2}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Chaos.Execs() == 0 {
+		t.Fatal("chaos spec never executed: stage 2 did not flow through the pool")
+	}
+	if s := res.FailureSummary(); s != "" {
+		t.Errorf("failure budget within retry budget, but trials were lost:\n%s", s)
+	}
+	for _, w := range res.Workloads {
+		var sum int
+		for _, n := range w.Outcomes {
+			sum += n
+		}
+		if sum+w.Failed != w.Trials {
+			t.Errorf("%s: lost trials under chaos (%d of %d accounted)", w.Name, sum+w.Failed, w.Trials)
+		}
+	}
+	st := pool.Stats()
+	if st.Panics == 0 || st.Retries == 0 {
+		t.Errorf("pool stats %+v: chaos produced no recovered panics/retries", st)
+	}
+
+	// A failure budget beyond the retry budget must degrade, not crash:
+	// failed trials are tagged and listed, everything else classifies.
+	pool2 := runner.New(2)
+	pool2.SetPolicy(runner.Policy{Timeout: 30 * time.Second, MaxAttempts: 2, Backoff: time.Microsecond})
+	c2 := testCampaign(t, pool2, 60, true)
+	c2.Chaos = &runner.ChaosSpec{FailFirst: 1 << 30}
+	res2, err := c2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed int
+	for _, w := range res2.Workloads {
+		failed += w.Failed
+	}
+	if failed == 0 {
+		t.Error("unbounded chaos produced no failed trials")
+	}
+	if len(res2.Failures) != failed {
+		t.Errorf("failure log has %d entries, %d trials failed", len(res2.Failures), failed)
+	}
+}
+
+func TestRenderersAreStable(t *testing.T) {
+	c := testCampaign(t, nil, 60, true)
+	if c.Pool == nil {
+		c.Pool = runner.New(2)
+		c.Pool.SetPolicy(runner.Policy{Timeout: time.Minute})
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := res.ValidationTable()
+	ot := res.OutcomeTable()
+	if vt == "" || ot == "" {
+		t.Fatal("empty tables")
+	}
+	// Rendering must be a pure function of the result.
+	if vt != res.ValidationTable() || ot != res.OutcomeTable() {
+		t.Error("table rendering is not deterministic")
+	}
+}

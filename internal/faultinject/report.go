@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidationTable renders the SERMiner-vs-injection comparison: for every
+// workload and threshold, the analytic vulnerable latch fraction next to the
+// injection-measured non-masked trial fraction and their gap. This is the
+// campaign's headline table — agreement within sampling error is the
+// cross-validation of the derating methodology.
+func (r *CampaignResult) ValidationTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "derating validation: %s, SMT%d, %d trials/workload, %d latches, seed %d\n",
+		r.Cfg, r.SMT, r.Trials, r.TotalLatches, r.Seed)
+	t := newTable("workload", "VT", "analytic vulnerable", "injected non-masked", "gap")
+	for _, w := range r.Workloads {
+		for _, v := range w.PerVT {
+			t.add(w.Name, fmt.Sprintf("%d%%", v.VT),
+				pct(v.Analytic), pct(v.Measured), fmt.Sprintf("%+.1f%%", v.Gap()*100))
+		}
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "max |gap| %.1f%% (analytic rule == injection rule; residual is window phase variation + sampling error)\n",
+		r.MaxValidationGap()*100)
+	return b.String()
+}
+
+// OutcomeTable renders the consequence histogram at the reference threshold.
+// Empty (all-zero) when the campaign ran without Consequences.
+func (r *CampaignResult) OutcomeTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "upset consequences at VT=%d%% (%d trials/workload)\n", r.RefVT, r.Trials)
+	header := []string{"workload"}
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		header = append(header, o.String())
+	}
+	header = append(header, "failed")
+	t := newTable(header...)
+	for _, w := range r.Workloads {
+		row := []string{w.Name}
+		for o := Outcome(0); o < NumOutcomes; o++ {
+			row = append(row, fmt.Sprintf("%d", w.Outcomes[o]))
+		}
+		row = append(row, fmt.Sprintf("%d", w.Failed))
+		t.add(row...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("masked-latch: flip never captured; masked-arch: captured, no architectural effect;\n" +
+		"sdc: silent corruption (state-hash mismatch); detected: checker/crash; hang: watchdog fired\n")
+	return b.String()
+}
+
+// FailureSummary renders the unclassifiable-trial log ("" when clean).
+func (r *CampaignResult) FailureSummary() string {
+	if len(r.Failures) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d trial(s) could not be classified:\n", len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// table is a fixed-width text table (matching the experiments renderers).
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			w := widths[len(widths)-1]
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -79,3 +79,32 @@ func (m *Memory) LoadImage(img map[uint64][]byte) {
 
 // Pages reports the number of touched pages (footprint diagnostics).
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Hash returns an order-independent FNV-style digest of the memory contents.
+// Untouched and all-zero pages hash identically (reads of untouched memory
+// return zeros), so two memories with equal observable contents have equal
+// hashes — the property the fault-injection engine's silent-data-corruption
+// check relies on.
+func (m *Memory) Hash() uint64 {
+	var h uint64
+	for pn, p := range m.pages {
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		ph := uint64(offset64)
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+			}
+			ph = (ph ^ uint64(b)) * prime64
+		}
+		if zero {
+			continue // indistinguishable from an untouched page
+		}
+		// Commutative combine keeps the digest independent of map order.
+		x := pn*0x9E3779B97F4A7C15 ^ ph
+		x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+		x = (x ^ x>>27) * 0x94D049BB133111EB
+		h ^= x ^ x>>31
+	}
+	return h
+}

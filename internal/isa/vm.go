@@ -315,3 +315,40 @@ func (vm *VM) ACCF32(i int) [4][4]float32 {
 	}
 	return out
 }
+
+// StateHash digests the VM's full architectural state: registers,
+// accumulators, memory contents, control state and retirement count. Two
+// executions that end in equal hashes are architecturally indistinguishable;
+// the fault-injection engine compares an injected run's hash against the
+// golden run's to detect silent data corruption.
+func (vm *VM) StateHash() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	for _, v := range vm.GPRs {
+		mix(v)
+	}
+	for _, v := range vm.VSRs {
+		mix(v[0])
+		mix(v[1])
+	}
+	for _, a := range vm.ACCs {
+		for _, v := range a {
+			mix(v)
+		}
+	}
+	mix(uint64(vm.pc))
+	if vm.halted {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	mix(vm.retired)
+	mix(vm.Mem.Hash())
+	return h
+}

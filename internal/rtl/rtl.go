@@ -216,19 +216,42 @@ type Stats struct {
 	BucketUtil []float64
 }
 
+// DefaultToggle is the default datapath toggle-probability estimate for a
+// unit at the given busy fraction: toggle probability rises with how
+// saturated the unit is, with a 0.18 floor (residual toggling on clocked but
+// idle latches). SERMiner's switching proxy and the fault-injection engine's
+// per-window model both use this curve, so their classifications are
+// comparable by construction.
+func DefaultToggle(busy float64) float64 {
+	return 0.18 + 0.30*busy
+}
+
 // dataActivity estimates the average data toggle probability of a unit's
-// clocked latches from the workload's issue mix.
+// clocked latches from the workload's issue mix. A fully idle unit toggles
+// nothing (its clocked latches hold state), so the floor does not apply.
 func dataActivity(a *uarch.Activity, u uarch.Unit) float64 {
-	cyc := float64(a.Cycles)
-	if cyc == 0 {
+	if a.Cycles == 0 {
 		return 0
 	}
 	busy := a.BusyFraction(u)
 	if busy == 0 {
 		return 0
 	}
-	// Toggle probability rises with how saturated the unit is.
-	return 0.18 + 0.30*busy
+	return DefaultToggle(busy)
+}
+
+// UtilAt returns bucket i's clock utilization given its unit's busy
+// fraction: the bucket clocks when active (busy x weight) and, when idle,
+// on the fraction of clock opportunities gating fails to remove. This is the
+// exact per-bucket formula Analyze applies at run granularity; the
+// fault-injection engine applies it per observation window.
+func (m *LatchModel) UtilAt(i int, busy float64) float64 {
+	b := &m.Buckets[i]
+	if b.Config || b.Weight == 0 {
+		return 0
+	}
+	active := busy * b.Weight
+	return active + (1-active)*(1-m.GatingEff)
 }
 
 // Analyze produces the switching statistics for one workload run.
@@ -250,7 +273,7 @@ func (m *LatchModel) Analyze(a *uarch.Activity) *Stats {
 		busy := a.BusyFraction(b.Unit)
 		active := busy * b.Weight
 		// When idle (or active below weight), gating removes most clocks.
-		util := active + (1-active)*(1-m.GatingEff)
+		util := m.UtilAt(i, busy)
 		st.BucketUtil[i] = util
 		toggle := dataActivity(a, b.Unit)
 		wClock += w * util
@@ -265,6 +288,49 @@ func (m *LatchModel) Analyze(a *uarch.Activity) *Stats {
 		st.GhostSwitchRatio = wGhost / wTotal
 	}
 	return st
+}
+
+// SiteSampler draws latch upset sites from a model's population, weighted by
+// per-bucket latch counts, so a uniform random draw lands on each physical
+// latch with equal probability — the statistical foundation of the
+// fault-injection campaign's per-latch fraction estimates.
+type SiteSampler struct {
+	// cum[i] is the cumulative latch count through bucket i.
+	cum   []uint64
+	total uint64
+}
+
+// Sampler precomputes the population-weighted site distribution.
+func (m *LatchModel) Sampler() *SiteSampler {
+	s := &SiteSampler{cum: make([]uint64, len(m.Buckets))}
+	for i, b := range m.Buckets {
+		s.total += uint64(b.Latches)
+		s.cum[i] = s.total
+	}
+	return s
+}
+
+// TotalLatches returns the sampled population size.
+func (s *SiteSampler) TotalLatches() uint64 { return s.total }
+
+// Bucket maps a uniform draw to a bucket index: bucket i is selected with
+// probability Latches[i]/total. Returns -1 for an empty model.
+func (s *SiteSampler) Bucket(u uint64) int {
+	if s.total == 0 {
+		return -1
+	}
+	target := u % s.total
+	// Binary search the cumulative counts.
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // AccessEnergy returns the relative per-access energy of an SRAM array of

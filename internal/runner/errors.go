@@ -1,0 +1,118 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Failure taxonomy. The cache and the retry loop both key off one question —
+// is this error a property of the request (deterministic) or of the attempt
+// (transient)? Deterministic errors are memoized like successes: re-running
+// the same deterministic simulation would fail identically, so the sweep
+// should pay for the failure once. Transient errors (panics, watchdog
+// timeouts, injected chaos) must never be memoized: caching one would poison
+// every later request for the same key with a failure that might not recur.
+
+// ErrTransient is the sentinel transient failures match via errors.Is.
+var ErrTransient = errors.New("transient failure")
+
+// transientError tags an error as attempt-scoped.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Is matches the ErrTransient sentinel.
+func (e *transientError) Is(target error) bool { return target == ErrTransient }
+
+// Transient wraps err so IsTransient reports true for it. Simulation layers
+// (and chaos hooks) use it to tag failures that a retry may clear.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// PanicError is a panic recovered inside a worker, converted into an
+// ordinary Result.Err so one crashing simulation cannot take down a
+// multi-thousand-point sweep. Panics are treated as transient: they are
+// retried (a wedged allocation or corrupted scratch state may not recur) and
+// never cached.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simulation panicked: %v", e.Value)
+}
+
+// Is matches the ErrTransient sentinel.
+func (e *PanicError) Is(target error) bool { return target == ErrTransient }
+
+// IsTransient reports whether err is attempt-scoped: an explicit Transient
+// tag, a recovered panic, or a watchdog deadline. Transient errors are
+// retried (up to Policy.MaxAttempts) and never memoized.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cacheable reports whether a result may enter the memoization cache:
+// successes and deterministic errors are; transient failures and
+// cancellations are not (a canceled run says nothing about the request).
+func cacheable(err error) bool {
+	if err == nil {
+		return true
+	}
+	return !IsTransient(err) && !errors.Is(err, context.Canceled)
+}
+
+// ChaosSpec forces failures into a request's execution path. It exists to
+// prove the runner's recovery machinery against real failure modes: the
+// injection campaign's chaos mode and the `make chaos` gate submit requests
+// carrying specs like these through the production worker pool.
+//
+// Executions of the request consume the spec's failure budget in order:
+// the first PanicFirst executions panic, the next FailFirst return a tagged
+// transient error, and every execution after that (or every execution, with
+// Hang set) proceeds normally. A hang blocks until the per-attempt watchdog
+// or the runner context cancels it, so hanging requests require a
+// Policy.Timeout (or an eventually-canceled context) to terminate.
+//
+// A spec is keyed by identity: two requests sharing a *ChaosSpec share a
+// cache entry and a failure budget.
+type ChaosSpec struct {
+	// PanicFirst panics on this many initial executions.
+	PanicFirst int
+	// FailFirst returns a transient error on this many executions after the
+	// panics are exhausted.
+	FailFirst int
+	// Hang blocks every execution until the context is canceled.
+	Hang bool
+
+	execs atomic.Uint64
+}
+
+// Execs reports how many executions the spec has intercepted.
+func (c *ChaosSpec) Execs() uint64 { return c.execs.Load() }
+
+// act applies the spec for one execution. It panics, blocks, or returns a
+// non-nil transient error when the execution should fail; nil means proceed
+// with the real simulation.
+func (c *ChaosSpec) act(ctx context.Context) error {
+	n := int(c.execs.Add(1))
+	if n <= c.PanicFirst {
+		panic(fmt.Sprintf("chaos: injected panic (execution %d)", n))
+	}
+	if n <= c.PanicFirst+c.FailFirst {
+		return Transient(fmt.Errorf("chaos: injected failure (execution %d)", n))
+	}
+	if c.Hang {
+		<-ctx.Done()
+		return fmt.Errorf("chaos: hang interrupted: %w", ctx.Err())
+	}
+	return nil
+}

@@ -30,6 +30,15 @@ type key struct {
 	budget    uint64
 	warmup    uint64
 	maxCycles uint64
+	// upset is the injected-fault parameter set (zero when hasUpset is
+	// false): two requests differing only in their upsets are distinct
+	// deterministic simulations and must not share a cache slot.
+	upset    uarch.Upset
+	hasUpset bool
+	// chaos keys forced-failure specs by identity: a spec carries mutable
+	// failure-budget state, so only requests sharing the same spec instance
+	// may share an entry.
+	chaos *ChaosSpec
 }
 
 // keyOf derives the cache key; ok is false for unkeyable requests.
@@ -42,14 +51,20 @@ func keyOf(req Request) (key, bool) {
 		smt = 1
 	}
 	p := req.W.Prog
-	return key{
+	k := key{
 		cfg:       *req.Cfg,
 		prog:      progID{name: p.Name, code: len(p.Code), hash: fingerprint(p)},
 		smt:       smt,
 		budget:    req.Budget,
 		warmup:    req.Warmup,
 		maxCycles: req.MaxCycles,
-	}, true
+		chaos:     req.Chaos,
+	}
+	if req.Upset != nil {
+		k.upset = *req.Upset
+		k.hasUpset = true
+	}
+	return k, true
 }
 
 // fingerprints memoizes per-pointer fingerprints: a batch resubmits the same

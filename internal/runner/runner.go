@@ -16,8 +16,12 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -43,6 +47,13 @@ type Request struct {
 	Warmup uint64
 	// MaxCycles bounds the simulation.
 	MaxCycles uint64
+	// Upset, when non-nil, injects a single-latch upset into the run (see
+	// uarch.WithUpset). The upset parameters join the cache key: two
+	// requests differing only in their upsets are distinct simulations.
+	Upset *uarch.Upset
+	// Chaos, when non-nil, forces failures into the execution path for
+	// harness testing. Keyed by spec identity.
+	Chaos *ChaosSpec
 }
 
 // Result is one simulation's outcome. Activity and Report are private copies:
@@ -50,13 +61,17 @@ type Request struct {
 type Result struct {
 	Activity *uarch.Activity
 	Report   *power.Report
-	Err      error
+	// Upset reports what an injected upset hit (nil without injection).
+	Upset *uarch.UpsetOutcome
+	Err   error
+	// Attempts is how many executions the result took (1 without retries).
+	Attempts int
 }
 
 // clone returns a caller-owned copy of the result so cached values can never
 // be mutated through a returned pointer.
 func (r Result) clone() Result {
-	out := Result{Err: r.Err}
+	out := Result{Err: r.Err, Attempts: r.Attempts}
 	if r.Activity != nil {
 		a := *r.Activity
 		out.Activity = &a
@@ -66,12 +81,24 @@ func (r Result) clone() Result {
 		rep.Components = append([]float64(nil), r.Report.Components...)
 		out.Report = &rep
 	}
+	if r.Upset != nil {
+		u := *r.Upset
+		out.Upset = &u
+	}
 	return out
 }
 
-// run executes the simulation. This mirrors the original serial
-// experiments.RunOn body, including its error formatting.
-func (r Request) run() Result {
+// runCtx executes the simulation once. It mirrors the original serial
+// experiments.RunOn body (including its error formatting), plus the hardened
+// execution options: cooperative cancellation, a strict cycle limit so a
+// wedged run surfaces as a diagnostic HangError instead of silently
+// truncated statistics, and optional fault injection.
+func (r Request) runCtx(ctx context.Context) Result {
+	if r.Chaos != nil {
+		if err := r.Chaos.act(ctx); err != nil {
+			return Result{Err: err}
+		}
+	}
 	smt := r.SMT
 	if smt < 1 {
 		smt = 1
@@ -80,13 +107,20 @@ func (r Request) run() Result {
 	for i := 0; i < smt; i++ {
 		streams = append(streams, trace.NewVMStream(r.W.Prog, r.Budget))
 	}
-	res, err := uarch.Simulate(r.Cfg, streams, r.MaxCycles, uarch.WithWarmup(r.Warmup))
+	opts := []uarch.SimOption{uarch.WithWarmup(r.Warmup), uarch.WithStrictCycleLimit()}
+	if ctx != nil && ctx.Done() != nil {
+		opts = append(opts, uarch.WithContext(ctx))
+	}
+	if r.Upset != nil {
+		opts = append(opts, uarch.WithUpset(r.Upset))
+	}
+	res, err := uarch.Simulate(r.Cfg, streams, r.MaxCycles, opts...)
 	if err != nil {
 		return Result{Err: fmt.Errorf("%s on %s (SMT%d): %w", r.W.Name, r.Cfg.Name, smt, err)}
 	}
 	rep := power.NewModel(r.Cfg).Report(&res.Activity)
 	act := res.Activity
-	return Result{Activity: &act, Report: rep}
+	return Result{Activity: &act, Report: rep, Upset: res.Upset}
 }
 
 // entry is one cache slot. The first requester computes the result and
@@ -114,6 +148,17 @@ type Stats struct {
 	// PeakInFlight is the maximum number of simulations executing
 	// simultaneously over the runner's lifetime.
 	PeakInFlight int
+	// Retries counts re-executions after transient failures.
+	Retries uint64
+	// Panics counts panics recovered inside workers.
+	Panics uint64
+	// Timeouts counts attempts aborted by the per-simulation watchdog.
+	Timeouts uint64
+	// Cancels counts attempts aborted by context cancellation (SIGINT).
+	Cancels uint64
+	// Uncached counts results withheld from the memoization cache because
+	// their error was transient (the cache-poisoning guard).
+	Uncached uint64
 }
 
 // obs holds the runner's telemetry handles. All fields are nil until
@@ -121,10 +166,30 @@ type Stats struct {
 // uninstrumented hot path pays only dead branches.
 type obs struct {
 	hits, misses, coalesced *telemetry.Counter
+	retries, panics         *telemetry.Counter
+	timeouts, cancels       *telemetry.Counter
+	uncached                *telemetry.Counter
 	queueWait, runLatency   *telemetry.Histogram
 	busyWorkers             *telemetry.Gauge
 	peakInFlight            *telemetry.Gauge
 	tracer                  *telemetry.Tracer
+}
+
+// Policy is the runner's fault-tolerance configuration. The zero value is
+// the pre-hardening behavior: no watchdog, no retries (panics are still
+// recovered and transient errors still bypass the cache).
+type Policy struct {
+	// Timeout is the per-attempt wall-clock watchdog: each execution runs
+	// under a context deadline and is cooperatively aborted (and treated as
+	// transient) when it expires. 0 disables the watchdog.
+	Timeout time.Duration
+	// MaxAttempts bounds executions per request for transient failures
+	// (panics, timeouts, tagged errors). Values < 1 mean 1: no retry.
+	MaxAttempts int
+	// Backoff is the base delay before the first retry; subsequent retries
+	// double it (capped at 16x) with deterministic jitter derived from the
+	// request, so sweeps remain reproducible. 0 retries immediately.
+	Backoff time.Duration
 }
 
 // Runner is a bounded worker pool with a keyed memoization cache.
@@ -132,6 +197,8 @@ type obs struct {
 type Runner struct {
 	workers int
 	sem     chan struct{}
+	base    context.Context
+	policy  Policy
 
 	mu       sync.Mutex
 	cache    map[key]*entry
@@ -151,12 +218,27 @@ func New(workers int) *Runner {
 	return &Runner{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
+		base:    context.Background(),
 		cache:   map[key]*entry{},
 	}
 }
 
 // Workers returns the concurrency bound.
 func (r *Runner) Workers() int { return r.workers }
+
+// SetPolicy installs the fault-tolerance policy. Call before submitting
+// requests; SetPolicy is not synchronized with Do.
+func (r *Runner) SetPolicy(p Policy) { r.policy = p }
+
+// SetContext sets the base context Do and RunAll derive executions from,
+// threading external cancellation (SIGINT) through every simulation. Call
+// before submitting requests; SetContext is not synchronized with Do.
+func (r *Runner) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.base = ctx
+}
 
 // Instrument attaches a metrics registry and tracer to the runner. Either
 // may be nil (that aspect stays off). Metrics exported:
@@ -167,6 +249,11 @@ func (r *Runner) Workers() int { return r.workers }
 //	runner_run_seconds                histogram of simulation latencies
 //	runner_workers_busy               gauge of currently executing sims
 //	runner_inflight_peak              gauge of the peak concurrency seen
+//	runner_retries_total              re-executions after transient failures
+//	runner_panics_recovered_total     panics recovered into Result.Err
+//	runner_watchdog_timeouts_total    attempts aborted by the wall-clock watchdog
+//	runner_cancels_total              attempts aborted by context cancellation
+//	runner_uncached_errors_total      transient results withheld from the cache
 //
 // With a tracer attached, every executed (cache-miss) simulation also emits
 // a span named sim:<workload>@<config>/smt<N>. Call before submitting
@@ -176,6 +263,11 @@ func (r *Runner) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		hits:         reg.Counter("runner_cache_hits_total"),
 		misses:       reg.Counter("runner_cache_misses_total"),
 		coalesced:    reg.Counter("runner_inflight_coalesced_total"),
+		retries:      reg.Counter("runner_retries_total"),
+		panics:       reg.Counter("runner_panics_recovered_total"),
+		timeouts:     reg.Counter("runner_watchdog_timeouts_total"),
+		cancels:      reg.Counter("runner_cancels_total"),
+		uncached:     reg.Counter("runner_uncached_errors_total"),
 		queueWait:    reg.Histogram("runner_queue_wait_seconds", telemetry.DurationBuckets()),
 		runLatency:   reg.Histogram("runner_run_seconds", telemetry.DurationBuckets()),
 		busyWorkers:  reg.Gauge("runner_workers_busy"),
@@ -194,13 +286,24 @@ func (r *Runner) Stats() Stats {
 	return r.stats
 }
 
-// Do executes one request through the cache and pool.
-func (r *Runner) Do(req Request) Result {
+// Do executes one request through the cache and pool under the runner's base
+// context (see SetContext).
+func (r *Runner) Do(req Request) Result { return r.DoCtx(r.base, req) }
+
+// DoCtx executes one request through the cache and pool. The context bounds
+// queue waiting and, combined with the policy watchdog, each execution
+// attempt. Successes and deterministic errors are memoized; transient
+// failures (panics, timeouts, tagged errors) and cancellations are returned
+// but never cached, so the next identical request re-executes.
+func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k, ok := keyOf(req)
 	if !ok {
 		// Unkeyable request (nil config/workload): execute uncached; the
 		// simulation itself will report the error.
-		return req.run()
+		return r.execute(ctx, req)
 	}
 	r.mu.Lock()
 	if e, hit := r.cache[k]; hit {
@@ -224,7 +327,16 @@ func (r *Runner) Do(req Request) Result {
 	r.obs.misses.Inc()
 
 	enqueued := time.Now()
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Canceled while queued: surface the cancellation and withdraw the
+		// cache entry so a later request re-executes.
+		e.res = Result{Err: fmt.Errorf("canceled before start: %w", ctx.Err())}
+		r.uncache(k, e)
+		close(e.ready)
+		return e.res.clone()
+	}
 	wait := time.Since(enqueued)
 	r.mu.Lock()
 	r.stats.QueueWait += wait
@@ -243,10 +355,16 @@ func (r *Runner) Do(req Request) Result {
 		sp = r.obs.tracer.Begin(spanName(req), "runner")
 	}
 	start := time.Now()
-	e.res = req.run()
+	e.res = r.execute(ctx, req)
 	r.obs.runLatency.Observe(time.Since(start).Seconds())
 	sp.End()
 
+	if !cacheable(e.res.Err) {
+		// Cache-poisoning guard: a transient failure (or cancellation) is a
+		// property of this attempt, not of the request — memoizing it would
+		// replay the failure to every later identical request.
+		r.uncache(k, e)
+	}
 	r.mu.Lock()
 	r.inflight--
 	inflight = r.inflight
@@ -255,6 +373,111 @@ func (r *Runner) Do(req Request) Result {
 	<-r.sem
 	close(e.ready)
 	return e.res.clone()
+}
+
+// uncache withdraws a failed entry from the cache (the entry's ready channel
+// still closes, so coalesced waiters observe the failed result once).
+func (r *Runner) uncache(k key, e *entry) {
+	r.mu.Lock()
+	if r.cache[k] == e {
+		delete(r.cache, k)
+		r.stats.Uncached++
+	}
+	r.mu.Unlock()
+	r.obs.uncached.Inc()
+}
+
+// execute runs a request with panic recovery, the per-attempt watchdog, and
+// bounded retry for transient failures.
+func (r *Runner) execute(ctx context.Context, req Request) Result {
+	maxAttempts := r.policy.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var res Result
+	for attempt := 1; ; attempt++ {
+		res = r.attempt(ctx, req)
+		res.Attempts = attempt
+		if res.Err == nil || !IsTransient(res.Err) ||
+			attempt >= maxAttempts || ctx.Err() != nil {
+			return res
+		}
+		r.obs.retries.Inc()
+		r.mu.Lock()
+		r.stats.Retries++
+		r.mu.Unlock()
+		if d := retryDelay(r.policy.Backoff, attempt, req); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return res
+			}
+		}
+	}
+}
+
+// attempt is one guarded execution: panics become a transient *PanicError,
+// and the policy watchdog bounds wall-clock time via a context deadline the
+// simulation polls cooperatively.
+func (r *Runner) attempt(ctx context.Context, req Request) (res Result) {
+	actx := ctx
+	if r.policy.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, r.policy.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			r.obs.panics.Inc()
+			r.mu.Lock()
+			r.stats.Panics++
+			r.mu.Unlock()
+			res = Result{Err: &PanicError{Value: p, Stack: debug.Stack()}}
+		}
+	}()
+	res = req.runCtx(actx)
+	if res.Err != nil {
+		switch {
+		case errors.Is(res.Err, context.DeadlineExceeded):
+			r.obs.timeouts.Inc()
+			r.mu.Lock()
+			r.stats.Timeouts++
+			r.mu.Unlock()
+		case errors.Is(res.Err, context.Canceled):
+			r.obs.cancels.Inc()
+			r.mu.Lock()
+			r.stats.Cancels++
+			r.mu.Unlock()
+		}
+	}
+	return res
+}
+
+// retryDelay computes the backoff before retry #attempt: exponential in the
+// attempt number, capped at 16x base, with deterministic jitter in
+// [d/2, d) derived from the request identity — reproducible sweeps, no
+// thundering herd.
+func retryDelay(base time.Duration, attempt int, req Request) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << (attempt - 1)
+	if d > 16*base {
+		d = 16 * base
+	}
+	h := fnv.New64a()
+	if req.W != nil {
+		h.Write([]byte(req.W.Name))
+	}
+	if req.Cfg != nil {
+		h.Write([]byte(req.Cfg.Name))
+	}
+	h.Write([]byte{byte(attempt), byte(req.SMT)})
+	frac := float64(h.Sum64()%1024) / 1024
+	half := d / 2
+	return half + time.Duration(float64(half)*frac)
 }
 
 // spanName labels an executed simulation's trace span.
@@ -269,15 +492,20 @@ func spanName(req Request) string {
 // RunAll fans the requests out across the pool and returns their results in
 // request order. Identical requests — within the batch or across batches —
 // are simulated once.
-func (r *Runner) RunAll(reqs []Request) []Result {
+func (r *Runner) RunAll(reqs []Request) []Result { return r.RunAllCtx(r.base, reqs) }
+
+// RunAllCtx is RunAll under an explicit context: cancellation aborts queued
+// and in-flight simulations cooperatively and the remaining results carry
+// cancellation errors.
+func (r *Runner) RunAllCtx(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {
 		return out
 	}
-	if r.workers == 1 && len(reqs) > 0 {
+	if r.workers == 1 {
 		// Serial fast path: no goroutines, identical observable behavior.
 		for i := range reqs {
-			out[i] = r.Do(reqs[i])
+			out[i] = r.DoCtx(ctx, reqs[i])
 		}
 		return out
 	}
@@ -286,7 +514,7 @@ func (r *Runner) RunAll(reqs []Request) []Result {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = r.Do(reqs[i])
+			out[i] = r.DoCtx(ctx, reqs[i])
 		}(i)
 	}
 	wg.Wait()

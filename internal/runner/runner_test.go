@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -19,7 +20,7 @@ func testRequest(cfg *uarch.Config, w *workloads.Workload, smt int) Request {
 func TestRunMatchesDirectSimulation(t *testing.T) {
 	w := workloads.Compress()
 	req := testRequest(uarch.POWER10(), w, 1)
-	direct := req.run()
+	direct := req.runCtx(context.Background())
 	if direct.Err != nil {
 		t.Fatal(direct.Err)
 	}

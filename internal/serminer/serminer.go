@@ -48,7 +48,7 @@ func (s *Study) AddRun(name string, a *uarch.Activity, dataToggle float64) {
 		}
 		toggle := dataToggle
 		if toggle <= 0 {
-			toggle = 0.18 + 0.30*a.BusyFraction(b.Unit)
+			toggle = rtl.DefaultToggle(a.BusyFraction(b.Unit))
 		}
 		sw[i] = st.BucketUtil[i] * toggle
 	}
@@ -157,7 +157,7 @@ func (s *Study) derateThresholds(name string, maxSwitch []float64, vts []int, th
 		}
 		var runtimeDerated, vulnerable float64
 		for i, v := range positive {
-			if v >= threshold {
+			if VulnerableAt(false, v, threshold) {
 				vulnerable += positiveWeights[i]
 			} else {
 				runtimeDerated += positiveWeights[i]
@@ -195,4 +195,18 @@ func (s *Study) Aggregate(vts []int, thresholds map[int]float64) (Report, error)
 // fewer latches need protection).
 func (r *Report) TotalDerating(vt int) float64 {
 	return r.StaticDerating + r.RuntimeDerating[vt]
+}
+
+// VulnerableAt is the study's latch classification rule, exported so the
+// fault-injection engine applies the exact same test per trial that the
+// analytic derating applies per bucket: configuration latches always hold
+// potentially vulnerable state; other latches are vulnerable when their
+// switching is positive and at or above the VT threshold. Keeping this rule
+// in one place is what makes the injection-measured non-masked fraction
+// directly comparable to the analytic vulnerable fraction.
+func VulnerableAt(config bool, switching, threshold float64) bool {
+	if config {
+		return true
+	}
+	return switching > 0 && switching >= threshold
 }

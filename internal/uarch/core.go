@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,6 +14,9 @@ type Result struct {
 	Config   *Config
 	SMT      int
 	Activity Activity
+	// Upset reports what an injected upset hit (nil when no injection was
+	// requested via WithUpset).
+	Upset *UpsetOutcome
 }
 
 // IPC is shorthand for the activity IPC.
@@ -113,6 +117,9 @@ type core struct {
 	now     uint64
 
 	busy [NumUnits]bool
+
+	// upsetOutcome records what an injected upset hit (nil until applied).
+	upsetOutcome *UpsetOutcome
 }
 
 // SimOption adjusts a simulation run.
@@ -124,6 +131,9 @@ type simOptions struct {
 	epochCallback func(Activity)
 	sampleEvery   uint64
 	sampleFn      func(CycleSample)
+	upset         *Upset
+	ctx           context.Context
+	strictLimit   bool
 }
 
 // WithWarmup discards all statistics gathered before the first n retired
@@ -242,7 +252,20 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 		samplePrev.Cycles = 0
 		sampleStart = end
 	}
+	// noProgressWindow is the forward-progress watchdog: a simulation that
+	// retires nothing for this many cycles is wedged (see HangError).
+	checkCtx := o.ctx != nil
 	for c.now = 0; c.now < maxCycles; c.now++ {
+		if o.upset != nil && c.now == o.upset.Cycle {
+			c.applyUpset(o.upset)
+		}
+		if checkCtx && c.now&(ctxCheckInterval-1) == 0 {
+			if err := o.ctx.Err(); err != nil {
+				c.syncActivity()
+				return nil, &CancelError{Cfg: cfg.Name, Cycle: c.now,
+					Retired: c.act.Instructions, Err: err}
+			}
+		}
 		c.busy = [NumUnits]bool{}
 		c.retire()
 		c.drainStores()
@@ -276,9 +299,14 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 		if c.act.Instructions != lastRetired {
 			lastRetired = c.act.Instructions
 			lastProgress = c.now
-		} else if c.now-lastProgress > 100_000 {
-			return nil, fmt.Errorf("uarch: no retirement progress for 100k cycles at cycle %d (%s)", c.now, cfg.Name)
+		} else if c.now-lastProgress > noProgressWindow {
+			c.syncActivity()
+			return nil, c.hangError("no retirement progress", noProgressWindow)
 		}
+	}
+	if o.strictLimit && !c.finished() {
+		c.syncActivity()
+		return nil, c.hangError("cycle limit exhausted", 0)
 	}
 	if o.epochCallback != nil && c.now > epochStart {
 		emitEpoch(c.now)
@@ -289,8 +317,12 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 	c.syncActivity()
 	c.act.Cycles = c.now - warmStart
 
-	return &Result{Config: cfg, SMT: len(streams), Activity: c.act}, nil
+	return &Result{Config: cfg, SMT: len(streams), Activity: c.act, Upset: c.upsetOutcome}, nil
 }
+
+// noProgressWindow is how many cycles may elapse without a retirement before
+// the simulation is declared wedged.
+const noProgressWindow = 100_000
 
 // syncActivity copies component-local counters into the activity record.
 func (c *core) syncActivity() {

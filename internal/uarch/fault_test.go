@@ -1,0 +1,183 @@
+package uarch
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"power10sim/internal/isa"
+	"power10sim/internal/trace"
+)
+
+// memLoop returns a loop with memory traffic so EA upsets have victims.
+func memLoop(iters int64) *isa.Program {
+	b := isa.NewBuilder("memloop")
+	b.Li(isa.GPR(1), 0)
+	b.Li(isa.GPR(2), iters)
+	b.Li(isa.GPR(5), 4096)
+	b.Label("top")
+	b.Ld(isa.GPR(6), isa.GPR(5), 0)
+	b.Addi(isa.GPR(6), isa.GPR(6), 1)
+	b.St(isa.GPR(5), isa.GPR(6), 0)
+	b.Addi(isa.GPR(5), isa.GPR(5), 8)
+	b.Addi(isa.GPR(1), isa.GPR(1), 1)
+	b.Bc(isa.CondLT, isa.GPR(1), isa.GPR(2), "top")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestNilUpsetIsZeroRate(t *testing.T) {
+	// The explicit off path: WithUpset(nil) must produce a result
+	// bit-identical to a run with no injection option at all.
+	p := simpleLoop(800)
+	cfg := POWER10()
+	plain, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Upset != nil {
+		t.Error("nil upset produced an outcome")
+	}
+	if !reflect.DeepEqual(plain.Activity, off.Activity) {
+		t.Error("WithUpset(nil) perturbed the simulation")
+	}
+}
+
+func TestUpsetEAPerturbsTimingOnly(t *testing.T) {
+	// A landed EA flip changes which line the access touches (timing) but
+	// the run still completes with all instructions retired.
+	p := memLoop(600)
+	cfg := POWER10()
+	clean, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &Upset{Cycle: clean.Activity.Cycles / 2, Target: UpsetEA, Slot: 1, Bit: 9}
+	hit, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Upset == nil {
+		t.Fatal("no upset outcome recorded")
+	}
+	if !hit.Upset.Landed {
+		t.Skip("no in-flight memory op at the injection cycle")
+	}
+	if hit.Upset.Target != UpsetEA {
+		t.Errorf("outcome target = %v, want ea", hit.Upset.Target)
+	}
+	if hit.Activity.Instructions != clean.Activity.Instructions {
+		t.Errorf("EA upset changed retirement count: %d vs %d",
+			hit.Activity.Instructions, clean.Activity.Instructions)
+	}
+}
+
+func TestUpsetDepWedgesPipelineWithDiagnostics(t *testing.T) {
+	// A self-dependency upset must wedge retirement and surface as a
+	// HangError carrying actionable diagnostics.
+	p := simpleLoop(50_000)
+	cfg := POWER10()
+	u := &Upset{Cycle: 500, Target: UpsetDep, Slot: 2}
+	_, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(u))
+	var hang *HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("err = %v, want *HangError", err)
+	}
+	if hang.Reason != "no retirement progress" {
+		t.Errorf("reason = %q", hang.Reason)
+	}
+	if hang.Window != noProgressWindow {
+		t.Errorf("window = %d, want %d", hang.Window, noProgressWindow)
+	}
+	if hang.ROBOccupancy == 0 {
+		t.Error("diagnostics lost the ROB occupancy")
+	}
+	if !hang.HeadValid || hang.HeadOp == "" {
+		t.Error("diagnostics lost the head-of-ROB operation")
+	}
+	if len(hang.Threads) == 0 {
+		t.Error("diagnostics lost the per-thread state")
+	}
+	msg := hang.Error()
+	for _, want := range []string{"no retirement progress", "head-of-ROB", "t0 pc="} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error text %q missing %q", msg, want)
+		}
+	}
+}
+
+// mulChain returns a serial multiply chain: multi-cycle latency keeps issued
+// in-flight entries alive, guaranteeing UpsetDone victims.
+func mulChain(n int) *isa.Program {
+	b := isa.NewBuilder("mulchain")
+	b.Li(isa.GPR(1), 3)
+	b.Li(isa.GPR(2), 1)
+	for i := 0; i < n; i++ {
+		b.Mul(isa.GPR(2), isa.GPR(2), isa.GPR(1))
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestUpsetDoneDelayAndHang(t *testing.T) {
+	p := mulChain(3000)
+	cfg := POWER10()
+	// A short completion delay is absorbed: the run finishes.
+	small := &Upset{Cycle: 400, Target: UpsetDone, Slot: 0, DoneDelay: 64}
+	res, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(small))
+	if err != nil {
+		t.Fatalf("small delay: %v", err)
+	}
+	if res.Upset == nil || !res.Upset.Landed {
+		t.Skip("no issued in-flight op at the injection cycle")
+	}
+	// The default (zero) delay selects a stall past the no-progress window.
+	wedge := &Upset{Cycle: 400, Target: UpsetDone, Slot: 0}
+	_, err = Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(wedge))
+	var hang *HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("zero-delay done upset: err = %v, want *HangError", err)
+	}
+}
+
+func TestWithContextCancelsCooperatively(t *testing.T) {
+	p := simpleLoop(200_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1 << 20)},
+		10_000_000, WithContext(ctx))
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("CancelError does not unwrap to context.Canceled")
+	}
+}
+
+func TestStrictCycleLimitDiagnoses(t *testing.T) {
+	p := simpleLoop(100_000)
+	// Far too few cycles: without strict mode this truncates silently.
+	loose, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 2_000)
+	if err != nil {
+		t.Fatalf("loose mode: %v", err)
+	}
+	if loose.Activity.Cycles != 2_000 {
+		t.Errorf("loose mode cycles = %d, want truncation at 2000", loose.Activity.Cycles)
+	}
+	_, err = Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1 << 20)},
+		2_000, WithStrictCycleLimit())
+	var hang *HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("strict mode: err = %v, want *HangError", err)
+	}
+	if hang.Reason != "cycle limit exhausted" {
+		t.Errorf("reason = %q", hang.Reason)
+	}
+}
