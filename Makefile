@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs chaos verify bench sweep profile
+.PHONY: build test vet race race-obs chaos serve-check perf verify bench sweep profile
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,12 @@ race:
 	$(GO) test -race ./...
 
 # race-obs is the focused race gate for the observability plumbing: the
-# telemetry registry/tracer, the instrumented runner, and the sim-sampling
-# glue are all exercised from many goroutines.
+# telemetry registry/tracer, the progress bus, the HTTP server, the
+# instrumented runner, and the sim-sampling glue are all exercised from many
+# goroutines.
 race-obs:
-	$(GO) test -race ./internal/telemetry ./internal/runner ./internal/simobs
+	$(GO) test -race ./internal/telemetry ./internal/progress ./internal/obsserver \
+		./internal/runner ./internal/simobs
 
 # chaos is the fault-tolerance gate: the runner hardening tests under the
 # race detector, then a p10faults self-test campaign with forced panics,
@@ -36,11 +38,24 @@ chaos:
 	$(GO) run ./cmd/p10obscheck -metrics /tmp/p10faults-chaos-metrics.json \
 		-require-counter runner_panics_recovered_total
 
+# serve-check boots p10bench with the live observability server on an
+# ephemeral port, probes /healthz /readyz /metrics /status mid-sweep
+# (validating the Prometheus exposition with p10obscheck -prom), SIGINTs the
+# process, and asserts a controlled shutdown with atomic telemetry files.
+serve-check:
+	bash scripts/serve_check.sh
+
+# perf runs the perf-regression ledger: the fixed go-bench tier plus a
+# wall-clocked quick sweep, written as the next perf/BENCH_<n>.json and
+# compared against the newest committed ledger. Exits nonzero on regression.
+perf:
+	$(GO) run ./cmd/p10perf
+
 # verify is the full gate: vet plus both normal and race-detector test
 # passes. The race pass matters because the experiment harness fans
 # simulations across a worker pool; race-obs fails fast on the telemetry
 # packages before the full-tree race run.
-verify: vet build test race-obs race chaos
+verify: vet build test race-obs race chaos serve-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'

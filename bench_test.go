@@ -71,7 +71,7 @@ func BenchmarkCoreTelemetryOff(b *testing.B) {
 func BenchmarkCoreTelemetryOn(b *testing.B) {
 	cfg := uarch.POWER10()
 	tr := telemetry.NewTracer()
-	benchCore(b, cfg, simobs.SampleOption(cfg, tr, 1000))
+	benchCore(b, cfg, simobs.SampleOption(cfg, tr, 1000, 1))
 }
 
 // BenchmarkCoreInjectionOff is the zero-rate guard for the fault-injection

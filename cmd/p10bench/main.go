@@ -10,6 +10,8 @@
 //	p10bench -metrics m.json # dump the telemetry-registry snapshot
 //	p10bench -trace t.json   # dump a Chrome trace (chrome://tracing, Perfetto)
 //	p10bench -pprof :6060    # serve net/http/pprof while the sweep runs
+//	p10bench -serve :9090    # live observability server: /metrics /status
+//	                         # /events /healthz /readyz /debug/pprof
 //	p10bench -list
 //
 // Simulations fan out across a bounded worker pool with a memoization cache,
@@ -38,6 +40,8 @@ import (
 
 	"power10sim/internal/cliutil"
 	"power10sim/internal/experiments"
+	"power10sim/internal/obsserver"
+	"power10sim/internal/progress"
 	"power10sim/internal/runner"
 	"power10sim/internal/telemetry"
 )
@@ -89,6 +93,7 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		serveAddr  = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090, 127.0.0.1:0)")
 	)
 	flag.Parse()
 	if *jobs < 0 {
@@ -109,9 +114,11 @@ func main() {
 	}
 	// Nil registry/tracer are valid no-op sinks, so instrumentation below is
 	// unconditional and the flags only decide whether anything is recorded.
+	// The observability server scrapes the registry live, so -serve implies
+	// a registry even without a -metrics file.
 	var reg *telemetry.Registry
 	var tr *telemetry.Tracer
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
 	if *traceOut != "" {
@@ -137,13 +144,39 @@ func main() {
 	pool := runner.New(*jobs)
 	pool.Instrument(reg, tr)
 	pool.SetContext(ctx)
+	// The progress bus is the single source of truth for everything that
+	// narrates the sweep: the stderr console lines, the /events SSE stream,
+	// and the /status aggregation all subscribe to the same events. With no
+	// subscriber attached, publishing costs one atomic load.
+	bus := progress.NewBus()
+	pool.SetBus(bus)
+	console := progress.NewConsole(bus, os.Stderr)
 	// Tolerant sweep: a failed simulation point (or whole experiment) is
 	// recorded and reported at end of sweep instead of aborting the run, so
 	// one bad point cannot void hours of completed figures.
 	failures := new(experiments.FailureLog)
+	var server *obsserver.Server
+	if *serveAddr != "" {
+		var err error
+		server, err = obsserver.Start(*serveAddr, obsserver.Options{
+			Command:  "p10bench",
+			Registry: reg,
+			Bus:      bus,
+			Stats:    pool.Stats,
+			Failures: failures.Count,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obsserver: listening on %s\n", server.URL())
+	}
 	opt := experiments.Options{Quick: *quick, Jobs: pool.Workers(), Runner: pool,
-		Metrics: reg, Trace: tr, Failures: failures}
+		Metrics: reg, Trace: tr, Failures: failures, Progress: bus}
 	expSeconds := telemetry.ExpBuckets(0.001, 4, 10)
+	// The sweep plan (catalog order, filter, pool) is built: flip readiness
+	// so /readyz distinguishes "starting" from "sweeping".
+	server.SetReady(true)
 	ran := 0
 	var failedExps []string
 	sweepStart := time.Now()
@@ -156,6 +189,7 @@ func main() {
 		}
 		ran++
 		fmt.Printf("=== %s ===\n", e.title)
+		bus.Publish(progress.Event{Kind: progress.KindExperimentBegun, Experiment: e.name})
 		start := time.Now()
 		sp := tr.Begin("exp:"+e.name, "experiment")
 		r, err := e.run(opt)
@@ -165,14 +199,22 @@ func main() {
 		reg.Histogram("experiment_seconds", expSeconds, telemetry.L("exp", e.name)).Observe(elapsed.Seconds())
 		if err != nil {
 			failedExps = append(failedExps, e.name)
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			bus.Publish(progress.Event{Kind: progress.KindExperimentFailed,
+				Experiment: e.name, Err: err.Error(), Elapsed: elapsed.Seconds()})
 			continue
 		}
 		fmt.Print(r.Table())
 		fmt.Println()
-		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", e.name, elapsed.Seconds())
+		bus.Publish(progress.Event{Kind: progress.KindExperimentDone,
+			Experiment: e.name, Elapsed: elapsed.Seconds()})
 	}
+	bus.Publish(progress.Event{Kind: progress.KindSweepDone,
+		Elapsed: time.Since(sweepStart).Seconds()})
+	// Flush the console before printing the summary lines below, so stderr
+	// keeps its historical order: per-experiment lines, then totals.
+	console.Stop()
 	if ran == 0 {
+		shutdownServer(server, bus)
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expName)
 		os.Exit(1)
 	}
@@ -226,5 +268,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep interrupted")
 		exit = 1
 	}
+	shutdownServer(server, bus)
 	os.Exit(exit)
+}
+
+// shutdownServer drains the observability server (bounded) and closes the
+// bus so SSE clients see end-of-stream before the process exits. Safe with
+// a nil server (-serve off).
+func shutdownServer(server *obsserver.Server, bus *progress.Bus) {
+	if server != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		server.Shutdown(sctx)
+		cancel()
+	}
+	bus.Close()
 }

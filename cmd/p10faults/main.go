@@ -29,6 +29,8 @@ import (
 
 	"power10sim/internal/cliutil"
 	"power10sim/internal/faultinject"
+	"power10sim/internal/obsserver"
+	"power10sim/internal/progress"
 	"power10sim/internal/runner"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/uarch"
@@ -61,6 +63,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "per-simulation watchdog deadline")
 		chaos        = flag.Bool("chaos", false, "inject panics/transient failures/hangs into the harness (self-test)")
 		metricsOut   = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+		serveAddr    = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090)")
 	)
 	flag.Parse()
 	if *trials < 1 {
@@ -95,12 +98,42 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	var reg *telemetry.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
 	pool := runner.New(*jobs)
 	pool.Instrument(reg, nil)
 	pool.SetContext(ctx)
+	// Progress plumbing: the runner publishes per-trial events for the
+	// observability server (when -serve is given) to re-render on /events
+	// and /status. Unlike p10bench there is no stderr console subscriber:
+	// an injected upset that hangs or crashes its simulation is an expected
+	// campaign outcome (classified in the consequence table), not a harness
+	// failure worth a diagnostic line per trial. With no subscriber the bus
+	// costs one atomic load per publish.
+	bus := progress.NewBus()
+	pool.SetBus(bus)
+	var server *obsserver.Server
+	if *serveAddr != "" {
+		var err error
+		server, err = obsserver.Start(*serveAddr, obsserver.Options{
+			Command: "p10faults", Registry: reg, Bus: bus, Stats: pool.Stats,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obsserver: listening on %s\n", server.URL())
+	}
+	shutdown := func() {
+		bus.Publish(progress.Event{Kind: progress.KindSweepDone})
+		if server != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			server.Shutdown(sctx)
+			cancel()
+		}
+		bus.Close()
+	}
 	policy := runner.Policy{Timeout: *timeout, MaxAttempts: 3, Backoff: 10 * time.Millisecond}
 	if *chaos {
 		// Self-test mode: short watchdog and a retry budget smaller than the
@@ -114,6 +147,7 @@ func main() {
 	cases, err := faultinject.DefaultCases()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		shutdown()
 		os.Exit(1)
 	}
 	c := &faultinject.Campaign{
@@ -135,6 +169,8 @@ func main() {
 		c.Consequences = true
 		c.Chaos = &runner.ChaosSpec{PanicFirst: 3, FailFirst: 3, Hang: true}
 	}
+	// Campaign plan is built: the server may now answer /readyz positively.
+	server.SetReady(true)
 
 	start := time.Now()
 	res, runErr := c.Run()
@@ -157,6 +193,7 @@ func main() {
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
 		writeMetrics()
+		shutdown()
 		os.Exit(1)
 	}
 
@@ -180,5 +217,6 @@ func main() {
 		exit = 1
 	}
 	writeMetrics()
+	shutdown()
 	os.Exit(exit)
 }

@@ -1,6 +1,8 @@
 // Command p10obscheck sanity-checks the observability artifacts a sweep
-// produces: the metrics-registry JSON snapshot (-metrics) and the Chrome
-// trace_event file (-trace). It is the verification half of `make profile`.
+// produces: the metrics-registry JSON snapshot (-metrics), the Chrome
+// trace_event file (-trace), and the Prometheus text exposition served on
+// /metrics (-prom, "-" for stdin). It is the verification half of
+// `make profile` and `make serve-check`.
 //
 // Checks performed:
 //
@@ -10,9 +12,12 @@
 //   - trace: valid JSON with a traceEvents array, every span ("X") event
 //     carrying a positive duration, and — when -require-span is given — at
 //     least -min-spans spans whose name starts with the prefix.
+//   - prom: well-formed exposition (TYPE lines, name/label syntax, escape
+//     sequences), contiguous families, sorted duplicate-free series, and
+//     cumulative histograms that agree with their _count.
 //
-// Exit status 0 when every check passes; 1 with a message on stderr
-// otherwise.
+// Exit status 0 when every check passes; 1 with a message on stderr when a
+// check fails; 2 on a usage error.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"sort"
 	"strings"
 
+	"power10sim/internal/cliutil"
 	"power10sim/internal/telemetry"
 )
 
@@ -135,22 +141,54 @@ func checkTrace(path, requireSpan string, minSpans int) {
 	fmt.Fprintf(os.Stderr, "p10obscheck: trace ok (%d events, %d spans)\n", len(tf.TraceEvents), spans)
 }
 
+func checkProm(path string) {
+	var r *os.File
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("prom: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	st, err := validateProm(r)
+	if err != nil {
+		fail("prom: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "p10obscheck: prom ok (%d families, %d samples)\n", st.Families, st.Samples)
+}
+
 func main() {
 	var (
 		metricsPath    = flag.String("metrics", "", "metrics snapshot JSON to check")
 		tracePath      = flag.String("trace", "", "Chrome trace JSON to check")
+		promPath       = flag.String("prom", "", "Prometheus text exposition to check (\"-\" = stdin)")
 		requireCounter = flag.String("require-counter", "", "counter that must exist with a non-zero value")
 		requireSpan    = flag.String("require-span", "", "span-name prefix that must appear")
 		minSpans       = flag.Int("min-spans", 1, "minimum spans matching -require-span")
 	)
 	flag.Parse()
-	if *metricsPath == "" && *tracePath == "" {
-		fail("nothing to check: pass -metrics and/or -trace")
+	if *metricsPath == "" && *tracePath == "" && *promPath == "" {
+		cliutil.Usagef("nothing to check: pass -metrics, -trace and/or -prom")
+	}
+	if *minSpans < 0 {
+		cliutil.Usagef("-min-spans %d: must be >= 0", *minSpans)
+	}
+	if *requireSpan != "" && *tracePath == "" {
+		cliutil.Usagef("-require-span needs -trace")
+	}
+	if *requireCounter != "" && *metricsPath == "" {
+		cliutil.Usagef("-require-counter needs -metrics")
 	}
 	if *metricsPath != "" {
 		checkMetrics(*metricsPath, *requireCounter)
 	}
 	if *tracePath != "" {
 		checkTrace(*tracePath, *requireSpan, *minSpans)
+	}
+	if *promPath != "" {
+		checkProm(*promPath)
 	}
 }

@@ -1,0 +1,309 @@
+// Prometheus text-exposition validation for the -prom flag: the structural
+// contract a scraper relies on, checked offline against a file or a piped
+// `curl /metrics` body.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promStats summarizes a validated exposition for the ok line.
+type promStats struct {
+	Families int
+	Samples  int
+}
+
+// histSeries accumulates one histogram series' bucket/sum/count lines so the
+// cumulative-monotonicity and completeness checks can run at end of input.
+type histSeries struct {
+	lastLe    float64
+	lastCount uint64
+	buckets   int
+	infCount  uint64
+	seenInf   bool
+	count     uint64
+	seenCount bool
+	seenSum   bool
+}
+
+// validateProm checks a Prometheus text exposition (format 0.0.4) for the
+// properties our scrape consumers depend on:
+//
+//   - every sample belongs to the most recent # TYPE family (no TYPE line
+//     duplicated, no samples before their TYPE, families contiguous)
+//   - metric and label names are legal, label values use only the three
+//     escapes (\\, \", \n) and every value parses as a float
+//   - within a family, series appear in sorted label order with no duplicates
+//   - histogram buckets are cumulative (counts monotone nondecreasing along
+//     ascending le), end in le="+Inf", and agree with _count; _sum present
+func validateProm(r io.Reader) (promStats, error) {
+	var st promStats
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return st, err
+	}
+	types := map[string]string{}
+	closed := map[string]bool{}
+	var family, kind string
+	lastKey, haveKey := "", false
+	hists := map[string]*histSeries{}
+	for ln, line := range strings.Split(string(b), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && f[1] == "HELP" {
+				continue
+			}
+			if len(f) != 4 || f[1] != "TYPE" {
+				return st, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name, k := f[2], f[3]
+			if !validPromName(name) {
+				return st, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch k {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return st, fmt.Errorf("line %d: unknown metric type %q", lineNo, k)
+			}
+			if _, dup := types[name]; dup {
+				return st, fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+			}
+			if family != "" {
+				closed[family] = true
+			}
+			types[name] = k
+			family, kind = name, k
+			lastKey, haveKey = "", false
+			st.Families++
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		st.Samples++
+		base := name
+		if kind == "histogram" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) && strings.TrimSuffix(name, suf) == family {
+					base = family
+				}
+			}
+		}
+		if base != family {
+			if closed[base] || types[base] != "" {
+				return st, fmt.Errorf("line %d: sample %s not contiguous with its # TYPE block", lineNo, name)
+			}
+			return st, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		// Series-order check on the le-stripped label key: the writer emits
+		// each family's series sorted, and a histogram's bucket/sum/count
+		// lines grouped per series.
+		key := promSeriesKey(labels, kind == "histogram")
+		if kind != "histogram" {
+			if haveKey && key <= lastKey {
+				return st, fmt.Errorf("line %d: series %s{%s} out of sorted order (or duplicated)", lineNo, name, key)
+			}
+			lastKey, haveKey = key, true
+		}
+		if kind == "histogram" {
+			if haveKey && key < lastKey {
+				return st, fmt.Errorf("line %d: histogram series %s{%s} out of sorted order", lineNo, name, key)
+			}
+			lastKey, haveKey = key, true
+			h := hists[family+"\x00"+key]
+			if h == nil {
+				h = &histSeries{lastLe: math.Inf(-1)}
+				hists[family+"\x00"+key] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				leStr, ok := promLabelValue(labels, "le")
+				if !ok {
+					return st, fmt.Errorf("line %d: %s without le label", lineNo, name)
+				}
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return st, fmt.Errorf("line %d: bad le %q: %v", lineNo, leStr, err)
+				}
+				if le <= h.lastLe {
+					return st, fmt.Errorf("line %d: bucket le=%q not ascending", lineNo, leStr)
+				}
+				cnt := uint64(value)
+				if float64(cnt) != value || value < 0 {
+					return st, fmt.Errorf("line %d: bucket count %v is not a whole number", lineNo, value)
+				}
+				if cnt < h.lastCount {
+					return st, fmt.Errorf("line %d: bucket counts not cumulative (%d after %d)", lineNo, cnt, h.lastCount)
+				}
+				h.lastLe, h.lastCount = le, cnt
+				h.buckets++
+				if math.IsInf(le, 1) {
+					h.seenInf, h.infCount = true, cnt
+				}
+			case strings.HasSuffix(name, "_sum"):
+				h.seenSum = true
+			case strings.HasSuffix(name, "_count"):
+				h.seenCount, h.count = true, uint64(value)
+			default:
+				return st, fmt.Errorf("line %d: unexpected histogram sample %s", lineNo, name)
+			}
+		}
+	}
+	for k, h := range hists {
+		series := strings.ReplaceAll(k, "\x00", "{") + "}"
+		switch {
+		case !h.seenInf:
+			return st, fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", series)
+		case !h.seenSum:
+			return st, fmt.Errorf("histogram %s: missing _sum", series)
+		case !h.seenCount:
+			return st, fmt.Errorf("histogram %s: missing _count", series)
+		case h.count != h.infCount:
+			return st, fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", series, h.count, h.infCount)
+		}
+	}
+	if st.Samples == 0 {
+		return st, fmt.Errorf("no samples")
+	}
+	return st, nil
+}
+
+type promLabel struct{ k, v string }
+
+func promLabelValue(labels []promLabel, key string) (string, bool) {
+	for _, l := range labels {
+		if l.k == key {
+			return l.v, true
+		}
+	}
+	return "", false
+}
+
+// promSeriesKey canonicalizes a sample's labels for ordering/duplicate
+// checks, optionally dropping le so a histogram's lines share one key.
+func promSeriesKey(labels []promLabel, dropLe bool) string {
+	out := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if dropLe && l.k == "le" {
+			continue
+		}
+		out = append(out, l.k+"="+l.v)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validPromLabelName(s string) bool {
+	return validPromName(s) && !strings.Contains(s, ":")
+}
+
+// parsePromSample scans one sample line: name[{k="v",...}] value. Label
+// values honor the exposition escapes \\ , \" and \n; anything else after a
+// backslash is an error.
+func parsePromSample(line string) (string, []promLabel, float64, error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name := line[:i]
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []promLabel
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			k := line[i:j]
+			if !validPromLabelName(k) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", k)
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return "", nil, 0, fmt.Errorf("label %s: value not quoted", k)
+			}
+			var v strings.Builder
+			j += 2
+			for {
+				if j >= len(line) {
+					return "", nil, 0, fmt.Errorf("label %s: unterminated value", k)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("label %s: trailing backslash", k)
+					}
+					switch line[j+1] {
+					case '\\':
+						v.WriteByte('\\')
+					case '"':
+						v.WriteByte('"')
+					case 'n':
+						v.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("label %s: bad escape \\%c", k, line[j+1])
+					}
+					j += 2
+					continue
+				}
+				v.WriteByte(c)
+				j++
+			}
+			labels = append(labels, promLabel{k, v.String()})
+			if j < len(line) && line[j] != ',' && line[j] != '}' {
+				return "", nil, 0, fmt.Errorf("label %s: unterminated label set (expected ',' or '}')", k)
+			}
+			if j < len(line) && line[j] == ',' {
+				j++
+			}
+			i = j
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("missing value")
+	}
+	// A timestamp field after the value is legal in the format but our
+	// writer never emits one; accept value only.
+	val, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	return name, labels, val, nil
+}

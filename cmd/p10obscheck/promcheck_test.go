@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"power10sim/internal/telemetry"
+)
+
+// exposition renders a registry carrying every metric kind, including a
+// label value that needs all three escapes.
+func exposition(t *testing.T) string {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("sims_total", telemetry.L("config", "POWER10")).Add(3)
+	reg.Counter("sims_total", telemetry.L("config", "POWER9")).Add(1)
+	reg.Counter("odd_total", telemetry.L("k", "a\\b\"c\nd")).Add(1)
+	reg.Gauge("ipc").Set(1.875)
+	h := reg.Histogram("wait_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(5 * float64(time.Second/time.Second))
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+func TestValidatePromAcceptsWriterOutput(t *testing.T) {
+	st, err := validateProm(strings.NewReader(exposition(t)))
+	if err != nil {
+		t.Fatalf("validateProm: %v", err)
+	}
+	if st.Families != 4 {
+		t.Errorf("families = %d, want 4", st.Families)
+	}
+	if st.Samples < 8 {
+		t.Errorf("samples = %d, want >= 8", st.Samples)
+	}
+}
+
+func TestValidatePromRejectsCorruptions(t *testing.T) {
+	good := exposition(t)
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"empty", func(string) string { return "" }, "no samples"},
+		{"sample before TYPE", func(s string) string {
+			return "orphan_total 1\n" + s
+		}, "no preceding # TYPE"},
+		{"duplicate TYPE", func(s string) string {
+			line := "# TYPE sims_total counter\n"
+			return s + line
+		}, "duplicate # TYPE"},
+		{"unsorted series", func(s string) string {
+			return strings.Replace(s,
+				`sims_total{config="POWER10"} 3`+"\n"+`sims_total{config="POWER9"} 1`,
+				`sims_total{config="POWER9"} 1`+"\n"+`sims_total{config="POWER10"} 3`, 1)
+		}, "out of sorted order"},
+		{"duplicate series", func(s string) string {
+			line := `sims_total{config="POWER9"} 1`
+			return strings.Replace(s, line, line+"\n"+line, 1)
+		}, "out of sorted order"},
+		{"bad escape", func(s string) string {
+			return strings.Replace(s, `a\\b`, `a\qb`, 1)
+		}, "bad escape"},
+		{"unterminated label", func(s string) string {
+			return strings.Replace(s, `{config="POWER10"}`, `{config="POWER10"`, 1)
+		}, "unterminated"},
+		{"bad value", func(s string) string {
+			return strings.Replace(s, "ipc 1.875", "ipc one.875", 1)
+		}, "bad value"},
+		{"non-cumulative buckets", func(s string) string {
+			return strings.Replace(s, `wait_seconds_bucket{le="+Inf"} 2`, `wait_seconds_bucket{le="+Inf"} 0`, 1)
+		}, "not cumulative"},
+		{"count disagrees", func(s string) string {
+			return strings.Replace(s, "wait_seconds_count 2", "wait_seconds_count 7", 1)
+		}, "_count 7 != +Inf bucket 2"},
+		{"missing sum", func(s string) string {
+			return strings.Replace(s, "wait_seconds_sum 5.05\n", "", 1)
+		}, "missing _sum"},
+		{"split family", func(s string) string {
+			// Move one sims_total sample to the end: its family's TYPE block
+			// is closed by then.
+			line := `sims_total{config="POWER9"} 1` + "\n"
+			return strings.Replace(s, line, "", 1) + line
+		}, "not contiguous"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := tc.mutate(good)
+			if in == good {
+				t.Fatal("mutation did not change the input")
+			}
+			_, err := validateProm(strings.NewReader(in))
+			if err == nil {
+				t.Fatalf("validateProm accepted corrupted input:\n%s", in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

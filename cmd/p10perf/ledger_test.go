@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: power10sim
+BenchmarkCoreTelemetryOff 	       3	  41992345 ns/op	         90400 cycles	 1048576 B/op	      42 allocs/op
+BenchmarkCoreTelemetryOn-8 	       3	  42611002 ns/op	         90400 cycles	 1052672 B/op	      55 allocs/op
+PASS
+pkg: power10sim/internal/progress
+BenchmarkPublishNoSubscribers 	1000000000	         0.5012 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	power10sim	0.4s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	res, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(res), res)
+	}
+	if res[0].Name != "BenchmarkCoreTelemetryOff" || res[0].NsPerOp != 41992345 {
+		t.Errorf("result 0 = %+v", res[0])
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so ledgers from different
+	// machines compare by benchmark identity.
+	if res[1].Name != "BenchmarkCoreTelemetryOn" {
+		t.Errorf("result 1 name = %q, want suffix stripped", res[1].Name)
+	}
+	if res[1].AllocsPerOp != 55 || res[1].BytesPerOp != 1052672 {
+		t.Errorf("result 1 memstats = %+v", res[1])
+	}
+	if res[2].NsPerOp != 0.5012 {
+		t.Errorf("result 2 ns/op = %v, want 0.5012", res[2].NsPerOp)
+	}
+}
+
+func ledgerFixture(ns, wall float64) *Ledger {
+	return &Ledger{
+		Schema: 1,
+		Benchmarks: []BenchResult{
+			{Name: "BenchmarkCoreTelemetryOff", NsPerOp: ns},
+			{Name: "BenchmarkPublishNoSubscribers", NsPerOp: 0.5},
+		},
+		Sweep:             SweepResult{Experiment: "fig5", WallSeconds: wall},
+		TelemetryOverhead: 1.02,
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := ledgerFixture(1000, 1.0)
+	cur := ledgerFixture(1400, 1.0)
+	report, n := compare("BENCH_0.json", old, cur, 0.30)
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report lacks REGRESSION flag:\n%s", report)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := ledgerFixture(1000, 1.0)
+	cur := ledgerFixture(1250, 1.2)
+	report, n := compare("BENCH_0.json", old, cur, 0.30)
+	if n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, report)
+	}
+}
+
+func TestCompareIgnoresSubNanosecondNoise(t *testing.T) {
+	old := ledgerFixture(1000, 1.0)
+	cur := ledgerFixture(1000, 1.0)
+	// The no-subscriber publish benchmark doubling from 0.5ns to 1.0ns is
+	// timer noise, not a regression.
+	cur.Benchmarks[1].NsPerOp = 1.0
+	report, n := compare("BENCH_0.json", old, cur, 0.30)
+	if n != 0 {
+		t.Fatalf("regressions = %d, want 0 (sub-ns noise)\n%s", n, report)
+	}
+}
+
+func TestCompareFlagsSweepSlowdown(t *testing.T) {
+	old := ledgerFixture(1000, 1.0)
+	cur := ledgerFixture(1000, 2.0)
+	report, n := compare("BENCH_0.json", old, cur, 0.30)
+	if n != 1 || !strings.Contains(report, "sweep fig5 wall seconds") {
+		t.Fatalf("regressions = %d, want 1 sweep regression\n%s", n, report)
+	}
+}
+
+func TestLedgerNumbering(t *testing.T) {
+	dir := t.TempDir()
+	if n, err := nextIndex(dir); err != nil || n != 0 {
+		t.Fatalf("nextIndex(empty) = %d, %v; want 0", n, err)
+	}
+	if l, _, err := newestPrior(dir); err != nil || l != nil {
+		t.Fatalf("newestPrior(empty) = %v, %v; want nil", l, err)
+	}
+	write := func(n int, ns float64) {
+		b, _ := json.Marshal(ledgerFixture(ns, 1))
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n)), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(0, 100)
+	write(3, 250)
+	// A non-ledger file must not confuse the numbering.
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+	n, err := nextIndex(dir)
+	if err != nil || n != 4 {
+		t.Fatalf("nextIndex = %d, %v; want 4", n, err)
+	}
+	l, path, err := newestPrior(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_3.json") {
+		t.Errorf("newestPrior path = %q, want BENCH_3.json", path)
+	}
+	if l.Benchmarks[0].NsPerOp != 250 {
+		t.Errorf("newestPrior loaded ns/op %v, want 250", l.Benchmarks[0].NsPerOp)
+	}
+	// nextIndex(missing dir) is index 0, not an error: first run creates it.
+	if n, err := nextIndex(filepath.Join(dir, "missing")); err != nil || n != 0 {
+		t.Fatalf("nextIndex(missing) = %d, %v; want 0", n, err)
+	}
+}

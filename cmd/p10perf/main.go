@@ -1,0 +1,203 @@
+// Command p10perf is the perf-regression ledger: it measures a fixed tier of
+// `go test -bench` microbenchmarks plus a wall-clocked quick sweep, writes
+// the results as the next perf/BENCH_<n>.json, and compares them against the
+// newest prior ledger. Any tracked metric slower than the noise threshold
+// fails the gate (exit 1) with a readable diff, so a perf regression shows
+// up in review as a red `make perf` next to the ledger that caught it.
+//
+// Usage:
+//
+//	p10perf                     # measure, write perf/BENCH_<n>.json, compare
+//	p10perf -threshold 0.5      # looser gate (single-CPU CI boxes are noisy)
+//	p10perf -dry-run            # measure and compare, write nothing
+//	p10perf -slow-factor 2      # test hook: fake a 2x slowdown (must fail)
+//
+// The benchmark tier is fixed on purpose: the zero-cost guards
+// (CoreTelemetryOff vs CoreTelemetryOn, PublishNoSubscribers) are exactly
+// the paths this repo promises stay free when observability is off.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"power10sim/internal/cliutil"
+	"power10sim/internal/experiments"
+	"power10sim/internal/runner"
+)
+
+// benchTier is the fixed -bench regex: the telemetry/progress zero-cost
+// guards plus the raw core simulation they are measured against.
+const benchTier = "^(BenchmarkCoreTelemetryOff|BenchmarkCoreTelemetryOn|BenchmarkCoreInjectionOff|BenchmarkPublishNoSubscribers|BenchmarkPublishOneSubscriber)$"
+
+func goBin() string {
+	if g := os.Getenv("GO"); g != "" {
+		return g
+	}
+	return "go"
+}
+
+func runGoBench(benchtime string) ([]BenchResult, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchTier,
+		"-benchtime", benchtime, "-benchmem", ".", "./internal/progress"}
+	fmt.Fprintf(os.Stderr, "p10perf: %s %s\n", goBin(), strings.Join(args, " "))
+	cmd := exec.Command(goBin(), args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %v\n%s", err, out.String())
+	}
+	return parseBenchOutput(&out)
+}
+
+// runSweep wall-clocks one quick experiment on a fresh pool: the end-to-end
+// number that catches regressions living between the microbenchmarks (queue
+// wait, memo-cache contention, result plumbing).
+func runSweep() (SweepResult, error) {
+	fmt.Fprintf(os.Stderr, "p10perf: wall-clocking quick fig5 sweep\n")
+	pool := runner.New(0)
+	o := experiments.Options{Quick: true, Runner: pool}
+	start := time.Now()
+	if _, err := experiments.Fig5(o); err != nil {
+		return SweepResult{}, err
+	}
+	wall := time.Since(start).Seconds()
+	st := pool.Stats()
+	s := SweepResult{
+		Experiment:  "fig5",
+		Quick:       true,
+		WallSeconds: wall,
+		UniqueRuns:  st.Misses,
+		CacheHits:   st.Hits,
+	}
+	if wall > 0 {
+		s.SimsPerSecond = float64(st.Misses) / wall
+	}
+	return s, nil
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	var (
+		dir        = flag.String("dir", "perf", "ledger directory (BENCH_<n>.json files)")
+		threshold  = flag.Float64("threshold", 0.30, "relative slowdown that fails the gate")
+		benchtime  = flag.String("benchtime", "3x", "go test -benchtime for the micro tier")
+		dryRun     = flag.Bool("dry-run", false, "measure and compare but do not write a ledger")
+		slowFactor = flag.Float64("slow-factor", 1, "test hook: scale measured times by this factor")
+	)
+	flag.Parse()
+	if *threshold <= 0 {
+		cliutil.Usagef("-threshold %v: must be > 0", *threshold)
+	}
+	if *slowFactor <= 0 {
+		cliutil.Usagef("-slow-factor %v: must be > 0", *slowFactor)
+	}
+
+	benches, err := runGoBench(*benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p10perf: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "p10perf: benchmark tier produced no results")
+		os.Exit(1)
+	}
+	sweep, err := runSweep()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p10perf: sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	cur := &Ledger{
+		Schema:  1,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Environment: Environment{
+			GoVersion: runtime.Version(),
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			Commit:    gitCommit(),
+		},
+		Benchmarks: benches,
+		Sweep:      sweep,
+	}
+	// The slow-factor hook scales every timing after measurement, so the
+	// regression path is testable without actually slowing the code.
+	var off, on float64
+	for i := range cur.Benchmarks {
+		cur.Benchmarks[i].NsPerOp *= *slowFactor
+		switch cur.Benchmarks[i].Name {
+		case "BenchmarkCoreTelemetryOff":
+			off = cur.Benchmarks[i].NsPerOp
+		case "BenchmarkCoreTelemetryOn":
+			on = cur.Benchmarks[i].NsPerOp
+		}
+	}
+	cur.Sweep.WallSeconds *= *slowFactor
+	if cur.Sweep.WallSeconds > 0 {
+		cur.Sweep.SimsPerSecond = float64(cur.Sweep.UniqueRuns) / cur.Sweep.WallSeconds
+	}
+	if off > 0 {
+		cur.TelemetryOverhead = on / off
+	}
+
+	prior, priorPath, err := newestPrior(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p10perf: reading prior ledger: %v\n", err)
+		os.Exit(1)
+	}
+
+	exit := 0
+	if prior != nil {
+		report, regressions := compare(priorPath, prior, cur, *threshold)
+		fmt.Print(report)
+		if regressions > 0 {
+			fmt.Printf("%d regression(s) beyond +%.0f%%\n", regressions, *threshold*100)
+			exit = 1
+		}
+	} else {
+		fmt.Printf("no prior ledger in %s; establishing baseline\n", *dir)
+	}
+
+	if *dryRun {
+		fmt.Fprintln(os.Stderr, "p10perf: dry run, ledger not written")
+		os.Exit(exit)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "p10perf: %v\n", err)
+		os.Exit(1)
+	}
+	n, err := nextIndex(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p10perf: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n))
+	buf, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p10perf: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "p10perf: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, sweep %.2fs)\n", path, len(cur.Benchmarks), cur.Sweep.WallSeconds)
+	os.Exit(exit)
+}

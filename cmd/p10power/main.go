@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"power10sim/internal/cliutil"
 	"power10sim/internal/power"
 	"power10sim/internal/rtl"
 	"power10sim/internal/trace"
@@ -31,6 +32,14 @@ func main() {
 		topN    = flag.Int("top", 15, "components to list")
 	)
 	flag.Parse()
+	// Bad flag values are usage errors (exit 2, the cliutil convention),
+	// distinct from runtime failures' exit 1.
+	if *smt < 1 {
+		cliutil.Usagef("-smt %d: must be >= 1", *smt)
+	}
+	if *topN < 1 {
+		cliutil.Usagef("-top %d: must be >= 1", *topN)
+	}
 
 	var w *workloads.Workload
 	catalog := workloads.SPECintSuite()
@@ -42,8 +51,7 @@ func main() {
 		}
 	}
 	if w == nil {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlName)
-		os.Exit(1)
+		cliutil.Usagef("unknown workload %q", *wlName)
 	}
 	var cfg *uarch.Config
 	switch *cfgName {
@@ -54,8 +62,7 @@ func main() {
 	case "POWER10-noMMA":
 		cfg = uarch.POWER10NoMMA()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *cfgName)
-		os.Exit(1)
+		cliutil.Usagef("unknown config %q", *cfgName)
 	}
 
 	var streams []trace.Stream

@@ -13,16 +13,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"sort"
+	"time"
 
 	"power10sim/internal/cliutil"
 	"power10sim/internal/isa"
+	"power10sim/internal/obsserver"
 	"power10sim/internal/power"
+	"power10sim/internal/progress"
 	"power10sim/internal/simobs"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
@@ -93,6 +97,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
 		sample     = flag.Uint64("sample", 1000, "cycle-sampling interval for -trace counter tracks (0 = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		serveAddr  = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090)")
 	)
 	flag.Parse()
 	if *smt < 1 {
@@ -156,21 +161,60 @@ func main() {
 	}
 	var reg *telemetry.Registry
 	var tr *telemetry.Tracer
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
 	if *traceOut != "" {
 		tr = telemetry.NewTracer()
 	}
-	sp := tr.Begin(fmt.Sprintf("sim:%s@%s/smt%d", w.Name, cfg.Name, *smt), "p10sim")
+	// A single simulation still publishes its lifecycle on the progress bus
+	// so -serve clients see the run on /events and /status; with no server
+	// (and thus no subscriber) every Publish is a single atomic load.
+	bus := progress.NewBus()
+	var server *obsserver.Server
+	if *serveAddr != "" {
+		var serr error
+		server, serr = obsserver.Start(*serveAddr, obsserver.Options{
+			Command: "p10sim", Registry: reg, Bus: bus,
+		})
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, serr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obsserver: listening on %s\n", server.URL())
+	}
+	shutdown := func() {
+		if server != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			server.Shutdown(sctx)
+			cancel()
+		}
+		bus.Close()
+	}
+	server.SetReady(true)
+	simName := fmt.Sprintf("%s@%s/smt%d", w.Name, cfg.Name, *smt)
+	// Recorded before Simulate so /metrics has a sample while the (possibly
+	// long) simulation is still running, not only after it retires.
+	if reg != nil {
+		reg.Counter("sims_started_total",
+			telemetry.L("workload", w.Name), telemetry.L("config", cfg.Name)).Add(1)
+	}
+	bus.Publish(progress.Event{Kind: progress.KindSimStarted, Sim: simName})
+	simStart := time.Now()
+	sp := tr.Begin("sim:"+simName, "p10sim")
 	res, err := uarch.Simulate(cfg, streams, 50_000_000,
 		uarch.WithWarmup(w.Warmup*uint64(*smt)),
-		simobs.SampleOption(cfg, tr, *sample))
+		simobs.SampleOption(cfg, tr, *sample, *smt))
 	sp.End()
 	if err != nil {
+		bus.Publish(progress.Event{Kind: progress.KindSimFailed, Sim: simName,
+			Err: err.Error(), Elapsed: time.Since(simStart).Seconds()})
 		fmt.Fprintln(os.Stderr, err)
+		shutdown()
 		os.Exit(1)
 	}
+	bus.Publish(progress.Event{Kind: progress.KindSimFinished, Sim: simName,
+		Elapsed: time.Since(simStart).Seconds()})
 	a := &res.Activity
 	fmt.Printf("workload        %s (SMT%d) on %s\n", w.Name, *smt, cfg.Name)
 	fmt.Printf("cycles          %d\n", a.Cycles)
@@ -193,7 +237,7 @@ func main() {
 	fmt.Printf("perf/W (norm)   %.4f\n", a.IPC()/rep.Total)
 	_ = isa.NumOpcodes
 
-	if *metricsOut != "" {
+	if reg != nil {
 		labels := []telemetry.Label{
 			telemetry.L("workload", w.Name),
 			telemetry.L("config", cfg.Name),
@@ -203,8 +247,11 @@ func main() {
 		reg.Counter("sim_instructions_total", labels...).Add(a.Instructions)
 		reg.Gauge("sim_ipc", labels...).Set(a.IPC())
 		reg.Gauge("sim_power_total", labels...).Set(rep.Total)
+	}
+	if *metricsOut != "" {
 		if err := reg.WriteFile(*metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			shutdown()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
@@ -212,10 +259,12 @@ func main() {
 	if *traceOut != "" {
 		if err := tr.WriteFile(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			shutdown()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events)\n", *traceOut, tr.Len())
 	}
+	shutdown()
 }
 
 func max1(v uint64) float64 {

@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"power10sim/internal/cliutil"
 	"power10sim/internal/isa"
 	"power10sim/internal/proxy"
 	"power10sim/internal/trace"
@@ -31,6 +33,19 @@ func main() {
 		outDir = flag.String("out", ".", "output directory for -mode emit")
 	)
 	flag.Parse()
+	// Flag validation happens before any simulation work: a bad mode or a
+	// missing output directory is a usage error (exit 2), caught up front
+	// rather than after minutes of profiling.
+	switch *mode {
+	case "proxies", "tracepoints", "emit":
+	default:
+		cliutil.Usagef("unknown mode %q (proxies | tracepoints | emit)", *mode)
+	}
+	if *mode == "emit" {
+		if err := cliutil.CheckOutputPath("out", filepath.Join(*outDir, "x")); err != nil {
+			cliutil.Usagef("%v", err)
+		}
+	}
 
 	var w *workloads.Workload
 	for _, cand := range workloads.SPECintSuite() {
@@ -39,8 +54,7 @@ func main() {
 		}
 	}
 	if w == nil {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (use a SPECint-suite name)\n", *wlName)
-		os.Exit(1)
+		cliutil.Usagef("unknown workload %q (use a SPECint-suite name)", *wlName)
 	}
 
 	switch *mode {
@@ -148,8 +162,5 @@ func main() {
 		// line goes to stderr and stdout stays empty/pipeable.
 		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes) and %s (%d records), verified\n",
 			objPath, len(img), trcPath, len(recs2))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(1)
 	}
 }

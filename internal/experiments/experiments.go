@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"power10sim/internal/power"
+	"power10sim/internal/progress"
 	"power10sim/internal/runner"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/uarch"
@@ -48,6 +49,10 @@ type Options struct {
 	// run cannot void an entire sweep. Nil keeps the strict legacy
 	// behavior (first error aborts the batch).
 	Failures *FailureLog
+	// Progress, when non-nil, receives a batch_submitted event per batched
+	// fan-out (per-simulation events come from the Runner's own bus; see
+	// runner.SetBus). Nil — or a bus nobody subscribed to — is free.
+	Progress *progress.Bus
 }
 
 // FailureLog accumulates per-point simulation failures across a tolerant
@@ -176,6 +181,7 @@ func runBatch(o Options, reqs []runner.Request) ([]runner.Result, error) {
 		defer sp.End()
 	}
 	o.Metrics.Counter("experiments_batch_requests_total").Add(uint64(len(reqs)))
+	o.Progress.Publish(progress.Event{Kind: progress.KindBatchSubmitted, Count: len(reqs)})
 	results := o.pool().RunAll(reqs)
 	for i := range results {
 		if results[i].Err != nil {
@@ -199,6 +205,8 @@ func runBatchTolerant(o Options, label string, reqs []runner.Request) ([]runner.
 		defer sp.End()
 	}
 	o.Metrics.Counter("experiments_batch_requests_total").Add(uint64(len(reqs)))
+	o.Progress.Publish(progress.Event{Kind: progress.KindBatchSubmitted,
+		Experiment: label, Count: len(reqs)})
 	results := o.pool().RunAll(reqs)
 	for i := range results {
 		if results[i].Err != nil {

@@ -1,0 +1,266 @@
+// Package obsserver is the embedded observability server any long-running
+// command starts with `-serve addr`: a stdlib-only HTTP surface exposing the
+// harness's live state while a sweep or campaign runs.
+//
+// Endpoints:
+//
+//	/            plain-text index of the endpoints below
+//	/metrics     Prometheus text exposition rendered from the telemetry
+//	             registry snapshot (live, not end-of-run)
+//	/healthz     liveness: 200 "ok" while the process serves
+//	/readyz      readiness: 503 until the sweep plan is built, then 200
+//	/status      live JSON: per-experiment progress, simulation counts,
+//	             runner stats, failure count, event-bus accounting
+//	/events      Server-Sent Events stream of progress events (one SSE
+//	             event per bus event, id = bus sequence number)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The server renders /status and /events from the same progress.Bus the
+// console renderer subscribes to, so every surface agrees on what happened.
+// It is deliberately read-only: nothing served here mutates the sweep.
+package obsserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"power10sim/internal/progress"
+	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
+)
+
+// Options configures the surfaces a command wires into the server. Every
+// field may be nil/zero: the corresponding endpoint then serves an empty
+// (but well-formed) view.
+type Options struct {
+	// Command names the serving process in /status (e.g. "p10bench").
+	Command string
+	// Registry backs /metrics.
+	Registry *telemetry.Registry
+	// Bus feeds /events and the /status progress aggregation.
+	Bus *progress.Bus
+	// Stats, when non-nil, is polled for the runner block of /status.
+	Stats func() runner.Stats
+	// Failures, when non-nil, is polled for the failure count in /status.
+	Failures func() int
+}
+
+// Server is one running observability server. Construct with Start.
+type Server struct {
+	opts    Options
+	tracker *progress.Tracker
+	start   time.Time
+	ready   atomic.Bool
+	closing chan struct{}
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// Start listens on addr (e.g. ":9090" or "127.0.0.1:0" for an ephemeral
+// port) and serves in a background goroutine. The caller flips readiness
+// with SetReady once its sweep plan is built and must Shutdown before exit.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsserver: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		opts:    opts,
+		tracker: progress.NewTracker(opts.Bus),
+		start:   time.Now(),
+		closing: make(chan struct{}),
+		ln:      ln,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.httpSrv = &http.Server{Handler: mux}
+	go s.httpSrv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the actual listen address (resolves ":0" requests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// SetReady flips the /readyz state; commands call SetReady(true) once the
+// sweep plan is built and simulations are about to start. Safe on nil, so
+// call sites need not gate on whether -serve was given.
+func (s *Server) SetReady(ready bool) {
+	if s == nil {
+		return
+	}
+	s.ready.Store(ready)
+}
+
+// Shutdown stops accepting connections, terminates open SSE streams, and
+// waits (bounded by ctx) for in-flight handlers. Safe on nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	close(s.closing)
+	err := s.httpSrv.Shutdown(ctx)
+	s.tracker.Stop()
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "power10sim observability server (%s)\n\n", s.opts.Command)
+	fmt.Fprintln(w, "/metrics        Prometheus exposition of the telemetry registry")
+	fmt.Fprintln(w, "/healthz        liveness")
+	fmt.Fprintln(w, "/readyz         readiness (sweep plan built)")
+	fmt.Fprintln(w, "/status         live sweep progress JSON")
+	fmt.Fprintln(w, "/events         SSE stream of progress events")
+	fmt.Fprintln(w, "/debug/pprof/   runtime profiles")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Snapshot-then-render is race-safe against the live sweep; a nil
+	// registry renders an empty exposition.
+	s.opts.Registry.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "starting")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// runnerStats is the /status rendering of runner.Stats, with the duration
+// flattened to seconds for curl-side readability.
+type runnerStats struct {
+	Hits             uint64  `json:"cache_hits"`
+	Misses           uint64  `json:"unique_runs"`
+	Retries          uint64  `json:"retries"`
+	Panics           uint64  `json:"panics_recovered"`
+	Timeouts         uint64  `json:"watchdog_timeouts"`
+	Cancels          uint64  `json:"cancels"`
+	Uncached         uint64  `json:"uncached_errors"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	PeakInFlight     int     `json:"peak_in_flight"`
+}
+
+// statusPayload is the /status JSON document; DESIGN.md documents the shape.
+type statusPayload struct {
+	Command         string                      `json:"command,omitempty"`
+	UptimeSeconds   float64                     `json:"uptime_seconds"`
+	Ready           bool                        `json:"ready"`
+	SweepDone       bool                        `json:"sweep_done"`
+	Experiments     []progress.ExperimentStatus `json:"experiments"`
+	Sims            progress.SimCounts          `json:"sims"`
+	Runner          *runnerStats                `json:"runner,omitempty"`
+	Failures        int                         `json:"failures"`
+	EventsPublished uint64                      `json:"events_published"`
+	EventsDropped   uint64                      `json:"events_dropped"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	exps, sims, sweepDone := s.tracker.Status()
+	if exps == nil {
+		exps = []progress.ExperimentStatus{}
+	}
+	p := statusPayload{
+		Command:         s.opts.Command,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Ready:           s.ready.Load(),
+		SweepDone:       sweepDone,
+		Experiments:     exps,
+		Sims:            sims,
+		EventsPublished: s.opts.Bus.Published(),
+		EventsDropped:   s.opts.Bus.Dropped(),
+	}
+	if s.opts.Stats != nil {
+		st := s.opts.Stats()
+		p.Runner = &runnerStats{
+			Hits: st.Hits, Misses: st.Misses, Retries: st.Retries,
+			Panics: st.Panics, Timeouts: st.Timeouts, Cancels: st.Cancels,
+			Uncached: st.Uncached, QueueWaitSeconds: st.QueueWait.Seconds(),
+			PeakInFlight: st.PeakInFlight,
+		}
+	}
+	if s.opts.Failures != nil {
+		p.Failures = s.opts.Failures()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Bus == nil {
+		http.Error(w, "no progress bus attached", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	// The subscription buffer absorbs bursts (a whole quick experiment can
+	// finish in well under a second); a client that cannot drain 4096
+	// buffered events loses the overflow, visible in /status events_dropped.
+	sub := s.opts.Bus.Subscribe(4096)
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			// id carries the bus sequence number so clients can detect
+			// gaps from their own slow consumption.
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, b); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

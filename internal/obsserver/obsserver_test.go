@@ -1,0 +1,316 @@
+package obsserver
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"power10sim/internal/progress"
+	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
+)
+
+func startTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s := startTestServer(t, Options{Command: "test"})
+	if code, body, _ := get(t, s.URL()+"/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, _, _ := get(t, s.URL()+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before ready = %d, want 503", code)
+	}
+	s.SetReady(true)
+	if code, body, _ := get(t, s.URL()+"/readyz"); code != 200 || body != "ready\n" {
+		t.Errorf("readyz after ready = %d %q", code, body)
+	}
+	if code, body, _ := get(t, s.URL()+"/"); code != 200 || !strings.Contains(body, "/events") {
+		t.Errorf("index = %d %q", code, body)
+	}
+}
+
+func TestMetricsEndpointServesPrometheus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("runner_cache_misses_total").Add(5)
+	reg.Histogram("runner_run_seconds", telemetry.DurationBuckets()).Observe(0.01)
+	s := startTestServer(t, Options{Registry: reg})
+	code, body, hdr := get(t, s.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE runner_cache_misses_total counter",
+		"runner_cache_misses_total 5",
+		"# TYPE runner_run_seconds histogram",
+		`runner_run_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+	// Mid-sweep mutation shows up on the next scrape.
+	reg.Counter("runner_cache_misses_total").Add(2)
+	if _, body, _ := get(t, s.URL()+"/metrics"); !strings.Contains(body, "runner_cache_misses_total 7") {
+		t.Errorf("second scrape stale:\n%s", body)
+	}
+}
+
+func TestStatusReflectsBusAndRunner(t *testing.T) {
+	bus := progress.NewBus()
+	defer bus.Close()
+	stats := runner.Stats{Hits: 3, Misses: 9, PeakInFlight: 2, QueueWait: 1500 * time.Millisecond}
+	s := startTestServer(t, Options{
+		Command:  "p10bench",
+		Bus:      bus,
+		Stats:    func() runner.Stats { return stats },
+		Failures: func() int { return 1 },
+	})
+	s.SetReady(true)
+	bus.Publish(progress.Event{Kind: progress.KindExperimentBegun, Experiment: "fig5"})
+	bus.Publish(progress.Event{Kind: progress.KindCacheHit, Sim: "x"})
+	bus.Publish(progress.Event{Kind: progress.KindExperimentDone, Experiment: "fig5", Elapsed: 0.7})
+
+	var p struct {
+		Command     string                      `json:"command"`
+		Ready       bool                        `json:"ready"`
+		Experiments []progress.ExperimentStatus `json:"experiments"`
+		Sims        progress.SimCounts          `json:"sims"`
+		Runner      *struct {
+			UniqueRuns       uint64  `json:"unique_runs"`
+			QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+		} `json:"runner"`
+		Failures        int    `json:"failures"`
+		EventsPublished uint64 `json:"events_published"`
+	}
+	// The tracker folds asynchronously; poll until the done event lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body, hdr := get(t, s.URL()+"/status")
+		if ct := hdr.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		if err := json.Unmarshal([]byte(body), &p); err != nil {
+			t.Fatalf("status not JSON: %v\n%s", err, body)
+		}
+		if len(p.Experiments) == 1 && p.Experiments[0].State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status never converged: %s", body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p.Command != "p10bench" || !p.Ready {
+		t.Errorf("command/ready = %q/%v", p.Command, p.Ready)
+	}
+	if p.Experiments[0].Name != "fig5" || p.Experiments[0].Elapsed != 0.7 {
+		t.Errorf("experiment = %+v", p.Experiments[0])
+	}
+	if p.Sims.CacheHits != 1 {
+		t.Errorf("sims = %+v", p.Sims)
+	}
+	if p.Runner == nil || p.Runner.UniqueRuns != 9 || p.Runner.QueueWaitSeconds != 1.5 {
+		t.Errorf("runner = %+v", p.Runner)
+	}
+	if p.Failures != 1 {
+		t.Errorf("failures = %d", p.Failures)
+	}
+	if p.EventsPublished != 3 {
+		t.Errorf("events_published = %d, want 3", p.EventsPublished)
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	id    uint64
+	event string
+	data  string
+}
+
+// readSSE parses frames from an /events stream until stop returns true or
+// the stream ends.
+func readSSE(t *testing.T, r io.Reader, stop func(sseEvent) bool) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				out = append(out, cur)
+				if stop(cur) {
+					return out
+				}
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(line[4:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return out
+}
+
+// TestEventsDeliversExperimentEventsExactlyOnce is the acceptance guard for
+// the SSE stream: every experiment begun/done event published while a client
+// is connected arrives exactly once, in order, with gap-free bus sequence
+// ids. Run under -race via the race-obs make target.
+func TestEventsDeliversExperimentEventsExactlyOnce(t *testing.T) {
+	bus := progress.NewBus()
+	defer bus.Close()
+	s := startTestServer(t, Options{Bus: bus})
+
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	const nExps = 16
+	go func() {
+		for i := 0; i < nExps; i++ {
+			name := fmt.Sprintf("exp%02d", i)
+			bus.Publish(progress.Event{Kind: progress.KindExperimentBegun, Experiment: name})
+			bus.Publish(progress.Event{Kind: progress.KindSimStarted, Sim: name + "-sim"})
+			bus.Publish(progress.Event{Kind: progress.KindSimFinished, Sim: name + "-sim", Elapsed: 0.01})
+			bus.Publish(progress.Event{Kind: progress.KindExperimentDone, Experiment: name, Elapsed: 0.02})
+		}
+		bus.Publish(progress.Event{Kind: progress.KindSweepDone, Elapsed: 1})
+	}()
+
+	frames := readSSE(t, resp.Body, func(e sseEvent) bool {
+		return e.event == string(progress.KindSweepDone)
+	})
+	begun := map[string]int{}
+	done := map[string]int{}
+	var lastID uint64
+	for _, f := range frames {
+		if f.id <= lastID {
+			t.Errorf("SSE ids not strictly increasing: %d after %d", f.id, lastID)
+		}
+		lastID = f.id
+		var ev progress.Event
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("SSE data not an event: %v (%q)", err, f.data)
+		}
+		if string(ev.Kind) != f.event {
+			t.Errorf("SSE event name %q != data kind %q", f.event, ev.Kind)
+		}
+		switch ev.Kind {
+		case progress.KindExperimentBegun:
+			begun[ev.Experiment]++
+		case progress.KindExperimentDone:
+			done[ev.Experiment]++
+		}
+	}
+	for i := 0; i < nExps; i++ {
+		name := fmt.Sprintf("exp%02d", i)
+		if begun[name] != 1 {
+			t.Errorf("experiment %s begun delivered %d times, want exactly 1", name, begun[name])
+		}
+		if done[name] != 1 {
+			t.Errorf("experiment %s done delivered %d times, want exactly 1", name, done[name])
+		}
+	}
+	if got := len(frames); got != 4*nExps+1 {
+		t.Errorf("received %d frames, want %d", got, 4*nExps+1)
+	}
+}
+
+func TestEventsWithoutBusIs404(t *testing.T) {
+	s := startTestServer(t, Options{})
+	if code, _, _ := get(t, s.URL()+"/events"); code != http.StatusNotFound {
+		t.Errorf("events without bus = %d, want 404", code)
+	}
+}
+
+func TestShutdownTerminatesSSEClients(t *testing.T) {
+	bus := progress.NewBus()
+	defer bus.Close()
+	s, err := Start("127.0.0.1:0", Options{Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(resp.Body)
+		errc <- err
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case <-errc:
+		// Stream ended (EOF or reset) — either is a terminated client.
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE client still connected after Shutdown")
+	}
+	if _, err := http.Get(s.URL() + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+func TestPprofIndexServes(t *testing.T) {
+	s := startTestServer(t, Options{})
+	code, body, _ := get(t, s.URL()+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d (%d bytes)", code, len(body))
+	}
+}

@@ -1,0 +1,177 @@
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// consoleKinds are the events the console renderer prints: the
+// per-experiment completion/failure lines p10bench historically wrote to
+// stderr, plus retry/failure diagnostics for individual simulations. High-
+// frequency events (sim started/finished, cache hits) stay off the console.
+var consoleKinds = map[Kind]bool{
+	KindExperimentDone:   true,
+	KindExperimentFailed: true,
+	KindSimRetried:       true,
+	KindSimFailed:        true,
+}
+
+// Console renders progress events to a writer (stderr in the commands). It
+// is a bus subscriber like any other — the console, the SSE stream and the
+// status tracker all see the same event sequence.
+type Console struct {
+	sub  *Subscription
+	done chan struct{}
+}
+
+// NewConsole subscribes a console renderer to the bus and starts its render
+// goroutine. Returns nil on a nil bus (and then Stop is a no-op).
+func NewConsole(b *Bus, w io.Writer) *Console {
+	if b == nil {
+		return nil
+	}
+	c := &Console{sub: b.Subscribe(1024), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		for ev := range c.sub.C() {
+			if consoleKinds[ev.Kind] {
+				fmt.Fprintln(w, ev.String())
+			}
+		}
+	}()
+	return c
+}
+
+// Stop detaches the console and waits until every event published before the
+// call has been rendered, so command exit paths can flush the console before
+// printing their own summaries. Safe on nil.
+func (c *Console) Stop() {
+	if c == nil {
+		return
+	}
+	c.sub.Close()
+	<-c.done
+}
+
+// ExperimentStatus is one experiment's aggregated view in Tracker.Status.
+type ExperimentStatus struct {
+	Name  string `json:"name"`
+	Title string `json:"title,omitempty"`
+	// State is "running", "done", or "failed".
+	State string `json:"state"`
+	// Elapsed is the wall time in seconds (final for done/failed).
+	Elapsed float64 `json:"elapsed_seconds"`
+	Err     string  `json:"error,omitempty"`
+}
+
+// SimCounts aggregates the simulation-level events of a sweep.
+type SimCounts struct {
+	Started   uint64 `json:"started"`
+	Finished  uint64 `json:"finished"`
+	Failed    uint64 `json:"failed"`
+	Retried   uint64 `json:"retried"`
+	CacheHits uint64 `json:"cache_hits"`
+}
+
+// Tracker folds the event stream into the live per-experiment progress and
+// simulation counts the /status endpoint serves. It is a bus subscriber
+// running its own fold goroutine; Status() returns a consistent copy.
+type Tracker struct {
+	sub  *Subscription
+	done chan struct{}
+
+	mu     sync.Mutex
+	order  []string
+	exps   map[string]*ExperimentStatus
+	starts map[string]time.Time
+	sims   SimCounts
+	sweep  bool
+}
+
+// NewTracker subscribes a tracker to the bus. Returns nil on a nil bus.
+func NewTracker(b *Bus) *Tracker {
+	if b == nil {
+		return nil
+	}
+	t := &Tracker{sub: b.Subscribe(4096), done: make(chan struct{}),
+		exps: map[string]*ExperimentStatus{}, starts: map[string]time.Time{}}
+	go func() {
+		defer close(t.done)
+		for ev := range t.sub.C() {
+			t.fold(ev)
+		}
+	}()
+	return t
+}
+
+func (t *Tracker) fold(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch ev.Kind {
+	case KindExperimentBegun:
+		if _, ok := t.exps[ev.Experiment]; !ok {
+			t.order = append(t.order, ev.Experiment)
+		}
+		t.exps[ev.Experiment] = &ExperimentStatus{Name: ev.Experiment, State: "running"}
+		t.starts[ev.Experiment] = ev.Time
+	case KindExperimentDone, KindExperimentFailed:
+		e, ok := t.exps[ev.Experiment]
+		if !ok {
+			e = &ExperimentStatus{Name: ev.Experiment}
+			t.exps[ev.Experiment] = e
+			t.order = append(t.order, ev.Experiment)
+		}
+		e.Elapsed = ev.Elapsed
+		if ev.Kind == KindExperimentDone {
+			e.State = "done"
+		} else {
+			e.State = "failed"
+			e.Err = ev.Err
+		}
+	case KindSimStarted:
+		t.sims.Started++
+	case KindSimFinished:
+		t.sims.Finished++
+	case KindSimFailed:
+		t.sims.Failed++
+	case KindSimRetried:
+		t.sims.Retried++
+	case KindCacheHit:
+		t.sims.CacheHits++
+	case KindSweepDone:
+		t.sweep = true
+	}
+}
+
+// Status returns the experiments in first-seen order plus the simulation
+// counts and whether the sweep has finished. Safe on nil.
+func (t *Tracker) Status() (exps []ExperimentStatus, sims SimCounts, sweepDone bool) {
+	if t == nil {
+		return nil, SimCounts{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	exps = make([]ExperimentStatus, 0, len(t.order))
+	for _, name := range t.order {
+		e := *t.exps[name]
+		if e.State == "running" {
+			if start, ok := t.starts[name]; ok && !start.IsZero() {
+				e.Elapsed = time.Since(start).Seconds()
+			}
+		}
+		exps = append(exps, e)
+	}
+	return exps, t.sims, t.sweep
+}
+
+// Stop detaches the tracker; Status keeps returning the final fold. Safe on
+// nil.
+func (t *Tracker) Stop() {
+	if t == nil {
+		return
+	}
+	t.sub.Close()
+	<-t.done
+}

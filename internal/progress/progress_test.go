@@ -1,0 +1,280 @@
+package progress
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBusIsInert(t *testing.T) {
+	var b *Bus
+	b.Publish(Event{Kind: KindSimStarted})
+	if b.Active() {
+		t.Error("nil bus reports active")
+	}
+	if b.Subscribe(8) != nil {
+		t.Error("nil bus returned a subscription")
+	}
+	if b.Published() != 0 || b.Dropped() != 0 {
+		t.Error("nil bus has counts")
+	}
+	b.Close()
+	NewConsole(nil, nil).Stop()
+	if tr := NewTracker(nil); tr != nil {
+		t.Error("nil bus returned a tracker")
+	}
+	var tr *Tracker
+	tr.Stop()
+	if exps, _, _ := tr.Status(); exps != nil {
+		t.Error("nil tracker returned experiments")
+	}
+}
+
+func TestPublishSubscribeOrderAndSeq(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(64)
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Kind: KindSimStarted, Sim: fmt.Sprintf("s%d", i)})
+	}
+	b.Close()
+	var got []Event
+	for ev := range sub.C() {
+		got = append(got, ev)
+	}
+	if len(got) != 10 {
+		t.Fatalf("received %d events, want 10", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Sim != fmt.Sprintf("s%d", i) {
+			t.Errorf("event %d out of order: %q", i, ev.Sim)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d has zero time", i)
+		}
+	}
+}
+
+func TestNoSubscriberPublishAssignsNoSeq(t *testing.T) {
+	b := NewBus()
+	b.Publish(Event{Kind: KindSimStarted})
+	if got := b.Published(); got != 0 {
+		t.Errorf("published = %d with no subscriber, want 0 (fast path must not stamp)", got)
+	}
+}
+
+func TestSlowSubscriberDropsWithoutBlocking(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			b.Publish(Event{Kind: KindCacheHit})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+	if sub.Dropped() == 0 || b.Dropped() == 0 {
+		t.Errorf("expected drops: sub=%d bus=%d", sub.Dropped(), b.Dropped())
+	}
+	if sub.Dropped()+2 != 100 {
+		t.Errorf("dropped %d of 100 with buffer 2, want 98", sub.Dropped())
+	}
+	sub.Close()
+}
+
+func TestMultipleSubscribersSeeSameStream(t *testing.T) {
+	b := NewBus()
+	a := b.Subscribe(32)
+	c := b.Subscribe(32)
+	b.Publish(Event{Kind: KindExperimentBegun, Experiment: "fig5"})
+	b.Publish(Event{Kind: KindExperimentDone, Experiment: "fig5", Elapsed: 1.5})
+	b.Close()
+	drain := func(s *Subscription) []Event {
+		var out []Event
+		for ev := range s.C() {
+			out = append(out, ev)
+		}
+		return out
+	}
+	ea, ec := drain(a), drain(c)
+	if len(ea) != 2 || len(ec) != 2 {
+		t.Fatalf("subscriber counts %d/%d, want 2/2", len(ea), len(ec))
+	}
+	for i := range ea {
+		if ea[i].Seq != ec[i].Seq || ea[i].Kind != ec[i].Kind {
+			t.Errorf("subscribers diverge at %d: %+v vs %+v", i, ea[i], ec[i])
+		}
+	}
+}
+
+func TestConcurrentPublishersRaceClean(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(4096)
+	var wg sync.WaitGroup
+	const publishers, per = 8, 50
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Publish(Event{Kind: KindSimFinished, Sim: fmt.Sprintf("p%d", p)})
+			}
+		}(p)
+	}
+	wg.Wait()
+	b.Close()
+	seen := map[uint64]bool{}
+	n := 0
+	for ev := range sub.C() {
+		if seen[ev.Seq] {
+			t.Errorf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		n++
+	}
+	if n != publishers*per {
+		t.Errorf("received %d events, want %d", n, publishers*per)
+	}
+}
+
+func TestSubscriptionCloseDetaches(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(8)
+	sub.Close()
+	sub.Close() // idempotent
+	b.Publish(Event{Kind: KindSimStarted})
+	if b.Active() {
+		t.Error("bus active after last subscriber closed")
+	}
+	// Channel must be closed.
+	if _, ok := <-sub.C(); ok {
+		t.Error("closed subscription delivered an event")
+	}
+}
+
+func TestConsoleRendersExperimentLines(t *testing.T) {
+	b := NewBus()
+	var buf bytes.Buffer
+	con := NewConsole(b, &buf)
+	b.Publish(Event{Kind: KindExperimentBegun, Experiment: "fig5"})
+	b.Publish(Event{Kind: KindExperimentDone, Experiment: "fig5", Elapsed: 0.7})
+	b.Publish(Event{Kind: KindSimRetried, Sim: "daxpy@POWER10/smt1", Attempt: 2})
+	b.Publish(Event{Kind: KindSimFailed, Sim: "daxpy@POWER10/smt1", Err: "boom"})
+	b.Publish(Event{Kind: KindExperimentFailed, Experiment: "fig6", Err: "bad"})
+	b.Publish(Event{Kind: KindCacheHit, Sim: "quiet"}) // not rendered
+	con.Stop()
+	got := buf.String()
+	want := "fig5: 0.7s\n" +
+		"retry daxpy@POWER10/smt1 (attempt 2)\n" +
+		"sim daxpy@POWER10/smt1 failed: boom\n" +
+		"fig6: bad\n"
+	if got != want {
+		t.Errorf("console output:\n%q\nwant:\n%q", got, want)
+	}
+	if strings.Contains(got, "quiet") {
+		t.Error("console rendered a cache hit")
+	}
+}
+
+func TestTrackerFoldsStatus(t *testing.T) {
+	b := NewBus()
+	tr := NewTracker(b)
+	b.Publish(Event{Kind: KindExperimentBegun, Experiment: "tableI"})
+	b.Publish(Event{Kind: KindSimStarted, Sim: "a"})
+	b.Publish(Event{Kind: KindCacheHit, Sim: "a"})
+	b.Publish(Event{Kind: KindSimFinished, Sim: "a", Elapsed: 0.1})
+	b.Publish(Event{Kind: KindExperimentDone, Experiment: "tableI", Elapsed: 2.5})
+	b.Publish(Event{Kind: KindExperimentBegun, Experiment: "fig4"})
+	b.Publish(Event{Kind: KindSimRetried, Sim: "b", Attempt: 2})
+	b.Publish(Event{Kind: KindSimFailed, Sim: "b", Err: "x"})
+	b.Publish(Event{Kind: KindExperimentFailed, Experiment: "fig4", Elapsed: 1.0, Err: "x"})
+	b.Publish(Event{Kind: KindSweepDone, Elapsed: 3.5})
+	tr.Stop()
+	exps, sims, done := tr.Status()
+	if !done {
+		t.Error("sweep not marked done")
+	}
+	if len(exps) != 2 {
+		t.Fatalf("got %d experiments, want 2", len(exps))
+	}
+	if exps[0].Name != "tableI" || exps[0].State != "done" || exps[0].Elapsed != 2.5 {
+		t.Errorf("tableI status = %+v", exps[0])
+	}
+	if exps[1].Name != "fig4" || exps[1].State != "failed" || exps[1].Err != "x" {
+		t.Errorf("fig4 status = %+v", exps[1])
+	}
+	want := SimCounts{Started: 1, Finished: 1, Failed: 1, Retried: 1, CacheHits: 1}
+	if sims != want {
+		t.Errorf("sim counts = %+v, want %+v", sims, want)
+	}
+}
+
+func TestTrackerRunningElapsedAdvances(t *testing.T) {
+	b := NewBus()
+	tr := NewTracker(b)
+	b.Publish(Event{Kind: KindExperimentBegun, Experiment: "fig2",
+		Time: time.Now().Add(-2 * time.Second)})
+	// Wait for the fold goroutine to consume the event.
+	deadline := time.After(5 * time.Second)
+	for {
+		exps, _, _ := tr.Status()
+		if len(exps) == 1 {
+			if exps[0].State != "running" {
+				t.Fatalf("state = %q, want running", exps[0].State)
+			}
+			if exps[0].Elapsed < 1.0 {
+				t.Errorf("running elapsed = %.2fs, want >= 1s", exps[0].Elapsed)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("tracker never folded the begun event")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	tr.Stop()
+}
+
+// BenchmarkPublishNoSubscribers is the overhead guard for the progress bus:
+// with no subscriber attached, Publish must be a single atomic load with no
+// allocation — the cost every runner execution pays in an unobserved sweep.
+func BenchmarkPublishNoSubscribers(b *testing.B) {
+	bus := NewBus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Kind: KindSimFinished, Sim: "daxpy@POWER10/smt1"})
+	}
+}
+
+// BenchmarkPublishOneSubscriber measures the subscribed fast path (buffered
+// channel send, no drop).
+func BenchmarkPublishOneSubscriber(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.C() {
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Kind: KindSimFinished, Sim: "daxpy@POWER10/smt1"})
+	}
+	b.StopTimer()
+	bus.Close()
+	<-done
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"power10sim/internal/power"
+	"power10sim/internal/progress"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
@@ -206,6 +207,7 @@ type Runner struct {
 	inflight int
 
 	obs obs
+	bus *progress.Bus
 }
 
 // New creates a runner allowing up to workers concurrent simulations.
@@ -276,6 +278,28 @@ func (r *Runner) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	}
 }
 
+// SetBus attaches a progress bus: every cache hit, execution start/finish,
+// retry, and terminal failure is published as a typed event (the feed behind
+// the console renderer and the observability server's /events and /status).
+// A nil bus — or a bus with no subscriber attached — costs one atomic load
+// per would-be event (guarded by BenchmarkPublishNoSubscribers in
+// internal/progress). Call before submitting requests; SetBus is not
+// synchronized with Do.
+func (r *Runner) SetBus(b *progress.Bus) { r.bus = b }
+
+// publish constructs and publishes a simulation event only when a subscriber
+// is listening, so the unobserved path never builds labels.
+func (r *Runner) publish(kind progress.Kind, req Request, build func(*progress.Event)) {
+	if !r.bus.Active() {
+		return
+	}
+	ev := progress.Event{Kind: kind, Sim: spanName(req)}
+	if build != nil {
+		build(&ev)
+	}
+	r.bus.Publish(ev)
+}
+
 // Stats returns a snapshot of the runner counters. Hits and Misses are
 // deterministic for a given request sequence regardless of the worker count
 // (misses equals the number of unique keys and hits the remainder);
@@ -310,6 +334,7 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 		r.stats.Hits++
 		r.mu.Unlock()
 		r.obs.hits.Inc()
+		r.publish(progress.KindCacheHit, req, nil)
 		select {
 		case <-e.ready:
 		default:
@@ -354,10 +379,24 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 	if r.obs.tracer != nil {
 		sp = r.obs.tracer.Begin(spanName(req), "runner")
 	}
+	r.publish(progress.KindSimStarted, req, nil)
 	start := time.Now()
 	e.res = r.execute(ctx, req)
-	r.obs.runLatency.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	r.obs.runLatency.Observe(elapsed.Seconds())
 	sp.End()
+	if e.res.Err != nil {
+		r.publish(progress.KindSimFailed, req, func(ev *progress.Event) {
+			ev.Err = e.res.Err.Error()
+			ev.Elapsed = elapsed.Seconds()
+			ev.Attempt = e.res.Attempts
+		})
+	} else {
+		r.publish(progress.KindSimFinished, req, func(ev *progress.Event) {
+			ev.Elapsed = elapsed.Seconds()
+			ev.Attempt = e.res.Attempts
+		})
+	}
 
 	if !cacheable(e.res.Err) {
 		// Cache-poisoning guard: a transient failure (or cancellation) is a
@@ -406,6 +445,11 @@ func (r *Runner) execute(ctx context.Context, req Request) Result {
 		r.mu.Lock()
 		r.stats.Retries++
 		r.mu.Unlock()
+		next := attempt + 1
+		r.publish(progress.KindSimRetried, req, func(ev *progress.Event) {
+			ev.Attempt = next
+			ev.Err = res.Err.Error()
+		})
 		if d := retryDelay(r.policy.Backoff, attempt, req); d > 0 {
 			t := time.NewTimer(d)
 			select {
@@ -480,13 +524,22 @@ func retryDelay(base time.Duration, attempt int, req Request) time.Duration {
 	return half + time.Duration(float64(half)*frac)
 }
 
-// spanName labels an executed simulation's trace span.
+// spanName labels an executed simulation's trace span and progress events.
+// Nil config/workload (unkeyable requests) render as "?" instead of
+// panicking, since the progress path also labels uncacheable executions.
 func spanName(req Request) string {
 	smt := req.SMT
 	if smt < 1 {
 		smt = 1
 	}
-	return "sim:" + req.W.Name + "@" + req.Cfg.Name + "/smt" + strconv.Itoa(smt)
+	w, c := "?", "?"
+	if req.W != nil {
+		w = req.W.Name
+	}
+	if req.Cfg != nil {
+		c = req.Cfg.Name
+	}
+	return "sim:" + w + "@" + c + "/smt" + strconv.Itoa(smt)
 }
 
 // RunAll fans the requests out across the pool and returns their results in

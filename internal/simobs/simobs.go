@@ -8,6 +8,8 @@
 package simobs
 
 import (
+	"fmt"
+
 	"power10sim/internal/power"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/uarch"
@@ -17,14 +19,27 @@ import (
 // samples to tr every `every` cycles, in the simulation-cycle time domain
 // (one cycle = one trace microsecond, under the tracer's "core simulation"
 // process). A nil tracer or every == 0 yields an inert option, so call
-// sites can pass flags through unconditionally.
+// sites can pass flags through unconditionally. smt is the number of
+// hardware threads the simulation runs: the "thread-ipc" track carries one
+// series per thread (t0..t{smt-1}), so SMT runs show how retirement
+// bandwidth splits across contexts.
 //
 // The power samples reuse one power.Model per simulation: each window's
 // activity delta is priced exactly like a full-run report, so the "power"
 // track integrates to the run's bottom-up energy.
-func SampleOption(cfg *uarch.Config, tr *telemetry.Tracer, every uint64) uarch.SimOption {
+func SampleOption(cfg *uarch.Config, tr *telemetry.Tracer, every uint64, smt int) uarch.SimOption {
 	if tr == nil || every == 0 || cfg == nil {
 		return uarch.WithSampler(0, nil)
+	}
+	if smt < 1 {
+		smt = 1
+	}
+	if max := len(uarch.Activity{}.PerThread); smt > max {
+		smt = max
+	}
+	threadKeys := make([]string, smt)
+	for i := range threadKeys {
+		threadKeys[i] = fmt.Sprintf("t%d", i)
 	}
 	mdl := power.NewModel(cfg)
 	return uarch.WithSampler(every, func(s uarch.CycleSample) {
@@ -34,6 +49,15 @@ func SampleOption(cfg *uarch.Config, tr *telemetry.Tracer, every uint64) uarch.S
 			"ipc":         d.IPC(),
 			"flops/cycle": d.FlopsPerCycle(),
 		})
+		wcyc := float64(d.Cycles)
+		if wcyc == 0 {
+			wcyc = 1
+		}
+		tipc := make(map[string]float64, smt)
+		for i := 0; i < smt; i++ {
+			tipc[threadKeys[i]] = float64(d.PerThread[i]) / wcyc
+		}
+		tr.CounterAt(ts, "thread-ipc", tipc)
 		tr.CounterAt(ts, "occupancy", map[string]float64{
 			"fetch": d.BusyFraction(uarch.UnitFetch),
 			"fxu":   d.BusyFraction(uarch.UnitFXU),
@@ -42,19 +66,15 @@ func SampleOption(cfg *uarch.Config, tr *telemetry.Tracer, every uint64) uarch.S
 			"lsu":   d.BusyFraction(uarch.UnitLSU),
 			"l2":    d.BusyFraction(uarch.UnitL2),
 		})
-		cyc := float64(d.Cycles)
-		if cyc == 0 {
-			cyc = 1
-		}
 		tr.CounterAt(ts, "frontend", map[string]float64{
 			"branch-mpki":     d.MispredictsPerKI(),
-			"icache-miss/kc":  1000 * float64(d.ICacheMisses) / cyc,
-			"fetch-stalls/kc": 1000 * float64(d.FetchStallCycles) / cyc,
+			"icache-miss/kc":  1000 * float64(d.ICacheMisses) / wcyc,
+			"fetch-stalls/kc": 1000 * float64(d.FetchStallCycles) / wcyc,
 		})
 		tr.CounterAt(ts, "memory", map[string]float64{
-			"l1d-miss/kc": 1000 * float64(d.L1DMisses) / cyc,
-			"l2-miss/kc":  1000 * float64(d.L2Misses) / cyc,
-			"mem-acc/kc":  1000 * float64(d.MemAccesses) / cyc,
+			"l1d-miss/kc": 1000 * float64(d.L1DMisses) / wcyc,
+			"l2-miss/kc":  1000 * float64(d.L2Misses) / wcyc,
+			"mem-acc/kc":  1000 * float64(d.MemAccesses) / wcyc,
 		})
 		rep := mdl.Report(d)
 		tr.CounterAt(ts, "power", map[string]float64{

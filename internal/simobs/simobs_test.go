@@ -3,6 +3,7 @@ package simobs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"power10sim/internal/isa"
@@ -32,7 +33,7 @@ func TestSampleOptionEmitsCounterTracks(t *testing.T) {
 	tr := telemetry.NewTracer()
 	cfg := uarch.POWER10()
 	_, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)},
-		10_000_000, SampleOption(cfg, tr, 500))
+		10_000_000, SampleOption(cfg, tr, 500, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,14 +73,106 @@ func TestSampleOptionEmitsCounterTracks(t *testing.T) {
 func TestSampleOptionDisabled(t *testing.T) {
 	p := loopProg(t, 200)
 	cfg := uarch.POWER10()
-	for _, opt := range []uarch.SimOption{
-		SampleOption(cfg, nil, 500),
-		SampleOption(cfg, telemetry.NewTracer(), 0),
-		SampleOption(nil, telemetry.NewTracer(), 500),
+	tr1, tr2 := telemetry.NewTracer(), telemetry.NewTracer()
+	for _, tc := range []struct {
+		name string
+		tr   *telemetry.Tracer
+		opt  uarch.SimOption
+	}{
+		{"nil tracer", nil, SampleOption(cfg, nil, 500, 1)},
+		{"every 0", tr1, SampleOption(cfg, tr1, 0, 1)},
+		{"nil config", tr2, SampleOption(nil, tr2, 500, 1)},
 	} {
 		if _, err := uarch.Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)},
-			10_000_000, opt); err != nil {
+			10_000_000, tc.opt); err != nil {
 			t.Fatal(err)
+		}
+		// Sampler off must mean literally zero trace events, not merely
+		// fewer: the disabled path is the default for every sweep.
+		if tc.tr != nil && tc.tr.Len() != 0 {
+			t.Errorf("%s: tracer has %d events, want 0", tc.name, tc.tr.Len())
+		}
+	}
+}
+
+// traceBytes renders the trace a deterministic-clock simulation run produces.
+func traceBytes(t *testing.T, smt int) []byte {
+	t.Helper()
+	p := loopProg(t, 2000)
+	tr := telemetry.NewTracerWithClock(func() int64 { return 0 })
+	cfg := uarch.POWER10()
+	var streams []trace.Stream
+	for i := 0; i < smt; i++ {
+		streams = append(streams, trace.NewVMStream(p, 1<<18))
+	}
+	if _, err := uarch.Simulate(cfg, streams, 10_000_000,
+		SampleOption(cfg, tr, 500, smt)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeTracks(t *testing.T, b []byte) map[string][]telemetry.Event {
+	t.Helper()
+	var tf struct {
+		TraceEvents []telemetry.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &tf); err != nil {
+		t.Fatal(err)
+	}
+	tracks := map[string][]telemetry.Event{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "C" && e.Pid == telemetry.PidSimCycles {
+			tracks[e.Name] = append(tracks[e.Name], e)
+		}
+	}
+	return tracks
+}
+
+func TestSampleOptionPerThreadIPCUnderSMT(t *testing.T) {
+	for _, smt := range []int{1, 4, 8} {
+		tracks := decodeTracks(t, traceBytes(t, smt))
+		evs := tracks["thread-ipc"]
+		if len(evs) < 2 {
+			t.Fatalf("smt%d: thread-ipc has %d samples, want >= 2", smt, len(evs))
+		}
+		// Every sample carries exactly t0..t{smt-1}, and each thread shows
+		// retirement progress in at least one window.
+		active := map[string]bool{}
+		for _, e := range evs {
+			if len(e.Args) != smt {
+				t.Fatalf("smt%d: sample has %d thread series, want %d (%v)", smt, len(e.Args), smt, e.Args)
+			}
+			for i := 0; i < smt; i++ {
+				k := fmt.Sprintf("t%d", i)
+				v, ok := e.Args[k].(float64)
+				if !ok {
+					t.Fatalf("smt%d: sample missing series %q (%v)", smt, k, e.Args)
+				}
+				if v < 0 {
+					t.Errorf("smt%d: %s ipc %v negative", smt, k, v)
+				}
+				if v > 0 {
+					active[k] = true
+				}
+			}
+		}
+		if len(active) != smt {
+			t.Errorf("smt%d: only %d of %d threads ever retired (%v)", smt, len(active), smt, active)
+		}
+	}
+}
+
+func TestSampleOptionTraceIsByteStable(t *testing.T) {
+	for _, smt := range []int{1, 4} {
+		a := traceBytes(t, smt)
+		b := traceBytes(t, smt)
+		if !bytes.Equal(a, b) {
+			t.Errorf("smt%d: identical simulations rendered different trace bytes", smt)
 		}
 	}
 }

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric family followed by
+// its samples, label values escaped per the spec, histogram buckets emitted
+// cumulatively with a trailing `+Inf` bucket plus `_sum` and `_count`
+// series. Families and samples appear in the snapshot's sorted order, so
+// output is deterministic for deterministic state.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := &errWriter{w: w}
+	emitType := func(last *string, name, kind string) {
+		if *last != name {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+			*last = name
+		}
+	}
+	var last string
+	for _, c := range s.Counters {
+		emitType(&last, c.Name, "counter")
+		fmt.Fprintf(bw, "%s%s %d\n", c.Name, promLabels(c.Labels, "", ""), c.Value)
+	}
+	last = ""
+	for _, g := range s.Gauges {
+		emitType(&last, g.Name, "gauge")
+		fmt.Fprintf(bw, "%s%s %s\n", g.Name, promLabels(g.Labels, "", ""), promFloat(g.Value))
+	}
+	last = ""
+	for _, h := range s.Histograms {
+		emitType(&last, h.Name, "histogram")
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = promFloat(b.UpperBound)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", le), cum)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n", h.Name, promLabels(h.Labels, "", ""), promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
+	}
+	return bw.err
+}
+
+// WritePrometheus renders the registry's current state; see the package-level
+// WritePrometheus. Safe on nil: the empty snapshot renders zero families.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}
+
+// promLabels renders a label set as {k="v",...} in sorted-key order, with
+// extraKey/extraValue appended when extraKey is non-empty (the histogram
+// `le` label). Returns "" for an empty set.
+func promLabels(labels map[string]string, extraKey, extraValue string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(labels[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float sample value ('g' keeps integers clean and
+// avoids locale issues; NaN/Inf render in Prometheus' spelling).
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// errWriter latches the first write error so the renderer can use Fprintf
+// freely and report once.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

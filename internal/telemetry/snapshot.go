@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"io"
 	"math"
-	"os"
 	"sort"
 )
 
@@ -150,17 +149,11 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// WriteFile dumps the snapshot JSON to path. Safe on nil registries only in
+// WriteFile dumps the snapshot JSON to path atomically (temp file in the
+// target directory, then rename), so an interrupted or degraded run can
+// never leave a truncated snapshot behind. Safe on nil registries only in
 // the sense that an empty snapshot is written; callers normally gate on the
 // flag that created the registry.
 func (r *Registry) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := r.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFileAtomic(path, r.WriteJSON)
 }

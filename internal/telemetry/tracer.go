@@ -3,7 +3,6 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
-	"os"
 	"sort"
 	"sync"
 	"time"
@@ -189,15 +188,9 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// WriteFile dumps the trace JSON to path.
+// WriteFile dumps the trace JSON to path atomically (temp file in the
+// target directory, then rename), matching Registry.WriteFile's guarantee
+// that interrupted runs never leave truncated artifacts.
 func (t *Tracer) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFileAtomic(path, t.WriteJSON)
 }
