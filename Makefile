@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs chaos serve-check perf verify bench sweep profile
+.PHONY: build test vet race race-obs chaos serve-check perf verify bench bench-core sweep profile
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,15 @@ verify: vet build test race-obs race chaos serve-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'
+
+# bench-core profiles the steady-state core hot loop: BenchmarkCoreP10 with
+# -benchmem (the 0 allocs/op claim is visible in the output) and a CPU
+# profile under perf/, then prints the top-10 cumulative functions so the
+# hot-path shape is reviewable without opening the profile interactively.
+bench-core:
+	$(GO) test -run='^$$' -bench='^BenchmarkCoreP10$$' -benchtime=5x -benchmem \
+		-cpuprofile perf/core.cpu.pprof -o perf/core.test .
+	$(GO) tool pprof -top -cum -nodecount=10 perf/core.test perf/core.cpu.pprof
 
 sweep:
 	$(GO) run ./cmd/p10bench -quick

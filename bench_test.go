@@ -82,6 +82,33 @@ func BenchmarkCoreInjectionOff(b *testing.B) {
 	benchCore(b, uarch.POWER10(), uarch.WithUpset(nil))
 }
 
+// BenchmarkCoreP10 is the steady-state hot-loop benchmark: one stream and
+// one Result reused across iterations via SimulateInto, so after the warmup
+// run the measured loop exercises the wakeup scheduler, the core pool and
+// the in-place VM reset with zero allocations per simulation. The perf
+// ledger (cmd/p10perf) enforces allocs/op == 0 on this benchmark.
+func BenchmarkCoreP10(b *testing.B) {
+	cfg := uarch.POWER10()
+	w := workloads.Daxpy(4096, 12)
+	stream := trace.NewVMStream(w.Prog, w.Budget)
+	streams := []trace.Stream{stream}
+	var res uarch.Result
+	// Warmup: touch the VM's memory footprint and populate the core pool.
+	if err := uarch.SimulateInto(&res, cfg, streams, 10_000_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.Reset()
+		if err := uarch.SimulateInto(&res, cfg, streams, 10_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.Activity.Cycles), "cycles")
+}
+
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.TableI(quick)

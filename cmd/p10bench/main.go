@@ -94,6 +94,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		serveAddr  = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090, 127.0.0.1:0)")
+		cacheDir   = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs)")
 	)
 	flag.Parse()
 	if *jobs < 0 {
@@ -144,6 +145,12 @@ func main() {
 	pool := runner.New(*jobs)
 	pool.Instrument(reg, tr)
 	pool.SetContext(ctx)
+	// The persistent cache makes unique runs durable across processes; the
+	// stdout request/run/hit summary below is unaffected (a disk hit is
+	// still a unique request this process).
+	if err := pool.SetCacheDir(*cacheDir); err != nil {
+		cliutil.Usagef("%v", err)
+	}
 	// The progress bus is the single source of truth for everything that
 	// narrates the sweep: the stderr console lines, the /events SSE stream,
 	// and the /status aggregation all subscribe to the same events. With no
@@ -233,6 +240,10 @@ func main() {
 	// timing on stderr rather than the deterministic stdout summary.
 	fmt.Fprintf(os.Stderr, "total: %.1fs with %d workers, peak in-flight %d, total queue wait %.2fs\n",
 		time.Since(sweepStart).Seconds(), pool.Workers(), st.PeakInFlight, st.QueueWait.Seconds())
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "diskcache: %d hits, %d misses, %d B read, %d B written (%s)\n",
+			st.DiskHits, st.DiskMisses, st.DiskReadBytes, st.DiskWrittenBytes, *cacheDir)
+	}
 	// Telemetry files are written even when the sweep degraded or was
 	// interrupted: a partial run's diagnostics are exactly what you want to
 	// inspect afterwards.

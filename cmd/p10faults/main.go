@@ -64,6 +64,7 @@ func main() {
 		chaos        = flag.Bool("chaos", false, "inject panics/transient failures/hangs into the harness (self-test)")
 		metricsOut   = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 		serveAddr    = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090)")
+		cacheDir     = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs)")
 	)
 	flag.Parse()
 	if *trials < 1 {
@@ -104,6 +105,13 @@ func main() {
 	pool := runner.New(*jobs)
 	pool.Instrument(reg, nil)
 	pool.SetContext(ctx)
+	// Persist trial results across campaign invocations (the upset
+	// parameters are part of the content key, so a re-run with a new seed
+	// shares only its genuinely identical trials). Chaos self-test runs
+	// bypass the disk layer inside the runner.
+	if err := pool.SetCacheDir(*cacheDir); err != nil {
+		cliutil.Usagef("%v", err)
+	}
 	// Progress plumbing: the runner publishes per-trial events for the
 	// observability server (when -serve is given) to re-render on /events
 	// and /status. Unlike p10bench there is no stderr console subscriber:
@@ -208,6 +216,10 @@ func main() {
 	st := pool.Stats()
 	fmt.Fprintf(os.Stderr, "campaign: %.1fs with %d workers; pool: %d runs, %d retries, %d panics recovered, %d watchdog timeouts\n",
 		time.Since(start).Seconds(), pool.Workers(), st.Misses, st.Retries, st.Panics, st.Timeouts)
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "diskcache: %d hits, %d misses, %d B read, %d B written (%s)\n",
+			st.DiskHits, st.DiskMisses, st.DiskReadBytes, st.DiskWrittenBytes, *cacheDir)
+	}
 	if s := res.FailureSummary(); s != "" {
 		fmt.Fprint(os.Stderr, s)
 		exit = 1

@@ -99,6 +99,22 @@ func TestCompareFlagsSweepSlowdown(t *testing.T) {
 	}
 }
 
+func TestZeroAllocGuard(t *testing.T) {
+	clean := []BenchResult{
+		{Name: "BenchmarkCoreP10", NsPerOp: 6.4e7, AllocsPerOp: 0},
+		{Name: "BenchmarkCoreTelemetryOn", NsPerOp: 6.5e7, AllocsPerOp: 55},
+	}
+	if n := checkZeroAlloc(clean); n != 0 {
+		t.Fatalf("checkZeroAlloc(clean) = %d, want 0 (untracked benches may allocate)", n)
+	}
+	dirty := []BenchResult{
+		{Name: "BenchmarkCoreP10", NsPerOp: 6.4e7, AllocsPerOp: 3, BytesPerOp: 96},
+	}
+	if n := checkZeroAlloc(dirty); n != 1 {
+		t.Fatalf("checkZeroAlloc(dirty) = %d, want 1", n)
+	}
+}
+
 func TestLedgerNumbering(t *testing.T) {
 	dir := t.TempDir()
 	if n, err := nextIndex(dir); err != nil || n != 0 {

@@ -36,7 +36,27 @@ import (
 
 // benchTier is the fixed -bench regex: the telemetry/progress zero-cost
 // guards plus the raw core simulation they are measured against.
-const benchTier = "^(BenchmarkCoreTelemetryOff|BenchmarkCoreTelemetryOn|BenchmarkCoreInjectionOff|BenchmarkPublishNoSubscribers|BenchmarkPublishOneSubscriber)$"
+const benchTier = "^(BenchmarkCoreP10|BenchmarkCoreTelemetryOff|BenchmarkCoreTelemetryOn|BenchmarkCoreInjectionOff|BenchmarkPublishNoSubscribers|BenchmarkPublishOneSubscriber)$"
+
+// zeroAllocBenches must report 0 allocs/op: the steady-state core loop is
+// allocation-free by construction (cycle maps, ring buffers, pooled cores),
+// and any new per-cycle allocation is a regression regardless of how the
+// timings move. Checked before the ns/op comparison so the failure names the
+// allocation count, not a noisy ratio.
+var zeroAllocBenches = map[string]bool{"BenchmarkCoreP10": true}
+
+// checkZeroAlloc returns the number of tracked benchmarks that allocated.
+func checkZeroAlloc(benches []BenchResult) int {
+	bad := 0
+	for _, r := range benches {
+		if zeroAllocBenches[r.Name] && r.AllocsPerOp > 0 {
+			fmt.Printf("%s: %d allocs/op (%d B/op), want 0 — steady-state allocation regression\n",
+				r.Name, r.AllocsPerOp, r.BytesPerOp)
+			bad++
+		}
+	}
+	return bad
+}
 
 func goBin() string {
 	if g := os.Getenv("GO"); g != "" {
@@ -164,6 +184,10 @@ func main() {
 	}
 
 	exit := 0
+	if bad := checkZeroAlloc(cur.Benchmarks); bad > 0 {
+		fmt.Printf("%d zero-alloc guard failure(s)\n", bad)
+		exit = 1
+	}
 	if prior != nil {
 		report, regressions := compare(priorPath, prior, cur, *threshold)
 		fmt.Print(report)

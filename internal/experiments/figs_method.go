@@ -84,32 +84,42 @@ type Fig10Result struct {
 func Fig10(o Options) (*Fig10Result, error) {
 	cfg := uarch.POWER10()
 	suite := workloads.SPECintSuite()
-	points := make([]Fig10Point, len(suite))
-	errs := make([]error, len(suite))
-	runner.ForEach(o.jobs(), len(suite), func(i int) {
-		w := suite[i]
-		mk := func() []trace.Stream {
-			budget := o.scale(w.Budget) / 2
-			return []trace.Stream{
-				trace.NewVMStream(w.Prog, budget),
-				trace.NewVMStream(w.Prog, budget),
+	// The core-vs-chip pairs run epoch-windowed simulations outside the
+	// Request shape, so the figure is persisted as one blob keyed on every
+	// input: config, program content, and the scaled per-thread budgets.
+	fp := fmt.Sprintf("%#v|interval=5000|maxcycles=%d", *cfg, uint64(maxSimCycles))
+	for _, w := range suite {
+		fp += fmt.Sprintf("|%s|budget=%d|warmup=%d",
+			runner.WorkloadFingerprint(w), o.scale(w.Budget)/2, o.scaleWarmup(w.Warmup))
+	}
+	return runner.CachedJSON(o.pool(), "fig10", fp, func() (*Fig10Result, error) {
+		points := make([]Fig10Point, len(suite))
+		errs := make([]error, len(suite))
+		runner.ForEach(o.jobs(), len(suite), func(i int) {
+			w := suite[i]
+			mk := func() []trace.Stream {
+				budget := o.scale(w.Budget) / 2
+				return []trace.Stream{
+					trace.NewVMStream(w.Prog, budget),
+					trace.NewVMStream(w.Prog, budget),
+				}
+			}
+			core, chip, err := apex.CoreVsChip(cfg, w.Name, mk, 5000, maxSimCycles,
+				uarch.WithWarmup(o.scaleWarmup(w.Warmup)))
+			if err != nil {
+				errs[i] = fmt.Errorf("fig10 %s: %w", w.Name, err)
+				return
+			}
+			memBound := chip.IPC < core.IPC*0.85
+			points[i] = Fig10Point{Workload: w.Name, Core: core, Chip: chip, MemBound: memBound}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
 		}
-		core, chip, err := apex.CoreVsChip(cfg, w.Name, mk, 5000, maxSimCycles,
-			uarch.WithWarmup(o.scaleWarmup(w.Warmup)))
-		if err != nil {
-			errs[i] = fmt.Errorf("fig10 %s: %w", w.Name, err)
-			return
-		}
-		memBound := chip.IPC < core.IPC*0.85
-		points[i] = Fig10Point{Workload: w.Name, Core: core, Chip: chip, MemBound: memBound}
+		return &Fig10Result{Points: points}, nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return &Fig10Result{Points: points}, nil
 }
 
 // Table renders Fig. 10.
@@ -136,43 +146,67 @@ type Fig11Result struct {
 	Curves map[string]map[int]float64
 }
 
-// modelDataset builds the shared counter/power corpus, fanning the
-// per-workload epoch collection across the options' job count.
-func modelDataset(cfg *uarch.Config, o Options) (*powermodel.Dataset, error) {
+// modelInputs enumerates the shared counter/power corpus: the workload set,
+// the epoch length, and a content fingerprint over both plus the config —
+// the blob-cache key every model-building figure derives from. The
+// fingerprint is computable without running anything, so a warm sweep can
+// skip straight to a cached figure result.
+func modelInputs(cfg *uarch.Config, o Options) ([]*workloads.Workload, uint64, string) {
 	ws := workloads.SPECintSuite()
 	ws = append(ws, workloads.Stressmark(true), workloads.ActiveIdle())
 	epoch := uint64(2500)
 	if o.Quick {
 		epoch = 4000
 	}
-	return powermodel.CollectJobs(cfg, ws, epoch, o.jobs())
+	fp := fmt.Sprintf("%#v|epoch=%d", *cfg, epoch)
+	for _, w := range ws {
+		fp += "|" + runner.WorkloadFingerprint(w)
+	}
+	return ws, epoch, fp
+}
+
+// modelDataset builds the shared counter/power corpus, fanning the
+// per-workload epoch collection across the options' job count. The corpus is
+// persisted through the runner's blob cache, so the three figures sharing it
+// collect it once per cache directory, not once per figure per process.
+func modelDataset(cfg *uarch.Config, o Options) (*powermodel.Dataset, error) {
+	ws, epoch, fp := modelInputs(cfg, o)
+	return runner.CachedJSON(o.pool(), "modeldataset", fp, func() (*powermodel.Dataset, error) {
+		return powermodel.CollectJobs(cfg, ws, epoch, o.jobs())
+	})
 }
 
 // Fig11 fits top-down models at increasing input budgets under different
-// modeling methods/constraints.
+// modeling methods/constraints. Both the corpus and the greedy
+// counter-selection fits are deterministic functions of the fingerprinted
+// inputs, so the whole figure is blob-cached as one artifact.
 func Fig11(o Options) (*Fig11Result, error) {
-	ds, err := modelDataset(uarch.POWER10(), o)
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig11Result{
-		Inputs: []int{1, 2, 4, 8, 16, 24},
-		Curves: map[string]map[int]float64{},
-	}
-	constraints := map[string]mlfit.Options{
-		"ols":          {Intercept: true},
-		"ridge":        {Intercept: true, Ridge: 0.5},
-		"non-negative": {Intercept: true, NonNegative: true},
-		"no-intercept": {},
-	}
-	for name, opt := range constraints {
-		curve, err := powermodel.ErrorCurve(ds, res.Inputs, opt)
+	cfg := uarch.POWER10()
+	_, _, fp := modelInputs(cfg, o)
+	return runner.CachedJSON(o.pool(), "fig11", fp, func() (*Fig11Result, error) {
+		ds, err := modelDataset(cfg, o)
 		if err != nil {
 			return nil, err
 		}
-		res.Curves[name] = curve
-	}
-	return res, nil
+		res := &Fig11Result{
+			Inputs: []int{1, 2, 4, 8, 16, 24},
+			Curves: map[string]map[int]float64{},
+		}
+		constraints := map[string]mlfit.Options{
+			"ols":          {Intercept: true},
+			"ridge":        {Intercept: true, Ridge: 0.5},
+			"non-negative": {Intercept: true, NonNegative: true},
+			"no-intercept": {},
+		}
+		for name, opt := range constraints {
+			curve, err := powermodel.ErrorCurve(ds, res.Inputs, opt)
+			if err != nil {
+				return nil, err
+			}
+			res.Curves[name] = curve
+		}
+		return res, nil
+	})
 }
 
 // Table renders Fig. 11.
@@ -195,23 +229,27 @@ type Fig12Result struct {
 
 // Fig12 fits both model styles on the same corpus and cross-validates.
 func Fig12(o Options) (*Fig12Result, error) {
-	ds, err := modelDataset(uarch.POWER10(), o)
-	if err != nil {
-		return nil, err
-	}
-	td, err := powermodel.FitTopDown(ds, 16, mlfit.Options{Intercept: true})
-	if err != nil {
-		return nil, err
-	}
-	bu, err := powermodel.FitBottomUp(ds, 3, mlfit.Options{Intercept: true})
-	if err != nil {
-		return nil, err
-	}
-	return &Fig12Result{
-		Comparison:     powermodel.Compare(td, bu, ds),
-		BottomUpEvents: bu.EventsUsed,
-		Samples:        len(ds.Samples),
-	}, nil
+	cfg := uarch.POWER10()
+	_, _, fp := modelInputs(cfg, o)
+	return runner.CachedJSON(o.pool(), "fig12", fp, func() (*Fig12Result, error) {
+		ds, err := modelDataset(cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		td, err := powermodel.FitTopDown(ds, 16, mlfit.Options{Intercept: true})
+		if err != nil {
+			return nil, err
+		}
+		bu, err := powermodel.FitBottomUp(ds, 3, mlfit.Options{Intercept: true})
+		if err != nil {
+			return nil, err
+		}
+		return &Fig12Result{
+			Comparison:     powermodel.Compare(td, bu, ds),
+			BottomUpEvents: bu.EventsUsed,
+			Samples:        len(ds.Samples),
+		}, nil
+	})
 }
 
 // Table renders Fig. 12.

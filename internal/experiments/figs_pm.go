@@ -31,31 +31,39 @@ type Fig15Result struct {
 
 // Fig15 designs the power proxy and evaluates both accuracy curves.
 func Fig15(o Options) (*Fig15Result, error) {
-	ds, err := modelDataset(uarch.POWER10(), o)
-	if err != nil {
-		return nil, err
-	}
-	curve, err := pmgmt.AccuracyCurve(ds, []int{2, 4, 8, 16, 24})
-	if err != nil {
-		return nil, err
-	}
-	px, err := pmgmt.DesignProxy(ds, 16)
-	if err != nil {
-		return nil, err
-	}
+	cfg := uarch.POWER10()
 	w := workloads.Compress()
-	mk := func() trace.Stream { return trace.NewVMStream(w.Prog, o.scale(w.Budget)) }
-	gran, err := pmgmt.GranularityError(px, uarch.POWER10(), mk,
-		[]uint64{10, 25, 50, 100, 500, 2000, 10000}, ds.IdleFloor)
-	if err != nil {
-		return nil, err
-	}
-	return &Fig15Result{
-		AccuracyByCounters: curve,
-		SelectedCounters:   px.Counters,
-		SelectedError:      px.ActiveError,
-		ErrorByGranularity: gran,
-	}, nil
+	// Fingerprint the full input set: the corpus identity plus the
+	// granularity workload and its scaled budget (the corpus fingerprint
+	// alone would miss a budget change to the Fig. 15(b) replay).
+	_, _, fp := modelInputs(cfg, o)
+	fp += fmt.Sprintf("|gran=%s|budget=%d", runner.WorkloadFingerprint(w), o.scale(w.Budget))
+	return runner.CachedJSON(o.pool(), "fig15", fp, func() (*Fig15Result, error) {
+		ds, err := modelDataset(cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		curve, err := pmgmt.AccuracyCurve(ds, []int{2, 4, 8, 16, 24})
+		if err != nil {
+			return nil, err
+		}
+		px, err := pmgmt.DesignProxy(ds, 16)
+		if err != nil {
+			return nil, err
+		}
+		mk := func() trace.Stream { return trace.NewVMStream(w.Prog, o.scale(w.Budget)) }
+		gran, err := pmgmt.GranularityError(px, cfg, mk,
+			[]uint64{10, 25, 50, 100, 500, 2000, 10000}, ds.IdleFloor)
+		if err != nil {
+			return nil, err
+		}
+		return &Fig15Result{
+			AccuracyByCounters: curve,
+			SelectedCounters:   px.Counters,
+			SelectedError:      px.ActiveError,
+			ErrorByGranularity: gran,
+		}, nil
+	})
 }
 
 // Table renders Fig. 15.

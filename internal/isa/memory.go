@@ -80,6 +80,17 @@ func (m *Memory) LoadImage(img map[uint64][]byte) {
 // Pages reports the number of touched pages (footprint diagnostics).
 func (m *Memory) Pages() int { return len(m.pages) }
 
+// Reset zeroes every touched page in place instead of dropping the page map:
+// a re-run over the same footprint then allocates nothing. Observable
+// contents (reads, Hash) are identical to a fresh memory — Hash already
+// treats all-zero pages as untouched — though Pages may over-report until
+// the footprint is re-touched.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = page{}
+	}
+}
+
 // Hash returns an order-independent FNV-style digest of the memory contents.
 // Untouched and all-zero pages hash identically (reads of untouched memory
 // return zeros), so two memories with equal observable contents have equal

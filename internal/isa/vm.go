@@ -43,6 +43,23 @@ func NewVM(p *Program) *VM {
 	return vm
 }
 
+// Reset restores the VM to its initial architectural state (registers,
+// memory image, entry PC) without reallocating. Memory pages are zeroed in
+// place, so re-running a program over the same footprint is allocation-free.
+func (vm *VM) Reset() {
+	vm.GPRs = [NumGPR]uint64{}
+	for i, v := range vm.Prog.InitGPR {
+		vm.GPRs[i] = v
+	}
+	vm.VSRs = [NumVSR][2]uint64{}
+	vm.ACCs = [NumACC][8]uint64{}
+	vm.pc = vm.Prog.Entry
+	vm.halted = false
+	vm.retired = 0
+	vm.Mem.Reset()
+	vm.Mem.LoadImage(vm.Prog.InitMem)
+}
+
 // Halted reports whether the program executed OpHalt.
 func (vm *VM) Halted() bool { return vm.halted }
 

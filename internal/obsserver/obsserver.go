@@ -171,6 +171,10 @@ type runnerStats struct {
 	Uncached         uint64  `json:"uncached_errors"`
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 	PeakInFlight     int     `json:"peak_in_flight"`
+	DiskHits         uint64  `json:"disk_hits"`
+	DiskMisses       uint64  `json:"disk_misses"`
+	DiskReadBytes    uint64  `json:"disk_read_bytes"`
+	DiskWrittenBytes uint64  `json:"disk_written_bytes"`
 }
 
 // statusPayload is the /status JSON document; DESIGN.md documents the shape.
@@ -209,6 +213,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			Panics: st.Panics, Timeouts: st.Timeouts, Cancels: st.Cancels,
 			Uncached: st.Uncached, QueueWaitSeconds: st.QueueWait.Seconds(),
 			PeakInFlight: st.PeakInFlight,
+			DiskHits:     st.DiskHits, DiskMisses: st.DiskMisses,
+			DiskReadBytes: st.DiskReadBytes, DiskWrittenBytes: st.DiskWrittenBytes,
 		}
 	}
 	if s.opts.Failures != nil {

@@ -170,7 +170,15 @@ func (m *Model) Report(a *uarch.Activity) *Report {
 	add := func(name string, v float64) { comp[idx[name]] += v }
 
 	bits := rtl.ArrayBits(cfg)
-	arrE := func(name string) float64 { return kArray * rtl.AccessEnergy(bits[name]) }
+	bitOf := func(name string) int {
+		for _, b := range bits {
+			if b.Name == name {
+				return b.Bits
+			}
+		}
+		return 0
+	}
+	arrE := func(name string) float64 { return kArray * rtl.AccessEnergy(bitOf(name)) }
 
 	lstats := m.Latch.Analyze(a)
 
@@ -252,16 +260,16 @@ func (m *Model) Report(a *uarch.Activity) *Report {
 	}
 	ar["lsu-l1d-array"] = rate(a.L1DAccesses) * arrE("l1d")
 	ar["mmu-derat"] = rate(a.DERATLookups) * kERATCam
-	ar["mmu-tlb"] = rate(a.TLBLookups) * kTLB * rtl.AccessEnergy(bits["tlb"])
+	ar["mmu-tlb"] = rate(a.TLBLookups) * kTLB * rtl.AccessEnergy(bitOf("tlb"))
 	ar["l2-tag"] = rate(a.L2Accesses) * 2.2
 	ar["l2-data"] = rate(a.L2Accesses) * arrE("l2") * 0.5
-	if b3, ok := bits["l3"]; ok {
+	if b3 := bitOf("l3"); b3 > 0 {
 		ar["l3"] = rate(a.L3Accesses) * kArray * rtl.AccessEnergy(b3) * 0.4
 	}
 	ar["membus"] = rate(a.MemAccesses) * 95.0
 	// Register-file array energy (beyond port logic).
-	ar["regfile-read"] = rate(a.RegReads) * kArray * rtl.AccessEnergy(bits["regfile"]) * 0.25
-	ar["regfile-write"] = rate(a.RegWrites) * kArray * rtl.AccessEnergy(bits["regfile"]) * 0.35
+	ar["regfile-read"] = rate(a.RegReads) * kArray * rtl.AccessEnergy(bitOf("regfile")) * 0.25
+	ar["regfile-write"] = rate(a.RegWrites) * kArray * rtl.AccessEnergy(bitOf("regfile")) * 0.35
 	// MMA accumulator file: local, cheap, only when active.
 	ar["mma-acc"] = rate(a.MMAOps+a.MMAMoves) * 2.0
 
@@ -294,10 +302,10 @@ func (m *Model) Report(a *uarch.Activity) *Report {
 		leak += l
 		add(clockMap[u], l)
 	}
-	for _, name := range sortedBitNames(bits) {
-		p := float64(bits[name]) * cLeakBit * m.implLeak
+	for _, b := range bits {
+		p := float64(b.Bits) * cLeakBit * m.implLeak
 		leak += p
-		switch name {
+		switch b.Name {
 		case "l1i":
 			add("ifu-l1i-array", p)
 		case "l1d":
@@ -343,16 +351,6 @@ func (m *Model) Report(a *uarch.Activity) *Report {
 
 // sortedNames returns a float-valued map's keys in sorted order.
 func sortedNames(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for n := range m {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// sortedBitNames returns an int-valued map's keys in sorted order.
-func sortedBitNames(m map[string]int) []string {
 	out := make([]string, 0, len(m))
 	for n := range m {
 		out = append(out, n)

@@ -116,22 +116,30 @@ func unitLatchCount(cfg *uarch.Config, u uarch.Unit) int {
 	return 0
 }
 
+// ArrayBit is one named SRAM structure's bit count.
+type ArrayBit struct {
+	Name string
+	Bits int
+}
+
 // ArrayBits reports SRAM bits per array structure (caches, TLB, predictor
 // tables, register file), which the power model charges per access rather
-// than per clock.
-func ArrayBits(cfg *uarch.Config) map[string]int {
-	bits := map[string]int{
-		"l1i":     cfg.L1I.SizeBytes * 8,
-		"l1d":     cfg.L1D.SizeBytes * 8,
-		"l2":      cfg.L2.SizeBytes * 8,
-		"tlb":     cfg.TLBEntries * 120,
-		"bpred":   cfg.BPred.DirEntries*2 + cfg.BPred.SecondEntries*14 + cfg.BPred.BTBEntries*60 + cfg.BPred.IndirEntries*60,
-		"regfile": cfg.RenameRegs * 128,
+// than per clock. The slice is in fixed alphabetical order — an explicit
+// iteration contract, so no float summation downstream can ever depend on
+// map iteration order.
+func ArrayBits(cfg *uarch.Config) []ArrayBit {
+	out := []ArrayBit{
+		{"bpred", cfg.BPred.DirEntries*2 + cfg.BPred.SecondEntries*14 + cfg.BPred.BTBEntries*60 + cfg.BPred.IndirEntries*60},
+		{"l1d", cfg.L1D.SizeBytes * 8},
+		{"l1i", cfg.L1I.SizeBytes * 8},
+		{"l2", cfg.L2.SizeBytes * 8},
 	}
 	if cfg.L3.SizeBytes > 0 {
-		bits["l3"] = cfg.L3.SizeBytes * 8
+		out = append(out, ArrayBit{"l3", cfg.L3.SizeBytes * 8})
 	}
-	return bits
+	return append(out,
+		ArrayBit{"regfile", cfg.RenameRegs * 128},
+		ArrayBit{"tlb", cfg.TLBEntries * 120})
 }
 
 // NewLatchModel builds the latch model for a configuration. Generation-

@@ -1,6 +1,8 @@
 package rtl
 
 import (
+	"reflect"
+	"sort"
 	"testing"
 
 	"power10sim/internal/trace"
@@ -107,17 +109,38 @@ func TestAccessEnergyMonotone(t *testing.T) {
 }
 
 func TestArrayBitsCoverStructures(t *testing.T) {
-	bits := ArrayBits(uarch.POWER10())
+	byName := func(entries []ArrayBit) map[string]int {
+		m := make(map[string]int, len(entries))
+		for _, e := range entries {
+			m[e.Name] = e.Bits
+		}
+		return m
+	}
+	p10 := ArrayBits(uarch.POWER10())
+	bits := byName(p10)
 	for _, k := range []string{"l1i", "l1d", "l2", "tlb", "bpred", "regfile", "l3"} {
 		if bits[k] <= 0 {
 			t.Errorf("array %q missing", k)
 		}
 	}
-	p9 := ArrayBits(uarch.POWER9())
+	p9 := byName(ArrayBits(uarch.POWER9()))
 	if bits["l2"] != 4*p9["l2"] {
 		t.Errorf("L2 bits P10/P9 = %d/%d, want 4x", bits["l2"], p9["l2"])
 	}
 	if bits["tlb"] != 4*p9["tlb"] {
 		t.Errorf("TLB bits P10/P9 = %d/%d, want 4x", bits["tlb"], p9["tlb"])
+	}
+}
+
+func TestArrayBitsOrderIsDeterministic(t *testing.T) {
+	entries := ArrayBits(uarch.POWER10())
+	if !sort.SliceIsSorted(entries, func(a, b int) bool { return entries[a].Name < entries[b].Name }) {
+		t.Errorf("ArrayBits not in sorted order: %v", entries)
+	}
+	for i := 0; i < 8; i++ {
+		again := ArrayBits(uarch.POWER10())
+		if !reflect.DeepEqual(entries, again) {
+			t.Fatalf("ArrayBits not deterministic: %v vs %v", entries, again)
+		}
 	}
 }

@@ -1,0 +1,208 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func TestDiskCacheRoundTripAcrossRunners(t *testing.T) {
+	dir := t.TempDir()
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 2)
+
+	cold := New(1)
+	if err := cold.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	first := cold.Do(req)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	st := cold.Stats()
+	if st.DiskHits != 0 || st.DiskMisses != 1 {
+		t.Errorf("cold run: disk hits=%d misses=%d, want 0/1", st.DiskHits, st.DiskMisses)
+	}
+	if st.DiskWrittenBytes == 0 {
+		t.Error("cold run wrote no cache bytes")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cache dir holds %d entries, want 1", len(entries))
+	}
+
+	// A fresh runner (modeling a new process) must serve the same request
+	// from disk without executing, with an identical result.
+	warm := New(1)
+	if err := warm.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	second := warm.Do(req)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	st = warm.Stats()
+	if st.DiskHits != 1 || st.DiskMisses != 0 {
+		t.Errorf("warm run: disk hits=%d misses=%d, want 1/0", st.DiskHits, st.DiskMisses)
+	}
+	if st.DiskReadBytes == 0 {
+		t.Error("warm run read no cache bytes")
+	}
+	// Memo semantics are unchanged: the disk hit is still this process's
+	// unique request.
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Errorf("warm run: memo hits=%d misses=%d, want 0/1", st.Hits, st.Misses)
+	}
+	if !reflect.DeepEqual(first.Activity, second.Activity) {
+		t.Error("disk-loaded activity differs from executed activity")
+	}
+	if !reflect.DeepEqual(first.Report, second.Report) {
+		t.Error("disk-loaded report differs from executed report")
+	}
+}
+
+func TestDiskCacheUpsetOutcomeSurvives(t *testing.T) {
+	dir := t.TempDir()
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	req.Upset = &uarch.Upset{Cycle: 300, Target: uarch.UpsetEA, Slot: 1, Bit: 5}
+
+	cold := New(1)
+	if err := cold.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	first := cold.Do(req)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Upset == nil {
+		t.Fatal("injected run reported no upset outcome")
+	}
+	warm := New(1)
+	if err := warm.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	second := warm.Do(req)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if warm.Stats().DiskHits != 1 {
+		t.Fatalf("upset request missed the disk cache: %+v", warm.Stats())
+	}
+	if second.Upset == nil || *second.Upset != *first.Upset {
+		t.Errorf("upset outcome did not survive the disk: got %+v want %+v", second.Upset, first.Upset)
+	}
+}
+
+func TestDiskCacheCorruptEntryIsAMissAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+
+	r := New(1)
+	if err := r.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	first := r.Do(req)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	k, ok := keyOf(req)
+	if !ok {
+		t.Fatal("unkeyable test request")
+	}
+	path := r.diskPath(k)
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := New(1)
+	if err := r2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	res := r2.Do(req)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := r2.Stats()
+	if st.DiskHits != 0 || st.DiskMisses != 1 {
+		t.Errorf("corrupt entry: disk hits=%d misses=%d, want 0/1", st.DiskHits, st.DiskMisses)
+	}
+	if !reflect.DeepEqual(first.Activity, res.Activity) {
+		t.Error("re-executed result differs from original")
+	}
+	// The corrupt entry must have been overwritten with a valid one.
+	r3 := New(1)
+	if err := r3.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if res := r3.Do(req); res.Err != nil {
+		t.Fatal(res.Err)
+	} else if r3.Stats().DiskHits != 1 {
+		t.Error("repaired entry did not serve a disk hit")
+	}
+}
+
+func TestDiskCacheSkipsChaosRequests(t *testing.T) {
+	dir := t.TempDir()
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	req.Chaos = &ChaosSpec{}
+
+	r := New(1)
+	if err := r.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Do(req); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := r.Stats()
+	if st.DiskHits != 0 || st.DiskMisses != 0 {
+		t.Errorf("chaos request touched the disk layer: %+v", st)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("chaos request persisted %d entries", len(entries))
+	}
+}
+
+func TestDiskKeySensitivity(t *testing.T) {
+	base := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	kBase, _ := keyOf(base)
+
+	cfgVariant := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	cfg2 := *cfgVariant.Cfg
+	cfg2.FetchWidth++
+	cfgVariant.Cfg = &cfg2
+
+	smtVariant := testRequest(uarch.POWER10(), workloads.Compress(), 2)
+	upsetVariant := base
+	upsetVariant.Upset = &uarch.Upset{Cycle: 1}
+
+	for name, req := range map[string]Request{
+		"config": cfgVariant, "smt": smtVariant, "upset": upsetVariant,
+	} {
+		k, ok := keyOf(req)
+		if !ok {
+			t.Fatalf("%s variant unkeyable", name)
+		}
+		if diskKey(k) == diskKey(kBase) {
+			t.Errorf("%s variant shares the base disk key", name)
+		}
+	}
+	// Same content, distinct construction: must share the key (that is the
+	// whole point of content addressing).
+	same, _ := keyOf(testRequest(uarch.POWER10(), workloads.Compress(), 1))
+	if diskKey(same) != diskKey(kBase) {
+		t.Error("identical requests derived different disk keys")
+	}
+	if filepath.Ext(diskKey(kBase)+".json") != ".json" {
+		t.Error("unexpected key format")
+	}
+}

@@ -160,6 +160,15 @@ type Stats struct {
 	// Uncached counts results withheld from the memoization cache because
 	// their error was transient (the cache-poisoning guard).
 	Uncached uint64
+	// DiskHits / DiskMisses count persistent-cache lookups (SetCacheDir).
+	// They partition the memo Misses above: a disk hit is still a memo miss
+	// (a unique request this process), so Hits/Misses — and the stdout
+	// summary built from them — are unchanged by the disk layer.
+	DiskHits   uint64
+	DiskMisses uint64
+	// DiskReadBytes / DiskWrittenBytes account persistent-cache I/O.
+	DiskReadBytes    uint64
+	DiskWrittenBytes uint64
 }
 
 // obs holds the runner's telemetry handles. All fields are nil until
@@ -170,6 +179,9 @@ type obs struct {
 	retries, panics         *telemetry.Counter
 	timeouts, cancels       *telemetry.Counter
 	uncached                *telemetry.Counter
+	diskHits, diskMisses    *telemetry.Counter
+	diskReadBytes           *telemetry.Counter
+	diskWrittenBytes        *telemetry.Counter
 	queueWait, runLatency   *telemetry.Histogram
 	busyWorkers             *telemetry.Gauge
 	peakInFlight            *telemetry.Gauge
@@ -205,6 +217,10 @@ type Runner struct {
 	cache    map[key]*entry
 	stats    Stats
 	inflight int
+
+	// cacheDir roots the persistent result cache; empty disables it (see
+	// SetCacheDir in diskcache.go).
+	cacheDir string
 
 	obs obs
 	bus *progress.Bus
@@ -256,25 +272,32 @@ func (r *Runner) SetContext(ctx context.Context) {
 //	runner_watchdog_timeouts_total    attempts aborted by the wall-clock watchdog
 //	runner_cancels_total              attempts aborted by context cancellation
 //	runner_uncached_errors_total      transient results withheld from the cache
+//	runner_diskcache_hits_total / runner_diskcache_misses_total
+//	runner_diskcache_read_bytes_total / runner_diskcache_written_bytes_total
+//	                                  persistent-cache effectiveness and I/O
 //
 // With a tracer attached, every executed (cache-miss) simulation also emits
 // a span named sim:<workload>@<config>/smt<N>. Call before submitting
 // requests; Instrument is not synchronized with Do.
 func (r *Runner) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	r.obs = obs{
-		hits:         reg.Counter("runner_cache_hits_total"),
-		misses:       reg.Counter("runner_cache_misses_total"),
-		coalesced:    reg.Counter("runner_inflight_coalesced_total"),
-		retries:      reg.Counter("runner_retries_total"),
-		panics:       reg.Counter("runner_panics_recovered_total"),
-		timeouts:     reg.Counter("runner_watchdog_timeouts_total"),
-		cancels:      reg.Counter("runner_cancels_total"),
-		uncached:     reg.Counter("runner_uncached_errors_total"),
-		queueWait:    reg.Histogram("runner_queue_wait_seconds", telemetry.DurationBuckets()),
-		runLatency:   reg.Histogram("runner_run_seconds", telemetry.DurationBuckets()),
-		busyWorkers:  reg.Gauge("runner_workers_busy"),
-		peakInFlight: reg.Gauge("runner_inflight_peak"),
-		tracer:       tr,
+		hits:             reg.Counter("runner_cache_hits_total"),
+		misses:           reg.Counter("runner_cache_misses_total"),
+		coalesced:        reg.Counter("runner_inflight_coalesced_total"),
+		retries:          reg.Counter("runner_retries_total"),
+		panics:           reg.Counter("runner_panics_recovered_total"),
+		timeouts:         reg.Counter("runner_watchdog_timeouts_total"),
+		cancels:          reg.Counter("runner_cancels_total"),
+		uncached:         reg.Counter("runner_uncached_errors_total"),
+		diskHits:         reg.Counter("runner_diskcache_hits_total"),
+		diskMisses:       reg.Counter("runner_diskcache_misses_total"),
+		diskReadBytes:    reg.Counter("runner_diskcache_read_bytes_total"),
+		diskWrittenBytes: reg.Counter("runner_diskcache_written_bytes_total"),
+		queueWait:        reg.Histogram("runner_queue_wait_seconds", telemetry.DurationBuckets()),
+		runLatency:       reg.Histogram("runner_run_seconds", telemetry.DurationBuckets()),
+		busyWorkers:      reg.Gauge("runner_workers_busy"),
+		peakInFlight:     reg.Gauge("runner_inflight_peak"),
+		tracer:           tr,
 	}
 }
 
@@ -351,6 +374,18 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 	r.mu.Unlock()
 	r.obs.misses.Inc()
 
+	// Persistent layer: a memo miss may still be a disk hit from an earlier
+	// process. Served before taking a worker slot — a disk read should never
+	// queue behind running simulations.
+	if r.diskUsable(req) {
+		if res, ok := r.diskLoad(k, req); ok {
+			e.res = res
+			r.publish(progress.KindCacheHit, req, nil)
+			close(e.ready)
+			return e.res.clone()
+		}
+	}
+
 	enqueued := time.Now()
 	select {
 	case r.sem <- struct{}{}:
@@ -403,6 +438,10 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 		// property of this attempt, not of the request — memoizing it would
 		// replay the failure to every later identical request.
 		r.uncache(k, e)
+	} else if r.diskUsable(req) {
+		// Persist successful results only: a deterministic error is memoized
+		// for this process but re-verified by the next one.
+		r.diskStore(k, req, e.res)
 	}
 	r.mu.Lock()
 	r.inflight--

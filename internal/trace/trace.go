@@ -54,9 +54,11 @@ func (s *VMStream) Next() (isa.DynInst, bool) {
 // Program implements Stream.
 func (s *VMStream) Program() *isa.Program { return s.prog }
 
-// Reset implements Stream.
+// Reset implements Stream. The VM is rewound in place (registers and memory
+// image restored without reallocation), so resetting and replaying a stream
+// is allocation-free once the program's memory footprint has been touched.
 func (s *VMStream) Reset() {
-	s.vm = isa.NewVM(s.prog)
+	s.vm.Reset()
 	s.n = 0
 	s.err = nil
 }

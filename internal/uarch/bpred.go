@@ -234,6 +234,26 @@ func (b *BPred) indirUpdate(thread int, pc, target uint64) {
 	b.indTgt[i] = target
 }
 
+// Reset restores the just-constructed predictor state: bimodal counters back
+// to weakly not-taken (matching NewBPred), all tagged/BTB/indirect state and
+// histories cleared, counters zeroed. Used by the core pool.
+func (b *BPred) Reset() {
+	for i := range b.dir {
+		b.dir[i] = 1 // weakly not-taken
+	}
+	clear(b.tagTags)
+	clear(b.tagCtr)
+	clear(b.tagUse)
+	clear(b.btbTags)
+	clear(b.btbTgt)
+	clear(b.indTags)
+	clear(b.indTgt)
+	b.hist = [8]uint64{}
+	b.tgtHist = [8]uint64{}
+	b.Lookups, b.Mispredicts = 0, 0
+	b.DirMispredicts, b.TgtMispredicts, b.SecondHits = 0, 0, 0
+}
+
 // ResetStats clears prediction counters, leaving trained state warm.
 func (b *BPred) ResetStats() {
 	b.Lookups, b.Mispredicts = 0, 0

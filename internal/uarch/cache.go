@@ -2,20 +2,20 @@ package uarch
 
 // Cache is a set-associative cache with LRU replacement, used for L1I, L1D,
 // L2 and L3. It models hit/miss behaviour only (contents are addresses); data
-// values live in the functional trace.
+// values live in the functional trace. Tag and valid storage is flattened
+// into two arrays (assoc-sized groups, MRU first within a group) so a cache
+// is two allocations regardless of geometry and a pooled core can Reset it
+// in place.
 type Cache struct {
 	params CacheParams
-	sets   []cacheSet
+	tags   []uint64 // assoc-sized groups; within a group index 0 is MRU
+	valid  []bool
+	assoc  int
 	mask   uint64
 	shift  uint
 
 	Accesses uint64
 	Misses   uint64
-}
-
-type cacheSet struct {
-	tags  []uint64 // tag values; index 0 is MRU
-	valid []bool
 }
 
 // NewCache builds a cache; a zero-size parameter set yields a nil cache,
@@ -24,13 +24,10 @@ func NewCache(p CacheParams) *Cache {
 	if p.Sets() == 0 {
 		return nil
 	}
-	c := &Cache{params: p}
+	c := &Cache{params: p, assoc: p.Assoc}
 	nsets := p.Sets()
-	c.sets = make([]cacheSet, nsets)
-	for i := range c.sets {
-		c.sets[i].tags = make([]uint64, p.Assoc)
-		c.sets[i].valid = make([]bool, p.Assoc)
-	}
+	c.tags = make([]uint64, nsets*p.Assoc)
+	c.valid = make([]bool, nsets*p.Assoc)
 	c.mask = uint64(nsets - 1)
 	for ls := p.LineBytes; ls > 1; ls >>= 1 {
 		c.shift++
@@ -47,6 +44,12 @@ func (c *Cache) line(addr uint64) (uint64, uint64) {
 	return l & c.mask, l >> 0 // tag keeps full line number; cheap and unambiguous
 }
 
+// set returns the tag/valid group for set index si.
+func (c *Cache) set(si uint64) ([]uint64, []bool) {
+	base := int(si) * c.assoc
+	return c.tags[base : base+c.assoc], c.valid[base : base+c.assoc]
+}
+
 // Access looks up addr, updating LRU state and filling on miss.
 // It returns true on hit.
 func (c *Cache) Access(addr uint64) bool {
@@ -55,19 +58,19 @@ func (c *Cache) Access(addr uint64) bool {
 	}
 	c.Accesses++
 	si, tag := c.line(addr)
-	s := &c.sets[si]
-	for i := range s.tags {
-		if s.valid[i] && s.tags[i] == tag {
+	tags, valid := c.set(si)
+	for i := range tags {
+		if valid[i] && tags[i] == tag {
 			// Move to MRU.
-			copy(s.tags[1:i+1], s.tags[:i])
-			copy(s.valid[1:i+1], s.valid[:i])
-			s.tags[0] = tag
-			s.valid[0] = true
+			copy(tags[1:i+1], tags[:i])
+			copy(valid[1:i+1], valid[:i])
+			tags[0] = tag
+			valid[0] = true
 			return true
 		}
 	}
 	c.Misses++
-	c.fill(s, tag)
+	fill(tags, valid, tag)
 	return false
 }
 
@@ -77,9 +80,9 @@ func (c *Cache) Probe(addr uint64) bool {
 		return false
 	}
 	si, tag := c.line(addr)
-	s := &c.sets[si]
-	for i := range s.tags {
-		if s.valid[i] && s.tags[i] == tag {
+	tags, valid := c.set(si)
+	for i := range tags {
+		if valid[i] && tags[i] == tag {
 			return true
 		}
 	}
@@ -92,21 +95,21 @@ func (c *Cache) Insert(addr uint64) {
 		return
 	}
 	si, tag := c.line(addr)
-	s := &c.sets[si]
-	for i := range s.tags {
-		if s.valid[i] && s.tags[i] == tag {
+	tags, valid := c.set(si)
+	for i := range tags {
+		if valid[i] && tags[i] == tag {
 			return // already present
 		}
 	}
-	c.fill(s, tag)
+	fill(tags, valid, tag)
 }
 
-func (c *Cache) fill(s *cacheSet, tag uint64) {
+func fill(tags []uint64, valid []bool, tag uint64) {
 	// Evict LRU (last slot), insert at MRU.
-	copy(s.tags[1:], s.tags[:len(s.tags)-1])
-	copy(s.valid[1:], s.valid[:len(s.valid)-1])
-	s.tags[0] = tag
-	s.valid[0] = true
+	copy(tags[1:], tags[:len(tags)-1])
+	copy(valid[1:], valid[:len(valid)-1])
+	tags[0] = tag
+	valid[0] = true
 }
 
 // MissRate returns misses/accesses.
@@ -122,6 +125,17 @@ func (c *Cache) ResetStats() {
 	if c == nil {
 		return
 	}
+	c.Accesses, c.Misses = 0, 0
+}
+
+// Reset empties the cache and clears its counters, restoring the
+// just-constructed state (stale tags behind cleared valid bits are never
+// consulted). Used by the core pool.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	clear(c.valid)
 	c.Accesses, c.Misses = 0, 0
 }
 
@@ -212,6 +226,16 @@ func (h *Hierarchy) ResetStats() {
 	h.L1D.ResetStats()
 	h.L2.ResetStats()
 	h.L3.ResetStats()
+	h.L2Accesses, h.L2Misses = 0, 0
+	h.L3Accesses, h.L3Misses = 0, 0
+	h.MemAccesses = 0
+}
+
+// Reset empties every level and clears the counters (core-pool reuse).
+func (h *Hierarchy) Reset() {
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
 	h.L2Accesses, h.L2Misses = 0, 0
 	h.L3Accesses, h.L3Misses = 0, 0
 	h.MemAccesses = 0

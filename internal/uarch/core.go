@@ -59,17 +59,36 @@ type fetchedInst struct {
 	mispred bool
 }
 
+// threadState holds one hardware thread's front-end state. The fetch buffer
+// is a fixed-capacity ring (FetchBufEntries + FetchWidth slots) so the
+// steady state allocates nothing.
 type threadState struct {
 	id               int
 	stream           trace.Stream
 	prog             *isa.Program
-	buf              []fetchedInst
+	buf              []fetchedInst // ring buffer
+	bufHead          int
+	bufLen           int
 	done             bool
 	blockedUntil     uint64 // fetch blocked (icache miss / redirect)
 	pendingMispred   bool   // a fetched-but-unresolved mispredicted branch exists
 	waitingBranch    int    // ROB slot of unresolved mispredicted branch, -1 if none
 	waitingSeq       uint64
 	branchFetchCycle uint64
+}
+
+func (t *threadState) bufAt(i int) *fetchedInst {
+	return &t.buf[(t.bufHead+i)%len(t.buf)]
+}
+
+func (t *threadState) bufPush(f fetchedInst) {
+	t.buf[(t.bufHead+t.bufLen)%len(t.buf)] = f
+	t.bufLen++
+}
+
+func (t *threadState) bufPop(n int) {
+	t.bufHead = (t.bufHead + n) % len(t.buf)
+	t.bufLen -= n
 }
 
 type drainEntry struct {
@@ -79,7 +98,11 @@ type drainEntry struct {
 
 type core struct {
 	cfg *Config
-	act Activity
+	// cfgVal is a copy of *cfg taken at construction: a pooled core is
+	// reusable without reconstruction only for a config with identical
+	// parameters (Config is a flat comparable struct).
+	cfgVal Config
+	act    Activity
 
 	bp   *BPred
 	l1i  *Cache
@@ -98,28 +121,56 @@ type core struct {
 	renACC [][isa.NumACC]depRef
 
 	lqCount, sqCount int
-	drainQ           []drainEntry
-	lmq              []uint64 // completion cycles of outstanding L1D misses
+	// drainQ is a ring of retired stores awaiting L1 commit. Capacity
+	// StoreQueueEntries+RetireWidth: drained entries still hold their SQ
+	// slot, so occupancy never exceeds the store queue.
+	drainQ    []drainEntry
+	drainHead int
+	drainLen  int
+	lmq       []uint64 // completion cycles of outstanding L1D misses
 
 	// pendingFill maps cache lines with in-flight L1 fills to their fill
 	// completion cycle: subsequent loads to the line wait for the fill
 	// (secondary misses) instead of hitting instantly.
-	pendingFill map[uint64]uint64
+	pendingFill cycleMap
 	// sqForward maps addresses of stores still in the store queue to the
 	// cycle their data became available: younger loads to the same address
 	// forward from the queue instead of accessing the L1.
-	sqForward map[uint64]uint64
+	sqForward cycleMap
 	// l2PortFree models L2 read-port occupancy: each line fill holds the
 	// port for l2FillOccupancy cycles.
 	l2PortFree uint64
 
-	threads []*threadState
-	now     uint64
+	// threadsAll is the SMTMax-sized backing store; threads aliases its
+	// first nthreads entries for the current run.
+	threadsAll []*threadState
+	threads    []*threadState
+	now        uint64
 
 	busy [NumUnits]bool
 
 	// upsetOutcome records what an injected upset hit (nil until applied).
 	upsetOutcome *UpsetOutcome
+
+	// Wakeup scheduler state (sched.go). naive selects the retained
+	// reference scan (withNaiveSched) used by the equivalence tests.
+	naive      bool
+	schedLoc   []uint8
+	schedNext  []int32
+	waiterHead []int32
+	wakeHeap   []wakeItem
+	readyQ     []readyItem
+	deferred   []int32
+
+	// Epoch/sample bookkeeping (previously captured by per-run closures).
+	epochPrev   Activity
+	epochStart  uint64
+	samplePrev  Activity
+	sampleStart uint64
+
+	// opts is the applied option set; living inside the pooled core keeps
+	// the options from escaping to the heap on every run.
+	opts simOptions
 }
 
 // SimOption adjusts a simulation run.
@@ -134,6 +185,7 @@ type simOptions struct {
 	upset         *Upset
 	ctx           context.Context
 	strictLimit   bool
+	naiveSched    bool
 }
 
 // WithWarmup discards all statistics gathered before the first n retired
@@ -176,82 +228,65 @@ func WithSampler(every uint64, fn func(CycleSample)) SimOption {
 	}
 }
 
+// withNaiveSched selects the original O(window) ready-scan issue loop and
+// disables the next-event cycle skip. It exists as the schedRef reference
+// implementation for the scheduler-equivalence tests.
+func withNaiveSched() SimOption {
+	return func(o *simOptions) { o.naiveSched = true }
+}
+
 // Simulate runs the configured core over the given per-thread streams until
 // all streams are exhausted and the pipeline drains, or maxCycles elapses.
 func Simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, opts ...SimOption) (*Result, error) {
-	var o simOptions
-	for _, f := range opts {
-		f(&o)
+	res := &Result{}
+	if err := SimulateInto(res, cfg, streams, maxCycles, opts...); err != nil {
+		return nil, err
 	}
-	return simulate(cfg, streams, maxCycles, o)
+	return res, nil
 }
 
-func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOptions) (*Result, error) {
+// SimulateInto is Simulate writing into a caller-provided Result, the
+// allocation-free entry point: together with the internal core pool it lets
+// a steady-state caller (the benchmark loop, the runner) simulate repeatedly
+// without per-run garbage.
+func SimulateInto(res *Result, cfg *Config, streams []trace.Stream, maxCycles uint64, opts ...SimOption) error {
 	if len(streams) == 0 {
-		return nil, errors.New("uarch: no instruction streams")
+		return errors.New("uarch: no instruction streams")
 	}
 	if len(streams) > cfg.SMTMax {
-		return nil, fmt.Errorf("uarch: %d threads exceeds SMT%d", len(streams), cfg.SMTMax)
+		return fmt.Errorf("uarch: %d threads exceeds SMT%d", len(streams), cfg.SMTMax)
 	}
-	c := &core{
-		cfg:         cfg,
-		bp:          NewBPred(cfg.BPred),
-		l1i:         NewCache(cfg.L1I),
-		hier:        NewHierarchy(cfg),
-		mmu:         NewMMU(cfg),
-		pf:          NewPrefetcher(cfg.PrefetchStreams),
-		rob:         make([]robEntry, cfg.InstrTableEntries),
-		pendingFill: make(map[uint64]uint64),
-		sqForward:   make(map[uint64]uint64),
+	c := getCore(cfg, len(streams))
+	for _, f := range opts {
+		f(&c.opts)
 	}
-	n := len(streams)
-	c.renGPR = make([][isa.NumGPR]depRef, n)
-	c.renVSR = make([][isa.NumVSR]depRef, n)
-	c.renACC = make([][isa.NumACC]depRef, n)
-	for t := 0; t < n; t++ {
-		for i := range c.renGPR[t] {
-			c.renGPR[t][i] = noDep
-		}
-		for i := range c.renVSR[t] {
-			c.renVSR[t][i] = noDep
-		}
-		for i := range c.renACC[t] {
-			c.renACC[t][i] = noDep
-		}
-		c.threads = append(c.threads, &threadState{
-			id: t, stream: streams[t], prog: streams[t].Program(), waitingBranch: -1,
-		})
+	c.naive = c.opts.naiveSched
+	for t, s := range streams {
+		c.threads[t].stream = s
+		c.threads[t].prog = s.Program()
 	}
+	err := c.run(maxCycles)
+	if err == nil {
+		res.Config = cfg
+		res.SMT = len(streams)
+		res.Activity = c.act
+		res.Upset = c.upsetOutcome
+	}
+	putCore(c)
+	return err
+}
 
+func (c *core) run(maxCycles uint64) error {
+	o := &c.opts
 	lastProgress := uint64(0)
 	lastRetired := uint64(0)
 	warmed := o.warmupInsts == 0
 	warmStart := uint64(0)
-	var epochPrev Activity
-	var epochStart uint64
-	emitEpoch := func(end uint64) {
-		c.syncActivity()
-		snap := c.act
-		snap.Cycles = end - epochStart
-		d := snap.Sub(&epochPrev)
-		d.Cycles = end - epochStart
-		o.epochCallback(d)
-		epochPrev = c.act
-		epochPrev.Cycles = 0
-		epochStart = end
-	}
+	c.epochPrev = Activity{}
+	c.epochStart = 0
+	c.samplePrev = Activity{}
+	c.sampleStart = 0
 	sampling := o.sampleFn != nil && o.sampleEvery > 0
-	var samplePrev Activity
-	var sampleStart uint64
-	emitSample := func(end uint64) {
-		c.syncActivity()
-		d := c.act.Sub(&samplePrev)
-		d.Cycles = end - sampleStart
-		o.sampleFn(CycleSample{Cycle: end, Delta: d})
-		samplePrev = c.act
-		samplePrev.Cycles = 0
-		sampleStart = end
-	}
 	// noProgressWindow is the forward-progress watchdog: a simulation that
 	// retires nothing for this many cycles is wedged (see HangError).
 	checkCtx := o.ctx != nil
@@ -262,8 +297,14 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 		if checkCtx && c.now&(ctxCheckInterval-1) == 0 {
 			if err := o.ctx.Err(); err != nil {
 				c.syncActivity()
-				return nil, &CancelError{Cfg: cfg.Name, Cycle: c.now,
+				return &CancelError{Cfg: c.cfg.Name, Cycle: c.now,
 					Retired: c.act.Instructions, Err: err}
+			}
+		}
+		if !c.naive {
+			if k := c.idleSkip(o, lastProgress, maxCycles, checkCtx); k > 0 {
+				c.now += k - 1 // the loop increment lands on the event cycle
+				continue
 			}
 		}
 		c.busy = [NumUnits]bool{}
@@ -281,16 +322,16 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 			warmed = true
 			warmStart = c.now + 1
 			c.resetStats()
-			epochPrev = Activity{}
-			epochStart = c.now + 1
-			samplePrev = Activity{}
-			sampleStart = c.now + 1
+			c.epochPrev = Activity{}
+			c.epochStart = c.now + 1
+			c.samplePrev = Activity{}
+			c.sampleStart = c.now + 1
 		}
-		if o.epochCallback != nil && o.epochCycles > 0 && c.now+1-epochStart >= o.epochCycles {
-			emitEpoch(c.now + 1)
+		if o.epochCallback != nil && o.epochCycles > 0 && c.now+1-c.epochStart >= o.epochCycles {
+			c.emitEpoch(o, c.now+1)
 		}
-		if sampling && c.now+1-sampleStart >= o.sampleEvery {
-			emitSample(c.now + 1)
+		if sampling && c.now+1-c.sampleStart >= o.sampleEvery {
+			c.emitSample(o, c.now+1)
 		}
 		if c.finished() {
 			c.now++
@@ -301,23 +342,44 @@ func simulate(cfg *Config, streams []trace.Stream, maxCycles uint64, o simOption
 			lastProgress = c.now
 		} else if c.now-lastProgress > noProgressWindow {
 			c.syncActivity()
-			return nil, c.hangError("no retirement progress", noProgressWindow)
+			return c.hangError("no retirement progress", noProgressWindow)
 		}
 	}
 	if o.strictLimit && !c.finished() {
 		c.syncActivity()
-		return nil, c.hangError("cycle limit exhausted", 0)
+		return c.hangError("cycle limit exhausted", 0)
 	}
-	if o.epochCallback != nil && c.now > epochStart {
-		emitEpoch(c.now)
+	if o.epochCallback != nil && c.now > c.epochStart {
+		c.emitEpoch(o, c.now)
 	}
-	if sampling && c.now > sampleStart {
-		emitSample(c.now)
+	if sampling && c.now > c.sampleStart {
+		c.emitSample(o, c.now)
 	}
 	c.syncActivity()
 	c.act.Cycles = c.now - warmStart
+	return nil
+}
 
-	return &Result{Config: cfg, SMT: len(streams), Activity: c.act, Upset: c.upsetOutcome}, nil
+func (c *core) emitEpoch(o *simOptions, end uint64) {
+	c.syncActivity()
+	snap := c.act
+	snap.Cycles = end - c.epochStart
+	d := snap.Sub(&c.epochPrev)
+	d.Cycles = end - c.epochStart
+	o.epochCallback(d)
+	c.epochPrev = c.act
+	c.epochPrev.Cycles = 0
+	c.epochStart = end
+}
+
+func (c *core) emitSample(o *simOptions, end uint64) {
+	c.syncActivity()
+	d := c.act.Sub(&c.samplePrev)
+	d.Cycles = end - c.sampleStart
+	o.sampleFn(CycleSample{Cycle: end, Delta: d})
+	c.samplePrev = c.act
+	c.samplePrev.Cycles = 0
+	c.sampleStart = end
 }
 
 // noProgressWindow is how many cycles may elapse without a retirement before
@@ -355,11 +417,11 @@ func (c *core) resetStats() {
 }
 
 func (c *core) finished() bool {
-	if c.count != 0 || len(c.drainQ) != 0 {
+	if c.count != 0 || c.drainLen != 0 {
 		return false
 	}
 	for _, t := range c.threads {
-		if !t.done || len(t.buf) != 0 {
+		if !t.done || t.bufLen != 0 {
 			return false
 		}
 	}
@@ -404,7 +466,8 @@ func (c *core) retire() {
 			break
 		}
 		if e.cls.IsStore() {
-			c.drainQ = append(c.drainQ, drainEntry{addr: e.ea, bytes: e.memBytes})
+			c.drainQ[(c.drainHead+c.drainLen)%len(c.drainQ)] = drainEntry{addr: e.ea, bytes: e.memBytes}
+			c.drainLen++
 			// SQ entry freed when drained.
 		}
 		if e.cls.IsLoad() {
@@ -429,11 +492,11 @@ func (c *core) retire() {
 // addresses when the config supports it.
 func (c *core) drainStores() {
 	drains := 2 // store-queue retirement bandwidth (entries -> L1) per cycle
-	for drains > 0 && len(c.drainQ) > 0 {
-		e := c.drainQ[0]
+	for drains > 0 && c.drainLen > 0 {
+		e := c.drainQ[c.drainHead]
 		n := 1
-		if c.cfg.StoreGather && len(c.drainQ) > 1 {
-			nxt := c.drainQ[1]
+		if c.cfg.StoreGather && c.drainLen > 1 {
+			nxt := c.drainQ[(c.drainHead+1)%len(c.drainQ)]
 			if nxt.addr == e.addr+uint64(e.bytes) && e.bytes+nxt.bytes <= 32 {
 				n = 2
 				c.act.SQGathered++
@@ -444,23 +507,45 @@ func (c *core) drainStores() {
 			c.act.DERATLookups++
 			c.mmu.Translate(e.addr)
 		}
-		delete(c.sqForward, e.addr) // the store left the queue
-		c.drainQ = c.drainQ[n:]
+		c.sqForward.del(e.addr) // the store left the queue
+		c.drainHead = (c.drainHead + n) % len(c.drainQ)
+		c.drainLen -= n
 		c.sqCount -= n
 		drains--
 		c.busy[UnitLSU] = true
 	}
 }
 
+// issuePorts is one cycle's issue-port budget.
+type issuePorts struct {
+	intAvail, vsxAvail, brAvail, ldAvail, stAvail, mmaAvail int
+}
+
+func (c *core) newPorts() issuePorts {
+	return issuePorts{
+		intAvail: c.cfg.IntPipes,
+		vsxAvail: c.cfg.VSXPipes,
+		brAvail:  c.cfg.BranchPipes,
+		ldAvail:  c.cfg.LoadPorts,
+		stAvail:  c.cfg.StorePorts,
+		mmaAvail: c.cfg.MMAThroughput,
+	}
+}
+
 // issue selects ready instructions oldest-first and sends them to ports.
 func (c *core) issue() {
-	intAvail := c.cfg.IntPipes
-	vsxAvail := c.cfg.VSXPipes
-	brAvail := c.cfg.BranchPipes
-	ldAvail := c.cfg.LoadPorts
-	stAvail := c.cfg.StorePorts
-	mmaAvail := c.cfg.MMAThroughput
+	if c.naive {
+		c.issueNaive()
+	} else {
+		c.issueWakeup()
+	}
+}
 
+// issueNaive is the retained reference scheduler (schedRef): a full window
+// scan per cycle, exactly the pre-wakeup behaviour. The equivalence tests
+// drive it against issueWakeup.
+func (c *core) issueNaive() {
+	ports := c.newPorts()
 	issuedAny := 0
 	for i, slot := 0, c.head; i < c.count; i, slot = i+1, (slot+1)%len(c.rob) {
 		e := &c.rob[slot]
@@ -470,84 +555,10 @@ func (c *core) issue() {
 		if !c.entryReady(e) {
 			continue
 		}
-		var port *int
-		var unit Unit
-		switch e.cls {
-		case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv, isa.ClassNop, isa.ClassSystem:
-			port, unit = &intAvail, UnitFXU
-		case isa.ClassBranch, isa.ClassCondBranch, isa.ClassIndirBranch:
-			port, unit = &brAvail, UnitFXU
-		case isa.ClassVSXALU, isa.ClassVSXFP, isa.ClassVSXFMA:
-			port, unit = &vsxAvail, UnitVSU
-		case isa.ClassMMA:
-			port, unit = &mmaAvail, UnitMMA
-		case isa.ClassMMAMove:
-			port, unit = &vsxAvail, UnitMMA
-		case isa.ClassLoad, isa.ClassVSXLoad, isa.ClassVSXPairLoad:
-			port, unit = &ldAvail, UnitLSU
-		case isa.ClassStore, isa.ClassVSXStore, isa.ClassVSXPairStore:
-			port, unit = &stAvail, UnitLSU
-		default:
-			port, unit = &intAvail, UnitFXU
-		}
-		if *port <= 0 {
+		if !c.tryIssue(slot, &ports) {
 			continue
 		}
-		*port--
-		e.issued = true
-		e.issueCycle = c.now
-		lat := c.cfg.Latency[e.cls]
-		switch {
-		case e.cls.IsLoad():
-			if rdy, ok := c.sqForward[e.ea]; ok {
-				// Store-to-load forwarding from the store queue; if the
-				// store's data is still in flight the load waits for it.
-				lat = 2
-				if rdy > c.now {
-					lat += int(rdy - c.now)
-				}
-				c.act.StoreForwards++
-			} else {
-				lat = c.loadLatency(e.ea)
-			}
-		case e.cls.IsStore():
-			lat = 1 // address generation; commit happens post-retire
-			c.sqForward[e.ea] = c.now + 1
-		case e.cls == isa.ClassMMA:
-			lat = c.cfg.MMALatency
-		}
-		e.doneCycle = c.now + uint64(lat)
-		c.notIssued--
 		issuedAny++
-		c.busy[unit] = true
-		c.act.IssueByClass[e.cls]++
-		c.act.RegReads += uint64(e.ndeps)
-		c.act.RegWrites++
-		if e.cls == isa.ClassMMA {
-			c.act.MMAOps++
-			c.act.MMAActiveCycles += uint64(c.cfg.MMALatency)
-		}
-		if e.cls == isa.ClassMMAMove {
-			c.act.MMAMoves++
-		}
-		if e.mispred {
-			// Resolve the redirect: the blocked thread resumes after the
-			// branch executes plus the front-end refill.
-			t := c.threads[e.thread]
-			if t.waitingBranch == slot && t.waitingSeq == e.seq {
-				resolve := e.doneCycle + uint64(c.cfg.BranchResolveLatency)/2
-				t.blockedUntil = resolve
-				t.waitingBranch = -1
-				t.pendingMispred = false
-				window := resolve - t.branchFetchCycle
-				if window > uint64(c.cfg.BranchResolveLatency*2) {
-					window = uint64(c.cfg.BranchResolveLatency * 2)
-				}
-				wasted := window * uint64(c.cfg.FetchWidth) / 2
-				c.act.WrongPathSlots += wasted
-				c.act.FlushedInsts += wasted * 3 / 4
-			}
-		}
 	}
 	if issuedAny > 0 {
 		c.busy[UnitIssue] = true
@@ -560,6 +571,90 @@ func (c *core) issue() {
 	}
 }
 
+// tryIssue attempts to issue the ready entry in slot against the cycle's
+// port budget; false means no port of the entry's class was left.
+func (c *core) tryIssue(slot int, p *issuePorts) bool {
+	e := &c.rob[slot]
+	var port *int
+	var unit Unit
+	switch e.cls {
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv, isa.ClassNop, isa.ClassSystem:
+		port, unit = &p.intAvail, UnitFXU
+	case isa.ClassBranch, isa.ClassCondBranch, isa.ClassIndirBranch:
+		port, unit = &p.brAvail, UnitFXU
+	case isa.ClassVSXALU, isa.ClassVSXFP, isa.ClassVSXFMA:
+		port, unit = &p.vsxAvail, UnitVSU
+	case isa.ClassMMA:
+		port, unit = &p.mmaAvail, UnitMMA
+	case isa.ClassMMAMove:
+		port, unit = &p.vsxAvail, UnitMMA
+	case isa.ClassLoad, isa.ClassVSXLoad, isa.ClassVSXPairLoad:
+		port, unit = &p.ldAvail, UnitLSU
+	case isa.ClassStore, isa.ClassVSXStore, isa.ClassVSXPairStore:
+		port, unit = &p.stAvail, UnitLSU
+	default:
+		port, unit = &p.intAvail, UnitFXU
+	}
+	if *port <= 0 {
+		return false
+	}
+	*port--
+	e.issued = true
+	e.issueCycle = c.now
+	lat := c.cfg.Latency[e.cls]
+	switch {
+	case e.cls.IsLoad():
+		if rdy := c.sqForward.get(e.ea); rdy != 0 {
+			// Store-to-load forwarding from the store queue; if the
+			// store's data is still in flight the load waits for it.
+			lat = 2
+			if rdy > c.now {
+				lat += int(rdy - c.now)
+			}
+			c.act.StoreForwards++
+		} else {
+			lat = c.loadLatency(e.ea)
+		}
+	case e.cls.IsStore():
+		lat = 1 // address generation; commit happens post-retire
+		c.sqForward.put(e.ea, c.now+1)
+	case e.cls == isa.ClassMMA:
+		lat = c.cfg.MMALatency
+	}
+	e.doneCycle = c.now + uint64(lat)
+	c.notIssued--
+	c.busy[unit] = true
+	c.act.IssueByClass[e.cls]++
+	c.act.RegReads += uint64(e.ndeps)
+	c.act.RegWrites++
+	if e.cls == isa.ClassMMA {
+		c.act.MMAOps++
+		c.act.MMAActiveCycles += uint64(c.cfg.MMALatency)
+	}
+	if e.cls == isa.ClassMMAMove {
+		c.act.MMAMoves++
+	}
+	if e.mispred {
+		// Resolve the redirect: the blocked thread resumes after the
+		// branch executes plus the front-end refill.
+		t := c.threads[e.thread]
+		if t.waitingBranch == slot && t.waitingSeq == e.seq {
+			resolve := e.doneCycle + uint64(c.cfg.BranchResolveLatency)/2
+			t.blockedUntil = resolve
+			t.waitingBranch = -1
+			t.pendingMispred = false
+			window := resolve - t.branchFetchCycle
+			if window > uint64(c.cfg.BranchResolveLatency*2) {
+				window = uint64(c.cfg.BranchResolveLatency * 2)
+			}
+			wasted := window * uint64(c.cfg.FetchWidth) / 2
+			c.act.WrongPathSlots += wasted
+			c.act.FlushedInsts += wasted * 3 / 4
+		}
+	}
+	return true
+}
+
 // l2FillOccupancy is the number of cycles one line fill holds the L2 read
 // port (128B line at 64B/cycle).
 const l2FillOccupancy = 2
@@ -567,13 +662,13 @@ const l2FillOccupancy = 2
 // loadLatency performs the cache/translation walk for a load.
 func (c *core) loadLatency(ea uint64) int {
 	line := ea / uint64(c.cfg.L1D.LineBytes)
-	if rdy, ok := c.pendingFill[line]; ok {
+	if rdy := c.pendingFill.get(line); rdy != 0 {
 		if rdy > c.now {
 			// Secondary miss: the line is already inbound; wait for it.
 			c.hier.L1D.Accesses++
 			return int(rdy-c.now) + 1
 		}
-		delete(c.pendingFill, line)
+		c.pendingFill.del(line)
 	}
 	lat, lvl := c.hier.Access(ea)
 	if c.cfg.EATaggedL1 {
@@ -610,13 +705,9 @@ func (c *core) loadLatency(ea uint64) int {
 		} else {
 			c.lmq = append(c.lmq, c.now+uint64(lat))
 		}
-		c.pendingFill[line] = c.now + uint64(lat)
-		if len(c.pendingFill) > 4*c.cfg.LoadMissQueue {
-			for l, rdy := range c.pendingFill {
-				if rdy <= c.now {
-					delete(c.pendingFill, l)
-				}
-			}
+		c.pendingFill.put(line, c.now+uint64(lat))
+		if c.pendingFill.n > 4*c.cfg.LoadMissQueue {
+			c.pendingFill.sweepExpired(c.now)
 		}
 		// Train the prefetcher on demand misses.
 		for _, pl := range c.pf.OnMiss(line, c.now) {
@@ -636,12 +727,12 @@ func (c *core) dispatch() {
 	start := int(c.now) % nthreads
 	for ti := 0; ti < nthreads && dispatched < width; ti++ {
 		t := c.threads[(start+ti)%nthreads]
-		for dispatched < width && len(t.buf) > 0 {
-			f := t.buf[0]
+		for dispatched < width && t.bufLen > 0 {
+			f := t.bufAt(0)
 			var f2 *fetchedInst
-			if c.cfg.FusionEnabled && len(t.buf) > 1 && dispatched+1 < width {
-				if fusable(&f, &t.buf[1]) {
-					f2 = &t.buf[1]
+			if c.cfg.FusionEnabled && t.bufLen > 1 && dispatched+1 < width {
+				if fusable(f, t.bufAt(1)) {
+					f2 = t.bufAt(1)
 				}
 			}
 			ok, reason := c.allocate(t, f, f2)
@@ -662,7 +753,7 @@ func (c *core) dispatch() {
 				n = 2
 				c.act.FusedPairs++
 			}
-			t.buf = t.buf[n:]
+			t.bufPop(n)
 			dispatched += n
 			c.act.DecodeSlots += uint64(n)
 			c.act.RenameOps++
@@ -709,23 +800,21 @@ func fusable(a, b *fetchedInst) bool {
 	return false
 }
 
-// allocate reserves OOO resources for f (optionally fused with f2) and
-// builds the ROB entry. It returns false with a stall reason on failure.
-func (c *core) allocate(t *threadState, f fetchedInst, f2 *fetchedInst) (bool, stallReason) {
+// allocGate checks the OOO resource gates for one dispatch (optionally
+// fused), returning the LQ/SQ entries it would consume. Shared between
+// allocate and the idle-skip detector so the stall taxonomy cannot drift.
+func (c *core) allocGate(cls isa.Class, f2 *fetchedInst) (lqNeed, sqNeed int, reason stallReason) {
 	if c.count >= len(c.rob) {
-		return false, stallROB
+		return 0, 0, stallROB
 	}
 	if c.notIssued >= c.cfg.IssueQueueEntries {
-		return false, stallIQ
+		return 0, 0, stallIQ
 	}
-	cls := f.in.Class()
-	isLd, isSt := cls.IsLoad(), cls.IsStore()
-	lqNeed, sqNeed := 0, 0
-	if isLd {
-		lqNeed++
+	if cls.IsLoad() {
+		lqNeed = 1
 	}
-	if isSt {
-		sqNeed++
+	if cls.IsStore() {
+		sqNeed = 1
 	}
 	if f2 != nil {
 		c2 := f2.in.Class()
@@ -739,7 +828,18 @@ func (c *core) allocate(t *threadState, f fetchedInst, f2 *fetchedInst) (bool, s
 	// sqCount covers both in-flight and retired-awaiting-drain entries.
 	if c.lqCount+lqNeed > c.cfg.LoadQueueEntries ||
 		c.sqCount+sqNeed > c.cfg.StoreQueueEntries {
-		return false, stallLSQ
+		return 0, 0, stallLSQ
+	}
+	return lqNeed, sqNeed, stallNone
+}
+
+// allocate reserves OOO resources for f (optionally fused with f2) and
+// builds the ROB entry. It returns false with a stall reason on failure.
+func (c *core) allocate(t *threadState, f *fetchedInst, f2 *fetchedInst) (bool, stallReason) {
+	cls := f.in.Class()
+	lqNeed, sqNeed, reason := c.allocGate(cls, f2)
+	if reason != stallNone {
+		return false, reason
 	}
 
 	slot := (c.head + c.count) % len(c.rob)
@@ -795,6 +895,9 @@ func (c *core) allocate(t *threadState, f fetchedInst, f2 *fetchedInst) (bool, s
 	}
 	c.count++
 	c.notIssued++
+	if !c.naive {
+		c.scheduleEntry(slot)
+	}
 	return true, stallNone
 }
 
@@ -889,12 +992,12 @@ func (c *core) fetch() {
 	for probe := 0; probe < nthreads; probe++ {
 		t := c.threads[(int(c.now)+probe)%nthreads]
 		if t.done || t.blockedUntil > c.now || t.pendingMispred {
-			if !t.done && len(t.buf) == 0 {
+			if !t.done && t.bufLen == 0 {
 				c.act.FetchStallCycles++
 			}
 			continue
 		}
-		if len(t.buf) >= c.cfg.FetchBufEntries {
+		if t.bufLen >= c.cfg.FetchBufEntries {
 			continue
 		}
 		c.fetchThread(t)
@@ -937,13 +1040,13 @@ func (c *core) fetchThread(t *threadState) {
 				f.mispred = true
 				t.pendingMispred = true
 				t.branchFetchCycle = c.now
-				t.buf = append(t.buf, f)
+				t.bufPush(f)
 				fetched++
 				c.act.FetchSlots++
 				break // stop fetching past an unresolved mispredict
 			}
 		}
-		t.buf = append(t.buf, f)
+		t.bufPush(f)
 		fetched++
 		c.act.FetchSlots++
 		if cls.IsBranch() && d.Taken {

@@ -1,0 +1,147 @@
+package uarch
+
+// cycleMap is an open-addressed, linear-probe hash table from uint64 keys to
+// non-zero uint64 cycle values. It replaces the two per-simulation
+// map[uint64]uint64 tables on the issue hot path (pendingFill, sqForward):
+// a Go map allocates buckets as it grows and keeps that garbage per
+// simulation, while cycleMap keeps two flat arrays that a pooled core reuses
+// run after run.
+//
+// A value of 0 marks an empty slot. That encoding is safe because every
+// stored value is a cycle of the form now+lat with lat >= 1 (fill-ready and
+// forward-ready cycles are always strictly in the future of the cycle that
+// created them), so 0 can never be a live value.
+type cycleMap struct {
+	keys []uint64
+	vals []uint64
+	mask uint64
+	n    int // occupied slots
+
+	// scratch buffers reused by sweepExpired.
+	sk, sv []uint64
+}
+
+// cmHash mixes the key so linear probing sees a uniform low-bit distribution
+// (keys are cache-line numbers and effective addresses, both strided).
+func cmHash(k uint64) uint64 {
+	k *= 0x9E3779B97F4A7C15
+	return k ^ k>>29
+}
+
+// init sizes the table for about hint live entries.
+func (m *cycleMap) init(hint int) {
+	capacity := 16
+	for capacity < hint*2 {
+		capacity <<= 1
+	}
+	m.keys = make([]uint64, capacity)
+	m.vals = make([]uint64, capacity)
+	m.mask = uint64(capacity - 1)
+	m.n = 0
+}
+
+// reset empties the table, keeping its backing arrays.
+func (m *cycleMap) reset() {
+	clear(m.vals)
+	m.n = 0
+}
+
+// get returns the value stored for k, or 0 when k is absent.
+func (m *cycleMap) get(k uint64) uint64 {
+	i := cmHash(k) & m.mask
+	for m.vals[i] != 0 {
+		if m.keys[i] == k {
+			return m.vals[i]
+		}
+		i = (i + 1) & m.mask
+	}
+	return 0
+}
+
+// put inserts or updates k -> v. v must be non-zero.
+func (m *cycleMap) put(k, v uint64) {
+	i := cmHash(k) & m.mask
+	for m.vals[i] != 0 {
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.keys[i] = k
+	m.vals[i] = v
+	m.n++
+	if uint64(m.n)*4 > (m.mask+1)*3 {
+		m.grow()
+	}
+}
+
+// del removes k if present, using backward-shift deletion so the table never
+// accumulates tombstones.
+func (m *cycleMap) del(k uint64) {
+	i := cmHash(k) & m.mask
+	for {
+		if m.vals[i] == 0 {
+			return
+		}
+		if m.keys[i] == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	m.n--
+	for {
+		m.vals[i] = 0
+		j := i
+		for {
+			j = (j + 1) & m.mask
+			if m.vals[j] == 0 {
+				return
+			}
+			h := cmHash(m.keys[j]) & m.mask
+			// Move keys[j] into the hole iff the hole lies on its probe
+			// path (standard backward-shift invariant).
+			if ((j - h) & m.mask) >= ((j - i) & m.mask) {
+				m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// sweepExpired removes every entry with value <= now (the bulk cleanup the
+// pendingFill table runs when it crowds past its occupancy threshold).
+func (m *cycleMap) sweepExpired(now uint64) {
+	if cap(m.sk) < len(m.vals) {
+		m.sk = make([]uint64, 0, len(m.vals))
+		m.sv = make([]uint64, 0, len(m.vals))
+	}
+	sk, sv := m.sk[:0], m.sv[:0]
+	for i, v := range m.vals {
+		if v > now {
+			sk = append(sk, m.keys[i])
+			sv = append(sv, v)
+		}
+	}
+	m.sk, m.sv = sk, sv
+	clear(m.vals)
+	m.n = 0
+	for i := range sk {
+		m.put(sk[i], sv[i])
+	}
+}
+
+func (m *cycleMap) grow() {
+	oldKeys, oldVals := m.keys, m.vals
+	capacity := (m.mask + 1) * 2
+	m.keys = make([]uint64, capacity)
+	m.vals = make([]uint64, capacity)
+	m.mask = capacity - 1
+	m.n = 0
+	for i, v := range oldVals {
+		if v != 0 {
+			m.put(oldKeys[i], v)
+		}
+	}
+}

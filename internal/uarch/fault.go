@@ -249,9 +249,9 @@ func (c *core) hangError(reason string, window uint64) *HangError {
 		e.HeadIssued = h.issued
 	}
 	for _, t := range c.threads {
-		d := ThreadDiag{ID: t.id, Buffered: len(t.buf), Done: t.done}
-		if len(t.buf) > 0 {
-			d.PC = t.buf[0].d.PC
+		d := ThreadDiag{ID: t.id, Buffered: t.bufLen, Done: t.done}
+		if t.bufLen > 0 {
+			d.PC = t.bufAt(0).d.PC
 		}
 		e.Threads = append(e.Threads, d)
 	}

@@ -39,6 +39,15 @@ func NewMMU(cfg *Config) *MMU {
 	return &MMU{erat: erat, tlb: tlb, tlbLat: cfg.TLBLatency, walkLat: cfg.WalkLatency, pageShift: ps}
 }
 
+// Reset empties the translation caches and clears the counters, restoring
+// the just-constructed state (core-pool reuse).
+func (m *MMU) Reset() {
+	m.erat.Reset()
+	m.tlb.Reset()
+	m.ERATLookups, m.ERATMisses = 0, 0
+	m.TLBLookups, m.TLBMisses = 0, 0
+}
+
 // ResetStats clears lookup counters, leaving translation state warm.
 func (m *MMU) ResetStats() {
 	m.ERATLookups, m.ERATMisses = 0, 0

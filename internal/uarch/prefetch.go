@@ -7,6 +7,7 @@ package uarch
 type Prefetcher struct {
 	streams []pfStream
 	depth   int
+	out     []uint64 // scratch for OnMiss results, consumed before the next call
 
 	Trained    uint64
 	Prefetches uint64
@@ -26,7 +27,13 @@ const maxTrainStride = 32
 
 // NewPrefetcher creates a prefetcher with n streams; n == 0 disables it.
 func NewPrefetcher(n int) *Prefetcher {
-	return &Prefetcher{streams: make([]pfStream, n), depth: 4}
+	return &Prefetcher{streams: make([]pfStream, n), depth: 4, out: make([]uint64, 0, 4)}
+}
+
+// Reset drops all stream training and clears the counters (core-pool reuse).
+func (p *Prefetcher) Reset() {
+	clear(p.streams)
+	p.Trained, p.Prefetches = 0, 0
 }
 
 // OnMiss records a demand miss of the given cache line number and returns
@@ -46,10 +53,11 @@ func (p *Prefetcher) OnMiss(line uint64, now uint64) []uint64 {
 				if s.conf == 2 {
 					p.Trained++
 				}
-				out := make([]uint64, 0, p.depth)
+				out := p.out[:0]
 				for d := 1; d <= p.depth; d++ {
 					out = append(out, uint64(int64(line)+s.stride*int64(d)))
 				}
+				p.out = out
 				p.Prefetches += uint64(len(out))
 				return out
 			}
