@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs chaos serve-check perf verify bench bench-core sweep profile
+.PHONY: build test vet race race-obs chaos serve-check sample-check perf verify bench bench-core sweep profile
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,16 @@ chaos:
 serve-check:
 	bash scripts/serve_check.sh
 
+# sample-check is the quick end-to-end gate for the interval-sampling
+# estimator: the sampled-vs-full validation sweep on a streaming kernel
+# (daxpy) and a GEMM (dgemm-mma, substituted to the VSU variant on POWER9).
+# Runs at full budgets on purpose — quick traces are a few intervals long,
+# where a full run is mostly startup transient and a steady-state
+# extrapolation is the wrong tool. Exits nonzero if any point breaks the
+# CPI/power error bounds the estimator promises.
+sample-check:
+	$(GO) run ./cmd/p10bench -sample-mode=validate -sample-workloads daxpy,dgemm-mma >/dev/null
+
 # perf runs the perf-regression ledger: the fixed go-bench tier plus a
 # wall-clocked quick sweep, written as the next perf/BENCH_<n>.json and
 # compared against the newest committed ledger. Exits nonzero on regression.
@@ -55,7 +65,7 @@ perf:
 # passes. The race pass matters because the experiment harness fans
 # simulations across a worker pool; race-obs fails fast on the telemetry
 # packages before the full-tree race run.
-verify: vet build test race-obs race chaos serve-check
+verify: vet build test race-obs race chaos serve-check sample-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'

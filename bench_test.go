@@ -10,6 +10,7 @@ import (
 
 	"power10sim/internal/experiments"
 	"power10sim/internal/runner"
+	"power10sim/internal/sampling"
 	"power10sim/internal/simobs"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
@@ -107,6 +108,31 @@ func BenchmarkCoreP10(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(res.Activity.Cycles), "cycles")
+}
+
+// BenchmarkCoreP10Sampled times the SimPoint-style estimator end to end
+// (featurize, cluster, simulate representative windows, extrapolate) on a
+// long daxpy run — the regime interval sampling exists for. The speedup-x
+// metric is effective speedup (total instructions over timing-simulated
+// instructions); the perf ledger tracks both it and the wall time so a
+// regression in either the estimator's cost or its selectivity shows up.
+func BenchmarkCoreP10Sampled(b *testing.B) {
+	cfg := uarch.POWER10()
+	w := workloads.Daxpy(4096, 400)
+	spec := sampling.DefaultSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var est *sampling.Estimate
+	for i := 0; i < b.N; i++ {
+		var err error
+		est, err = sampling.Run(cfg, w.Prog, w.Budget, w.Warmup, 1, 10_000_000, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(est.Meta.Speedup(), "speedup-x")
+	b.ReportMetric(float64(est.Meta.Windows), "windows")
 }
 
 func BenchmarkTableI(b *testing.B) {

@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"power10sim/internal/cliutil"
@@ -43,6 +44,7 @@ import (
 	"power10sim/internal/obsserver"
 	"power10sim/internal/progress"
 	"power10sim/internal/runner"
+	"power10sim/internal/sampling"
 	"power10sim/internal/telemetry"
 )
 
@@ -95,10 +97,26 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		serveAddr  = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090, 127.0.0.1:0)")
 		cacheDir   = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs)")
+		sampleMode = flag.String("sample-mode", "full", "full | sampled | validate: time every instruction, estimate every point with the SimPoint-style sampling engine, or run the sampled-vs-full error-bound sweep")
+		sampleWl   = flag.String("sample-workloads", "", "comma-separated workload families for -sample-mode=validate (default: all families)")
 	)
 	flag.Parse()
 	if *jobs < 0 {
 		cliutil.Usagef("-jobs %d: must be >= 0", *jobs)
+	}
+	switch *sampleMode {
+	case "full", "sampled":
+		if *sampleWl != "" {
+			cliutil.Usagef("-sample-workloads requires -sample-mode=validate")
+		}
+	case "validate":
+		// The validation sweep is its own experiment; a -exp filter would
+		// either select nothing or silently skip the sweep.
+		if *expName != "" {
+			cliutil.Usagef("-exp cannot be combined with -sample-mode=validate")
+		}
+	default:
+		cliutil.Usagef("-sample-mode %q: must be full | sampled | validate", *sampleMode)
 	}
 	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
 		cliutil.Usagef("%v", err)
@@ -180,6 +198,37 @@ func main() {
 	}
 	opt := experiments.Options{Quick: *quick, Jobs: pool.Workers(), Runner: pool,
 		Metrics: reg, Trace: tr, Failures: failures, Progress: bus}
+	switch *sampleMode {
+	case "sampled":
+		// Every simulation point in every experiment runs through the
+		// sampling engine instead of the full timing model. Results carry
+		// distinct cache keys, so a sampled sweep never poisons full runs.
+		spec := sampling.DefaultSpec()
+		opt.Sample = &spec
+	case "validate":
+		var only []string
+		if *sampleWl != "" {
+			for _, n := range strings.Split(*sampleWl, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					only = append(only, n)
+				}
+			}
+		}
+		cat = []experiment{{"sample-validate",
+			"Sampling validation: sampled vs full error bounds",
+			func(o experiments.Options) (renderer, error) {
+				v, err := experiments.SampleValidate(o, sampling.DefaultSpec(), only)
+				if err != nil {
+					return nil, err
+				}
+				// A bound violation degrades the sweep (nonzero exit) but
+				// still renders the full table for inspection.
+				if berr := v.Bounds(); berr != nil {
+					o.Failures.Add("sample-validate", berr)
+				}
+				return v, nil
+			}}}
+	}
 	expSeconds := telemetry.ExpBuckets(0.001, 4, 10)
 	// The sweep plan (catalog order, filter, pool) is built: flip readiness
 	// so /readyz distinguishes "starting" from "sweeping".

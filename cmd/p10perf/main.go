@@ -35,8 +35,10 @@ import (
 )
 
 // benchTier is the fixed -bench regex: the telemetry/progress zero-cost
-// guards plus the raw core simulation they are measured against.
-const benchTier = "^(BenchmarkCoreP10|BenchmarkCoreTelemetryOff|BenchmarkCoreTelemetryOn|BenchmarkCoreInjectionOff|BenchmarkPublishNoSubscribers|BenchmarkPublishOneSubscriber)$"
+// guards plus the raw core simulation they are measured against, and the
+// end-to-end interval-sampling estimator whose wall time bounds every
+// sampled sweep.
+const benchTier = "^(BenchmarkCoreP10|BenchmarkCoreP10Sampled|BenchmarkCoreTelemetryOff|BenchmarkCoreTelemetryOn|BenchmarkCoreInjectionOff|BenchmarkPublishNoSubscribers|BenchmarkPublishOneSubscriber)$"
 
 // zeroAllocBenches must report 0 allocs/op: the steady-state core loop is
 // allocation-free by construction (cycle maps, ring buffers, pooled cores),

@@ -27,6 +27,7 @@ import (
 	"power10sim/internal/obsserver"
 	"power10sim/internal/power"
 	"power10sim/internal/progress"
+	"power10sim/internal/sampling"
 	"power10sim/internal/simobs"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
@@ -96,12 +97,28 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
 		sample     = flag.Uint64("sample", 1000, "cycle-sampling interval for -trace counter tracks (0 = off)")
+		sampleMode = flag.String("sample-mode", "full", "full | sampled | validate: time every instruction, run the SimPoint-style sampling engine, or run both and compare")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		serveAddr  = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090)")
 	)
 	flag.Parse()
 	if *smt < 1 {
 		cliutil.Usagef("-smt %d: must be >= 1", *smt)
+	}
+	switch *sampleMode {
+	case "full":
+	case "sampled", "validate":
+		// Cycle-resolved telemetry and the live server narrate one complete
+		// timed run; a sampled run is many short window simulations, so these
+		// integrations only exist on the full path.
+		if *traceOut != "" {
+			cliutil.Usagef("-trace requires -sample-mode=full (sampled runs have no cycle-resolved trace)")
+		}
+		if *serveAddr != "" {
+			cliutil.Usagef("-serve requires -sample-mode=full")
+		}
+	default:
+		cliutil.Usagef("-sample-mode %q: must be full | sampled | validate", *sampleMode)
 	}
 	// -budget 0 is the "workload default" sentinel only when the flag is
 	// unset; an explicit -budget 0 is a request for zero work and is rejected
@@ -154,6 +171,9 @@ func main() {
 	bud := w.Budget
 	if *budget > 0 {
 		bud = *budget
+	}
+	if *sampleMode != "full" {
+		os.Exit(runSampled(w, cfg, *smt, bud, *sampleMode, *metricsOut))
 	}
 	var streams []trace.Stream
 	for i := 0; i < *smt; i++ {
@@ -272,4 +292,96 @@ func max1(v uint64) float64 {
 		return 1
 	}
 	return float64(v)
+}
+
+// runSampled is the -sample-mode=sampled|validate path: run the workload
+// through the SimPoint-style sampling engine and report the extrapolated
+// estimate; in validate mode also run the full simulation and compare against
+// the published error bounds (nonzero exit on violation). Returns the process
+// exit code.
+func runSampled(w *workloads.Workload, cfg *uarch.Config, smt int, bud uint64, mode, metricsOut string) int {
+	spec := sampling.DefaultSpec()
+	warmup := w.Warmup * uint64(smt)
+	est, err := sampling.Run(cfg, w.Prog, bud, warmup, smt, 50_000_000, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	a := &est.Activity
+	m := &est.Meta
+	fmt.Printf("workload        %s (SMT%d) on %s [sampled]\n", w.Name, smt, cfg.Name)
+	fmt.Printf("intervals       %d x %d insts, %d phases, %d windows simulated\n",
+		m.Intervals, m.Spec.IntervalInsts, m.K, m.Windows)
+	fmt.Printf("timed insts     %d of %d covered (%.1fx effective speedup)\n",
+		m.SimulatedInsts, m.ROIInsts, m.Speedup())
+	fmt.Printf("cycles          %d (extrapolated)\n", a.Cycles)
+	fmt.Printf("instructions    %d\n", a.Instructions)
+	fmt.Printf("IPC             %.3f   CPI %.3f (95%% CI +/- %.4f)\n", a.IPC(), a.CPI(), m.CPIHalfWidth)
+	fmt.Printf("flops/cycle     %.2f   (total %d)\n", a.FlopsPerCycle(), a.Flops)
+	rep := est.Report
+	fmt.Printf("power (total)   %.3f  [clock %.3f switch %.3f array %.3f leak %.3f] (95%% CI +/- %.3f)\n",
+		rep.Total, rep.Clock, rep.Switching, rep.Array, rep.Leakage, m.PowerHalfWidth)
+	fmt.Printf("perf/W (norm)   %.4f\n", a.IPC()/rep.Total)
+	exit := 0
+	if mode == "validate" {
+		var streams []trace.Stream
+		for i := 0; i < smt; i++ {
+			streams = append(streams, trace.NewVMStream(w.Prog, bud))
+		}
+		res, err := uarch.Simulate(cfg, streams, 50_000_000, uarch.WithWarmup(warmup))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fullRep := power.NewModel(cfg).Report(&res.Activity)
+		cpiErr := relErr(a.CPI(), res.Activity.CPI())
+		powErr := relErr(rep.Total, fullRep.Total)
+		fmt.Printf("validate        full CPI %.4f sampled %.4f (err %.2f%%, bound %.0f%%)\n",
+			res.Activity.CPI(), a.CPI(), 100*cpiErr, 100*sampling.CPIErrBound)
+		fmt.Printf("                full power %.3f sampled %.3f (err %.2f%%, bound %.0f%%)\n",
+			fullRep.Total, rep.Total, 100*powErr, 100*sampling.PowerErrBound)
+		if cpiErr > sampling.CPIErrBound || powErr > sampling.PowerErrBound {
+			fmt.Println("validate        FAIL: error bound exceeded")
+			exit = 1
+		} else {
+			fmt.Println("validate        ok")
+		}
+	}
+	if metricsOut != "" {
+		reg := telemetry.NewRegistry()
+		labels := []telemetry.Label{
+			telemetry.L("workload", w.Name),
+			telemetry.L("config", cfg.Name),
+			telemetry.L("smt", fmt.Sprint(smt)),
+		}
+		reg.Counter("sampling_intervals_total", labels...).Add(uint64(m.Intervals))
+		reg.Counter("sampling_simulated_total", labels...).Add(m.SimulatedInsts)
+		reg.Gauge("sampling_speedup", labels...).Set(m.Speedup())
+		reg.Gauge("sim_ipc", labels...).Set(a.IPC())
+		reg.Gauge("sim_power_total", labels...).Set(rep.Total)
+		if err := reg.WriteFile(metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", metricsOut)
+	}
+	return exit
+}
+
+// relErr is |got-want|/|want| (absolute error against a zero reference).
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if want < 0 {
+		want = -want
+	}
+	return d / want
 }

@@ -1,0 +1,85 @@
+package apex
+
+import (
+	"math"
+	"testing"
+
+	"power10sim/internal/sampling"
+	"power10sim/internal/trace"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func TestSampledExtractConsistency(t *testing.T) {
+	w := workloads.Compress()
+	run, est, err := SampledExtract(uarch.POWER10(), w.Prog, w.Budget, 0, 1,
+		4000, 10_000_000, sampling.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Meta.Windows < 1 {
+		t.Fatalf("no windows simulated")
+	}
+	if len(run.Extractions) < est.Meta.Windows {
+		t.Errorf("%d extractions for %d windows: every window must drain at least one batch",
+			len(run.Extractions), est.Meta.Windows)
+	}
+	// The on-the-fly/reference identity is batch-local, so it survives the
+	// change from one long run to many stitched windows.
+	fast, ref := run.AveragePower(), run.ReferencePower()
+	if math.Abs(fast-ref) > 1e-12*math.Abs(ref) {
+		t.Errorf("on-the-fly power %.9f != reference %.9f", fast, ref)
+	}
+	// Total is the sampling extrapolation, not the stitched batch sum.
+	if run.Total.Cycles != est.Activity.Cycles {
+		t.Errorf("total cycles %d != estimate %d", run.Total.Cycles, est.Activity.Cycles)
+	}
+	// Contiguous batch ranges.
+	for i := 1; i < len(run.Extractions); i++ {
+		if run.Extractions[i].CycleStart != run.Extractions[i-1].CycleEnd {
+			t.Fatalf("extraction %d starts at %d, previous ends at %d",
+				i, run.Extractions[i].CycleStart, run.Extractions[i-1].CycleEnd)
+		}
+	}
+}
+
+func TestSampledExtractCompoundsSpeedup(t *testing.T) {
+	w := workloads.Compress()
+	full, err := Extract(uarch.POWER10(),
+		[]trace.Stream{trace.NewVMStream(w.Prog, w.Budget)}, 5000, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srun, est, err := SampledExtract(uarch.POWER10(), w.Prog, w.Budget, 0, 1,
+		5000, 10_000_000, sampling.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sampled flow simulates fewer cycles than the full flow covers, so
+	// its work-accounted speedup must exceed the pure platform speedup
+	// whenever the sampling run achieves an instruction-coverage speedup.
+	if est.Meta.Speedup() > 1 && srun.Speedup() <= full.Speedup() {
+		t.Errorf("sampled-APEX speedup %.0fx not above full APEX %.0fx despite sampling speedup %.1fx",
+			srun.Speedup(), full.Speedup(), est.Meta.Speedup())
+	}
+	// And the estimate's power must be close to the full extraction's.
+	if e := relErrApex(est.Meta.AvgPower, full.AveragePower()); e > 2*sampling.PowerErrBound {
+		t.Errorf("sampled power %.3f vs full %.3f: err %.1f%%",
+			est.Meta.AvgPower, full.AveragePower(), 100*e)
+	}
+}
+
+func TestSampledExtractRejectsZeroInterval(t *testing.T) {
+	w := workloads.Compress()
+	if _, _, err := SampledExtract(uarch.POWER10(), w.Prog, w.Budget, 0, 1,
+		0, 10_000_000, sampling.DefaultSpec()); err == nil {
+		t.Fatal("zero extraction interval accepted")
+	}
+}
+
+func relErrApex(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

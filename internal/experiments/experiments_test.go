@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"power10sim/internal/runner"
+	"power10sim/internal/sampling"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
 )
@@ -144,6 +145,25 @@ func TestAPEXExperiment(t *testing.T) {
 	rel := (r.OnTheFlyPower - r.ReferencePower) / r.ReferencePower
 	if rel > 1e-9 || rel < -1e-9 {
 		t.Errorf("fast path power %.6f != reference %.6f", r.OnTheFlyPower, r.ReferencePower)
+	}
+	// Without Options.Sample the sampled flow must not run (and must not
+	// print): default output stays byte-identical to the pre-sampling repo.
+	if r.SampledWindows != 0 || strings.Contains(r.Table(), "sampled") {
+		t.Error("sampled flow ran without Options.Sample")
+	}
+	spec := sampling.DefaultSpec()
+	rs, err := APEXSpeedup(Options{Quick: true, Sample: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compounding beyond the platform factor needs a long trace and is
+	// asserted in apex's own tests; here the flow just has to run and
+	// stay in the same accounting regime.
+	if rs.SampledWindows == 0 || rs.SampledSpeedup <= 0 {
+		t.Errorf("sampled flow did not run: %d windows, %.0fx", rs.SampledWindows, rs.SampledSpeedup)
+	}
+	if !strings.Contains(rs.Table(), "sampled-APEX speedup") {
+		t.Error("sampled rows missing from table under Options.Sample")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"power10sim/internal/power"
+	"power10sim/internal/sampling"
 	"power10sim/internal/uarch"
 )
 
@@ -51,6 +52,9 @@ type diskPayload struct {
 	SMT      int                 `json:"smt"`
 	Activity uarch.Activity      `json:"activity"`
 	Upset    *uarch.UpsetOutcome `json:"upset,omitempty"`
+	// Sampling preserves the estimator metadata of sampled runs; absent for
+	// full simulations (older entries unmarshal with it nil).
+	Sampling *sampling.Meta `json:"sampling,omitempty"`
 }
 
 // SetCacheDir enables the persistent result cache rooted at dir (created if
@@ -77,6 +81,11 @@ func diskKey(k key) string {
 	fmt.Fprintf(h, "%s|%#v|%s|%d|%#x|%d|%d|%d|%d|%v|%#v",
 		diskSchema, k.cfg, k.prog.name, k.prog.code, k.prog.hash,
 		k.smt, k.budget, k.warmup, k.maxCycles, k.hasUpset, k.upset)
+	if k.hasSample {
+		// Appended only for sampled keys, so every pre-sampling cache entry
+		// keeps its address.
+		fmt.Fprintf(h, "|sample|%#v", k.sample)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -115,7 +124,7 @@ func (r *Runner) diskLoad(k key, req Request) (Result, bool) {
 	// keeps cached entries valid across power-model changes and is exactly
 	// what the execution path does (runCtx).
 	rep := power.NewModel(req.Cfg).Report(&act)
-	return Result{Activity: &act, Report: rep, Upset: p.Upset}, true
+	return Result{Activity: &act, Report: rep, Upset: p.Upset, Sampling: p.Sampling}, true
 }
 
 func (r *Runner) diskMiss(readBytes uint64) {
@@ -141,6 +150,7 @@ func (r *Runner) diskStore(k key, req Request, res Result) {
 		SMT:      req.SMT,
 		Activity: *res.Activity,
 		Upset:    res.Upset,
+		Sampling: res.Sampling,
 	}
 	data, err := json.Marshal(&p)
 	if err != nil {

@@ -275,9 +275,9 @@ func TestChaosTelemetryAccountsFailures(t *testing.T) {
 	r := New(2)
 	r.Instrument(reg, nil)
 	r.SetPolicy(Policy{Timeout: 20 * time.Millisecond, MaxAttempts: 2, Backoff: time.Microsecond})
-	r.Do(chaosRequest(&ChaosSpec{PanicFirst: 1}))       // panic then success
-	r.Do(chaosRequest(&ChaosSpec{Hang: true}))          // two timeouts
-	r.Do(chaosRequest(&ChaosSpec{FailFirst: 5}))        // transient exhaustion
+	r.Do(chaosRequest(&ChaosSpec{PanicFirst: 1})) // panic then success
+	r.Do(chaosRequest(&ChaosSpec{Hang: true}))    // two timeouts
+	r.Do(chaosRequest(&ChaosSpec{FailFirst: 5}))  // transient exhaustion
 	st := r.Stats()
 	checks := map[string]uint64{
 		"runner_retries_total":           st.Retries,

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"power10sim/internal/isa"
+	"power10sim/internal/sampling"
 	"power10sim/internal/uarch"
 )
 
@@ -39,6 +40,11 @@ type key struct {
 	// failure-budget state, so only requests sharing the same spec instance
 	// may share an entry.
 	chaos *ChaosSpec
+	// sample is the normalized sampling spec (zero when hasSample is
+	// false): a sampled run is a different estimator than the full
+	// simulation of the same request and must never share its cache slot.
+	sample    sampling.Spec
+	hasSample bool
 }
 
 // keyOf derives the cache key; ok is false for unkeyable requests.
@@ -63,6 +69,12 @@ func keyOf(req Request) (key, bool) {
 	if req.Upset != nil {
 		k.upset = *req.Upset
 		k.hasUpset = true
+	}
+	if req.Sample != nil && req.Upset == nil {
+		// Upset requests run full regardless of Sample (see Request), so
+		// keying them by spec would only split identical simulations.
+		k.sample = req.Sample.Normalized()
+		k.hasSample = true
 	}
 	return k, true
 }

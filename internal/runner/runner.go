@@ -28,6 +28,7 @@ import (
 
 	"power10sim/internal/power"
 	"power10sim/internal/progress"
+	"power10sim/internal/sampling"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
@@ -55,6 +56,14 @@ type Request struct {
 	// Chaos, when non-nil, forces failures into the execution path for
 	// harness testing. Keyed by spec identity.
 	Chaos *ChaosSpec
+	// Sample, when non-nil, runs the simulation through the SimPoint-style
+	// sampling engine instead of timing every instruction: phase-classify
+	// the trace, simulate one representative interval per phase, and
+	// extrapolate (see internal/sampling). The normalized spec joins the
+	// cache key, so sampled and full results never collide. Requests with
+	// an Upset always run full: fault injection targets a specific cycle of
+	// the complete run, which a sampled run never reaches.
+	Sample *sampling.Spec
 }
 
 // Result is one simulation's outcome. Activity and Report are private copies:
@@ -67,6 +76,10 @@ type Result struct {
 	Err   error
 	// Attempts is how many executions the result took (1 without retries).
 	Attempts int
+	// Sampling carries the sampling metadata (interval/cluster counts,
+	// confidence intervals, effective speedup) for sampled runs; nil for
+	// full simulations.
+	Sampling *sampling.Meta
 }
 
 // clone returns a caller-owned copy of the result so cached values can never
@@ -86,6 +99,10 @@ func (r Result) clone() Result {
 		u := *r.Upset
 		out.Upset = &u
 	}
+	if r.Sampling != nil {
+		m := *r.Sampling
+		out.Sampling = &m
+	}
 	return out
 }
 
@@ -103,6 +120,21 @@ func (r Request) runCtx(ctx context.Context) Result {
 	smt := r.SMT
 	if smt < 1 {
 		smt = 1
+	}
+	if r.Sample != nil && r.Upset == nil {
+		// Sampled path: representative-interval simulation + extrapolation.
+		// Upset requests fall through to the full simulation — an injected
+		// fault targets a specific cycle of the complete run.
+		var extra []uarch.SimOption
+		if ctx != nil && ctx.Done() != nil {
+			extra = append(extra, uarch.WithContext(ctx))
+		}
+		est, err := sampling.Run(r.Cfg, r.W.Prog, r.Budget, r.Warmup, smt, r.MaxCycles, *r.Sample, extra...)
+		if err != nil {
+			return Result{Err: fmt.Errorf("%s on %s (SMT%d, sampled): %w", r.W.Name, r.Cfg.Name, smt, err)}
+		}
+		act := est.Activity
+		return Result{Activity: &act, Report: est.Report, Sampling: &est.Meta}
 	}
 	streams := make([]trace.Stream, 0, smt)
 	for i := 0; i < smt; i++ {
@@ -185,6 +217,9 @@ type obs struct {
 	queueWait, runLatency   *telemetry.Histogram
 	busyWorkers             *telemetry.Gauge
 	peakInFlight            *telemetry.Gauge
+	samplingIntervals       *telemetry.Counter
+	samplingSimulated       *telemetry.Counter
+	samplingSpeedup         *telemetry.Gauge
 	tracer                  *telemetry.Tracer
 }
 
@@ -275,29 +310,35 @@ func (r *Runner) SetContext(ctx context.Context) {
 //	runner_diskcache_hits_total / runner_diskcache_misses_total
 //	runner_diskcache_read_bytes_total / runner_diskcache_written_bytes_total
 //	                                  persistent-cache effectiveness and I/O
+//	sampling_intervals_total          intervals phase-classified by sampled runs
+//	sampling_simulated_total          instructions actually timed by sampled runs
+//	sampling_speedup                  gauge: last sampled run's effective speedup
 //
 // With a tracer attached, every executed (cache-miss) simulation also emits
 // a span named sim:<workload>@<config>/smt<N>. Call before submitting
 // requests; Instrument is not synchronized with Do.
 func (r *Runner) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	r.obs = obs{
-		hits:             reg.Counter("runner_cache_hits_total"),
-		misses:           reg.Counter("runner_cache_misses_total"),
-		coalesced:        reg.Counter("runner_inflight_coalesced_total"),
-		retries:          reg.Counter("runner_retries_total"),
-		panics:           reg.Counter("runner_panics_recovered_total"),
-		timeouts:         reg.Counter("runner_watchdog_timeouts_total"),
-		cancels:          reg.Counter("runner_cancels_total"),
-		uncached:         reg.Counter("runner_uncached_errors_total"),
-		diskHits:         reg.Counter("runner_diskcache_hits_total"),
-		diskMisses:       reg.Counter("runner_diskcache_misses_total"),
-		diskReadBytes:    reg.Counter("runner_diskcache_read_bytes_total"),
-		diskWrittenBytes: reg.Counter("runner_diskcache_written_bytes_total"),
-		queueWait:        reg.Histogram("runner_queue_wait_seconds", telemetry.DurationBuckets()),
-		runLatency:       reg.Histogram("runner_run_seconds", telemetry.DurationBuckets()),
-		busyWorkers:      reg.Gauge("runner_workers_busy"),
-		peakInFlight:     reg.Gauge("runner_inflight_peak"),
-		tracer:           tr,
+		hits:              reg.Counter("runner_cache_hits_total"),
+		misses:            reg.Counter("runner_cache_misses_total"),
+		coalesced:         reg.Counter("runner_inflight_coalesced_total"),
+		retries:           reg.Counter("runner_retries_total"),
+		panics:            reg.Counter("runner_panics_recovered_total"),
+		timeouts:          reg.Counter("runner_watchdog_timeouts_total"),
+		cancels:           reg.Counter("runner_cancels_total"),
+		uncached:          reg.Counter("runner_uncached_errors_total"),
+		diskHits:          reg.Counter("runner_diskcache_hits_total"),
+		diskMisses:        reg.Counter("runner_diskcache_misses_total"),
+		diskReadBytes:     reg.Counter("runner_diskcache_read_bytes_total"),
+		diskWrittenBytes:  reg.Counter("runner_diskcache_written_bytes_total"),
+		queueWait:         reg.Histogram("runner_queue_wait_seconds", telemetry.DurationBuckets()),
+		runLatency:        reg.Histogram("runner_run_seconds", telemetry.DurationBuckets()),
+		busyWorkers:       reg.Gauge("runner_workers_busy"),
+		peakInFlight:      reg.Gauge("runner_inflight_peak"),
+		samplingIntervals: reg.Counter("sampling_intervals_total"),
+		samplingSimulated: reg.Counter("sampling_simulated_total"),
+		samplingSpeedup:   reg.Gauge("sampling_speedup"),
+		tracer:            tr,
 	}
 }
 
@@ -521,6 +562,11 @@ func (r *Runner) attempt(ctx context.Context, req Request) (res Result) {
 		}
 	}()
 	res = req.runCtx(actx)
+	if res.Sampling != nil {
+		r.obs.samplingIntervals.Add(uint64(res.Sampling.Intervals))
+		r.obs.samplingSimulated.Add(res.Sampling.SimulatedInsts)
+		r.obs.samplingSpeedup.Set(res.Sampling.Speedup())
+	}
 	if res.Err != nil {
 		switch {
 		case errors.Is(res.Err, context.DeadlineExceeded):

@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"power10sim/internal/sampling"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func TestSampleJoinsCacheKey(t *testing.T) {
+	// A sampled run is a different estimator than the full simulation of the
+	// same request: it must not collide in the memo map or on disk, and
+	// distinct spec parameters must key distinctly too.
+	full := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	spec := sampling.DefaultSpec()
+	sampled := full
+	sampled.Sample = &spec
+
+	variant := full
+	vspec := sampling.DefaultSpec()
+	vspec.RepsPerCluster++
+	variant.Sample = &vspec
+
+	kFull, _ := keyOf(full)
+	kSamp, _ := keyOf(sampled)
+	kVar, _ := keyOf(variant)
+	if kFull == kSamp || kSamp == kVar {
+		t.Error("sampling spec does not distinguish memo keys")
+	}
+	if diskKey(kFull) == diskKey(kSamp) || diskKey(kSamp) == diskKey(kVar) {
+		t.Error("sampling spec does not distinguish disk keys")
+	}
+
+	// Equal spec values behind distinct pointers must share an entry, and a
+	// partial spec must key like its normalized form so the cache does not
+	// split one estimator across spellings.
+	dup := full
+	dspec := sampling.DefaultSpec()
+	dup.Sample = &dspec
+	if kDup, _ := keyOf(dup); kDup != kSamp {
+		t.Error("identical sampling specs keyed differently")
+	}
+	partial := full
+	pspec := sampling.Spec{}
+	partial.Sample = &pspec
+	norm := full
+	nspec := pspec.Normalized()
+	norm.Sample = &nspec
+	kPartial, _ := keyOf(partial)
+	kNorm, _ := keyOf(norm)
+	if kPartial != kNorm {
+		t.Error("partial spec keys differently from its normalized form")
+	}
+
+	// Upset requests run full regardless of Sample, so the spec must NOT
+	// split them: an upset+sample request keys like the plain upset run.
+	up := full
+	up.Upset = &uarch.Upset{Cycle: 100, Target: uarch.UpsetEA, Bit: 3}
+	upSampled := up
+	upSampled.Sample = &spec
+	kUp, _ := keyOf(up)
+	kUpS, _ := keyOf(upSampled)
+	if kUp != kUpS {
+		t.Error("sampling spec split identical upset simulations")
+	}
+}
+
+func TestDiskCacheSamplingMetaSurvives(t *testing.T) {
+	dir := t.TempDir()
+	w := workloads.Daxpy(512, 24)
+	spec := sampling.DefaultSpec()
+	req := Request{Cfg: uarch.POWER10(), W: w, SMT: 1, Budget: w.Budget,
+		Warmup: w.Warmup, MaxCycles: 10_000_000, Sample: &spec}
+
+	cold := New(1)
+	if err := cold.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	first := cold.Do(req)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Sampling == nil || first.Sampling.Windows == 0 {
+		t.Fatal("sampled run returned no sampling metadata")
+	}
+
+	warm := New(1)
+	if err := warm.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	second := warm.Do(req)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if st := warm.Stats(); st.DiskHits != 1 {
+		t.Fatalf("sampled request missed the disk cache: %+v", st)
+	}
+	if second.Sampling == nil {
+		t.Fatal("sampling metadata lost in the disk round trip")
+	}
+	if !reflect.DeepEqual(first.Sampling, second.Sampling) {
+		t.Errorf("sampling metadata changed across the round trip:\n%+v\n%+v",
+			first.Sampling, second.Sampling)
+	}
+	if !reflect.DeepEqual(first.Activity, second.Activity) {
+		t.Error("disk-loaded activity differs from executed activity")
+	}
+}

@@ -126,7 +126,7 @@ func (s *SliceStream) Records() []isa.DynInst { return s.recs }
 // returns the dynamic trace.
 func Capture(prog *isa.Program, budget uint64) ([]isa.DynInst, error) {
 	vm := isa.NewVM(prog)
-	recs := make([]isa.DynInst, 0, min64(budget, 1<<16))
+	recs := make([]isa.DynInst, 0, min(budget, 1<<16))
 	_, err := vm.Run(budget, func(d isa.DynInst) bool {
 		recs = append(recs, d)
 		return true
@@ -135,13 +135,6 @@ func Capture(prog *isa.Program, budget uint64) ([]isa.DynInst, error) {
 		return nil, fmt.Errorf("capture %q: %w", prog.Name, err)
 	}
 	return recs, nil
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Stats summarizes a dynamic instruction stream.

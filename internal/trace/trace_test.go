@@ -300,3 +300,59 @@ func TestSliceStreamEmptyAndBudgetless(t *testing.T) {
 		t.Error("records accessor mismatch")
 	}
 }
+
+func TestSummarizeEmptyRecords(t *testing.T) {
+	p := countedLoop(1)
+	for _, recs := range [][]isa.DynInst{nil, {}} {
+		st := Summarize(p, recs)
+		if st != (Stats{}) {
+			t.Errorf("Summarize(%d records) = %+v, want zero Stats", len(recs), st)
+		}
+		if st.Mix(isa.ClassLoad) != 0 || st.GEMMRatio() != 0 {
+			t.Error("empty summary reports nonzero ratios")
+		}
+	}
+}
+
+func TestCaptureZeroBudget(t *testing.T) {
+	recs, err := Capture(countedLoop(1000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("zero budget captured %d records", len(recs))
+	}
+}
+
+func TestSummarizeSingleClassMix(t *testing.T) {
+	// A straight-line ALU-only body: the entire mix lands in one class, every
+	// other class reads exactly zero, and the fractions sum to one.
+	p := isa.NewBuilder("aluonly").
+		Li(isa.GPR(1), 0).
+		Addi(isa.GPR(1), isa.GPR(1), 1).
+		Addi(isa.GPR(1), isa.GPR(1), 1).
+		Add(isa.GPR(2), isa.GPR(1), isa.GPR(1)).
+		Halt().
+		MustBuild()
+	recs, err := Capture(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(p, recs[:len(recs)-1]) // drop the trailing Halt record
+	if got := st.Mix(isa.ClassIntALU); got != 1 {
+		t.Errorf("single-class mix = %v, want 1", got)
+	}
+	var sum float64
+	for c := 0; c < isa.NumClasses; c++ {
+		if cl := isa.Class(c); cl != isa.ClassIntALU && st.Mix(cl) != 0 {
+			t.Errorf("class %v has mix %v, want 0", cl, st.Mix(cl))
+		}
+		sum += st.Mix(isa.Class(c))
+	}
+	if sum != 1 {
+		t.Errorf("mixes sum to %v, want 1", sum)
+	}
+	if st.Branches != 0 || st.LoadBytes != 0 || st.StoreBytes != 0 || st.UniqueLines != 0 {
+		t.Errorf("ALU-only stats leaked mem/branch counts: %+v", st)
+	}
+}

@@ -178,6 +178,8 @@ type SimOption func(*simOptions)
 
 type simOptions struct {
 	warmupInsts   uint64
+	measureLimit  uint64
+	warmStreams   []trace.Stream
 	epochCycles   uint64
 	epochCallback func(Activity)
 	sampleEvery   uint64
@@ -193,6 +195,18 @@ type simOptions struct {
 // This is the paper's "region of interest" measurement-window mechanism.
 func WithWarmup(n uint64) SimOption {
 	return func(o *simOptions) { o.warmupInsts = n }
+}
+
+// WithMeasureLimit ends the run once n post-warmup instructions have retired
+// (quantized up to one retire group), with successor instructions still in
+// flight. It is the measurement-window *end* bound, the counterpart of
+// WithWarmup's start bound: a sampled interval simulated with a suffix of its
+// successor instructions and a measure limit at the interval boundary keeps
+// its tail cycles overlapped with real downstream work, instead of billing
+// the window a whole-pipeline drain that in-context execution would hide.
+// Zero disables the limit (run to stream exhaustion).
+func WithMeasureLimit(n uint64) SimOption {
+	return func(o *simOptions) { o.measureLimit = n }
 }
 
 // WithEpochs invokes cb with the activity delta of every `cycles`-cycle
@@ -278,6 +292,11 @@ func SimulateInto(res *Result, cfg *Config, streams []trace.Stream, maxCycles ui
 
 func (c *core) run(maxCycles uint64) error {
 	o := &c.opts
+	if len(o.warmStreams) > 0 {
+		if err := c.functionalWarm(o.warmStreams); err != nil {
+			return err
+		}
+	}
 	lastProgress := uint64(0)
 	lastRetired := uint64(0)
 	warmed := o.warmupInsts == 0
@@ -326,6 +345,10 @@ func (c *core) run(maxCycles uint64) error {
 			c.epochStart = c.now + 1
 			c.samplePrev = Activity{}
 			c.sampleStart = c.now + 1
+		}
+		if o.measureLimit > 0 && warmed && c.act.Instructions >= o.measureLimit {
+			c.now++
+			break
 		}
 		if o.epochCallback != nil && o.epochCycles > 0 && c.now+1-c.epochStart >= o.epochCycles {
 			c.emitEpoch(o, c.now+1)

@@ -33,11 +33,11 @@ func TestNilUpsetIsZeroRate(t *testing.T) {
 	// bit-identical to a run with no injection option at all.
 	p := simpleLoop(800)
 	cfg := POWER10()
-	plain, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000)
+	plain, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)}, 10_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(nil))
+	off, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)}, 10_000_000, WithUpset(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +54,12 @@ func TestUpsetEAPerturbsTimingOnly(t *testing.T) {
 	// the run still completes with all instructions retired.
 	p := memLoop(600)
 	cfg := POWER10()
-	clean, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000)
+	clean, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)}, 10_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	u := &Upset{Cycle: clean.Activity.Cycles / 2, Target: UpsetEA, Slot: 1, Bit: 9}
-	hit, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(u))
+	hit, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)}, 10_000_000, WithUpset(u))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestUpsetDepWedgesPipelineWithDiagnostics(t *testing.T) {
 	p := simpleLoop(50_000)
 	cfg := POWER10()
 	u := &Upset{Cycle: 500, Target: UpsetDep, Slot: 2}
-	_, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(u))
+	_, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)}, 10_000_000, WithUpset(u))
 	var hang *HangError
 	if !errors.As(err, &hang) {
 		t.Fatalf("err = %v, want *HangError", err)
@@ -130,7 +130,7 @@ func TestUpsetDoneDelayAndHang(t *testing.T) {
 	cfg := POWER10()
 	// A short completion delay is absorbed: the run finishes.
 	small := &Upset{Cycle: 400, Target: UpsetDone, Slot: 0, DoneDelay: 64}
-	res, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(small))
+	res, err := Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)}, 10_000_000, WithUpset(small))
 	if err != nil {
 		t.Fatalf("small delay: %v", err)
 	}
@@ -139,7 +139,7 @@ func TestUpsetDoneDelayAndHang(t *testing.T) {
 	}
 	// The default (zero) delay selects a stall past the no-progress window.
 	wedge := &Upset{Cycle: 400, Target: UpsetDone, Slot: 0}
-	_, err = Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 10_000_000, WithUpset(wedge))
+	_, err = Simulate(cfg, []trace.Stream{trace.NewVMStream(p, 1<<20)}, 10_000_000, WithUpset(wedge))
 	var hang *HangError
 	if !errors.As(err, &hang) {
 		t.Fatalf("zero-delay done upset: err = %v, want *HangError", err)
@@ -150,7 +150,7 @@ func TestWithContextCancelsCooperatively(t *testing.T) {
 	p := simpleLoop(200_000)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1 << 20)},
+	_, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1<<20)},
 		10_000_000, WithContext(ctx))
 	var ce *CancelError
 	if !errors.As(err, &ce) {
@@ -164,14 +164,14 @@ func TestWithContextCancelsCooperatively(t *testing.T) {
 func TestStrictCycleLimitDiagnoses(t *testing.T) {
 	p := simpleLoop(100_000)
 	// Far too few cycles: without strict mode this truncates silently.
-	loose, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1 << 20)}, 2_000)
+	loose, err := Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1<<20)}, 2_000)
 	if err != nil {
 		t.Fatalf("loose mode: %v", err)
 	}
 	if loose.Activity.Cycles != 2_000 {
 		t.Errorf("loose mode cycles = %d, want truncation at 2000", loose.Activity.Cycles)
 	}
-	_, err = Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1 << 20)},
+	_, err = Simulate(POWER10(), []trace.Stream{trace.NewVMStream(p, 1<<20)},
 		2_000, WithStrictCycleLimit())
 	var hang *HangError
 	if !errors.As(err, &hang) {
