@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs chaos serve-check sample-check perf verify bench bench-core sweep profile
+.PHONY: build test vet race race-obs chaos serve-check sample-check ledger-check perf verify bench bench-core sweep profile
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ race:
 # goroutines.
 race-obs:
 	$(GO) test -race ./internal/telemetry ./internal/progress ./internal/obsserver \
-		./internal/runner ./internal/simobs
+		./internal/runner ./internal/simobs ./internal/runlog
 
 # chaos is the fault-tolerance gate: the runner hardening tests under the
 # race detector, then a p10faults self-test campaign with forced panics,
@@ -55,6 +55,13 @@ serve-check:
 sample-check:
 	$(GO) run ./cmd/p10bench -sample-mode=validate -sample-workloads daxpy,dgemm-mma >/dev/null
 
+# ledger-check is the end-to-end gate for the campaign ledger: the same quick
+# sweep twice with -runlog and a shared -cachedir, structural validation with
+# p10obscheck, and a p10query proof that the second pass was 100%
+# cache-served (every second-pass record logs a disk/memo tier).
+ledger-check:
+	bash scripts/ledger_check.sh
+
 # perf runs the perf-regression ledger: the fixed go-bench tier plus a
 # wall-clocked quick sweep, written as the next perf/BENCH_<n>.json and
 # compared against the newest committed ledger. Exits nonzero on regression.
@@ -65,7 +72,7 @@ perf:
 # passes. The race pass matters because the experiment harness fans
 # simulations across a worker pool; race-obs fails fast on the telemetry
 # packages before the full-tree race run.
-verify: vet build test race-obs race chaos serve-check sample-check
+verify: vet build test race-obs race chaos serve-check sample-check ledger-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'

@@ -11,7 +11,10 @@
 //	p10bench -trace t.json   # dump a Chrome trace (chrome://tracing, Perfetto)
 //	p10bench -pprof :6060    # serve net/http/pprof while the sweep runs
 //	p10bench -serve :9090    # live observability server: /metrics /status
-//	                         # /events /healthz /readyz /debug/pprof
+//	                         # /events /runs /dashboard /healthz /readyz
+//	p10bench -runlog dir     # append a campaign-ledger record per completed
+//	                         # simulation (query with p10query)
+//	p10bench -runlog dir -runlog-series 64   # plus downsampled time series
 //	p10bench -list
 //
 // Simulations fan out across a bounded worker pool with a memoization cache,
@@ -43,6 +46,7 @@ import (
 	"power10sim/internal/experiments"
 	"power10sim/internal/obsserver"
 	"power10sim/internal/progress"
+	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
 	"power10sim/internal/sampling"
 	"power10sim/internal/telemetry"
@@ -97,12 +101,20 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		serveAddr  = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090, 127.0.0.1:0)")
 		cacheDir   = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs)")
+		runlogDir  = flag.String("runlog", "", "append one campaign-ledger record per completed simulation under this directory")
+		runlogSer  = flag.Int("runlog-series", 0, "with -runlog, also record a downsampled time series per executed sim, decimated to at most N frames (0 = off)")
 		sampleMode = flag.String("sample-mode", "full", "full | sampled | validate: time every instruction, estimate every point with the SimPoint-style sampling engine, or run the sampled-vs-full error-bound sweep")
 		sampleWl   = flag.String("sample-workloads", "", "comma-separated workload families for -sample-mode=validate (default: all families)")
 	)
 	flag.Parse()
 	if *jobs < 0 {
 		cliutil.Usagef("-jobs %d: must be >= 0", *jobs)
+	}
+	if *runlogSer < 0 {
+		cliutil.Usagef("-runlog-series %d: must be >= 0", *runlogSer)
+	}
+	if *runlogSer != 0 && *runlogDir == "" {
+		cliutil.Usagef("-runlog-series needs -runlog")
 	}
 	switch *sampleMode {
 	case "full", "sampled":
@@ -169,6 +181,33 @@ func main() {
 	if err := pool.SetCacheDir(*cacheDir); err != nil {
 		cliutil.Usagef("%v", err)
 	}
+	// The campaign ledger is pure provenance: every completed request appends
+	// one record (and optionally a time series), all on stderr/disk, so the
+	// byte-identical stdout contract is untouched.
+	var led *runlog.Ledger
+	if *runlogDir != "" {
+		var err error
+		led, err = runlog.Open(*runlogDir, runlog.Options{Command: "p10bench", SeriesFrames: *runlogSer})
+		if err != nil {
+			cliutil.Usagef("%v", err)
+		}
+		led.Instrument(reg)
+		pool.SetRunLog(led)
+	}
+	closeRunLog := func() {
+		if led == nil {
+			return
+		}
+		recs, n := led.Appended()
+		if err := led.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "runlog: %v\n", err)
+		}
+		line := fmt.Sprintf("runlog: %d records (%d B)", recs, n)
+		if *runlogSer != 0 {
+			line += fmt.Sprintf(", %d series", led.SeriesAppended())
+		}
+		fmt.Fprintf(os.Stderr, "%s appended under %s\n", line, *runlogDir)
+	}
 	// The progress bus is the single source of truth for everything that
 	// narrates the sweep: the stderr console lines, the /events SSE stream,
 	// and the /status aggregation all subscribe to the same events. With no
@@ -189,6 +228,7 @@ func main() {
 			Bus:      bus,
 			Stats:    pool.Stats,
 			Failures: failures.Count,
+			RunLog:   led,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -270,6 +310,7 @@ func main() {
 	// keeps its historical order: per-experiment lines, then totals.
 	console.Stop()
 	if ran == 0 {
+		closeRunLog()
 		shutdownServer(server, bus)
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expName)
 		os.Exit(1)
@@ -328,6 +369,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep interrupted")
 		exit = 1
 	}
+	closeRunLog()
 	shutdownServer(server, bus)
 	os.Exit(exit)
 }

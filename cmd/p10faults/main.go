@@ -31,6 +31,7 @@ import (
 	"power10sim/internal/faultinject"
 	"power10sim/internal/obsserver"
 	"power10sim/internal/progress"
+	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/uarch"
@@ -65,6 +66,7 @@ func main() {
 		metricsOut   = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 		serveAddr    = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090)")
 		cacheDir     = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs)")
+		runlogDir    = flag.String("runlog", "", "append one campaign-ledger record per completed trial under this directory")
 	)
 	flag.Parse()
 	if *trials < 1 {
@@ -112,6 +114,19 @@ func main() {
 	if err := pool.SetCacheDir(*cacheDir); err != nil {
 		cliutil.Usagef("%v", err)
 	}
+	// Trial provenance: each completed injection trial appends a ledger
+	// record with its fault outcome. Chaos self-test requests are excluded by
+	// the runner, so a self-test never pollutes real campaign history.
+	var led *runlog.Ledger
+	if *runlogDir != "" {
+		var err error
+		led, err = runlog.Open(*runlogDir, runlog.Options{Command: "p10faults"})
+		if err != nil {
+			cliutil.Usagef("%v", err)
+		}
+		led.Instrument(reg)
+		pool.SetRunLog(led)
+	}
 	// Progress plumbing: the runner publishes per-trial events for the
 	// observability server (when -serve is given) to re-render on /events
 	// and /status. Unlike p10bench there is no stderr console subscriber:
@@ -126,6 +141,7 @@ func main() {
 		var err error
 		server, err = obsserver.Start(*serveAddr, obsserver.Options{
 			Command: "p10faults", Registry: reg, Bus: bus, Stats: pool.Stats,
+			RunLog: led,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -134,6 +150,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "obsserver: listening on %s\n", server.URL())
 	}
 	shutdown := func() {
+		if led != nil {
+			recs, n := led.Appended()
+			if err := led.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "runlog: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "runlog: %d records (%d B) appended under %s\n", recs, n, *runlogDir)
+		}
 		bus.Publish(progress.Event{Kind: progress.KindSweepDone})
 		if server != nil {
 			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

@@ -1,8 +1,9 @@
 // Command p10obscheck sanity-checks the observability artifacts a sweep
 // produces: the metrics-registry JSON snapshot (-metrics), the Chrome
-// trace_event file (-trace), and the Prometheus text exposition served on
-// /metrics (-prom, "-" for stdin). It is the verification half of
-// `make profile` and `make serve-check`.
+// trace_event file (-trace), the Prometheus text exposition served on
+// /metrics (-prom, "-" for stdin), and the campaign ledger written with
+// -runlog (-runlog DIR). It is the verification half of `make profile`,
+// `make serve-check` and `make ledger-check`.
 //
 // Checks performed:
 //
@@ -15,6 +16,11 @@
 //   - prom: well-formed exposition (TYPE lines, name/label syntax, escape
 //     sequences), contiguous families, sorted duplicate-free series, and
 //     cumulative histograms that agree with their _count.
+//   - runlog: a pristine ledger (no corrupt/foreign/torn lines), at least
+//     -min-records records, strictly increasing sequence numbers, 64-hex
+//     content keys, known tiers, and the error/measurement exclusivity
+//     invariant; when a series file is present, every series joins a
+//     ledger record by key with non-empty frames.
 //
 // Exit status 0 when every check passes; 1 with a message on stderr when a
 // check fails; 2 on a usage error.
@@ -168,13 +174,21 @@ func main() {
 		requireCounter = flag.String("require-counter", "", "counter that must exist with a non-zero value")
 		requireSpan    = flag.String("require-span", "", "span-name prefix that must appear")
 		minSpans       = flag.Int("min-spans", 1, "minimum spans matching -require-span")
+		runlogDir      = flag.String("runlog", "", "campaign ledger directory to check")
+		minRecords     = flag.Int("min-records", 1, "minimum ledger records with -runlog")
 	)
 	flag.Parse()
-	if *metricsPath == "" && *tracePath == "" && *promPath == "" {
-		cliutil.Usagef("nothing to check: pass -metrics, -trace and/or -prom")
+	if *metricsPath == "" && *tracePath == "" && *promPath == "" && *runlogDir == "" {
+		cliutil.Usagef("nothing to check: pass -metrics, -trace, -prom and/or -runlog")
 	}
 	if *minSpans < 0 {
 		cliutil.Usagef("-min-spans %d: must be >= 0", *minSpans)
+	}
+	if *minRecords < 0 {
+		cliutil.Usagef("-min-records %d: must be >= 0", *minRecords)
+	}
+	if *minRecords != 1 && *runlogDir == "" {
+		cliutil.Usagef("-min-records needs -runlog")
 	}
 	if *requireSpan != "" && *tracePath == "" {
 		cliutil.Usagef("-require-span needs -trace")
@@ -190,5 +204,8 @@ func main() {
 	}
 	if *promPath != "" {
 		checkProm(*promPath)
+	}
+	if *runlogDir != "" {
+		checkRunlog(*runlogDir, *minRecords)
 	}
 }

@@ -1,0 +1,445 @@
+// Command p10query reads the campaign ledger a sweep writes with -runlog
+// and answers the questions a campaign owner asks between runs: what ran,
+// how efficiently, what it cost, and how two ranges of the campaign compare.
+//
+// Operations (-op):
+//
+//	count     print the number of matching records (bare integer)
+//	list      one row per matching record, file order
+//	summary   tier/failure accounting plus per-simulation aggregates
+//	top       the -k records ranked by -by (energy-per-instruction by
+//	          default), worst first; -asc ranks best first
+//	trend     compare the mean metrics of two seq ranges (-a lo-hi, -b lo-hi)
+//
+// Filters (-config, -workload, -tier, -smt, -since, -until) restrict every
+// operation. Output (-format table|csv|json) is byte-stable for a given
+// ledger: records are processed in file order, ties rank by sequence number,
+// floats render with fixed precision. Exit status 0 on success, 1 when the
+// ledger cannot be read, 2 on a usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"power10sim/internal/runlog"
+)
+
+type options struct {
+	dir      string
+	op       string
+	format   string
+	config   string
+	workload string
+	tier     string
+	smt      int
+	since    uint64
+	until    uint64
+	k        int
+	by       string
+	asc      bool
+	rangeA   string
+	rangeB   string
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("p10query", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var o options
+	fs.StringVar(&o.dir, "runlog", "", "campaign ledger directory (required)")
+	fs.StringVar(&o.op, "op", "summary", "operation: count, list, summary, top, trend")
+	fs.StringVar(&o.format, "format", "table", "output format: table, csv, json")
+	fs.StringVar(&o.config, "config", "", "filter: config name")
+	fs.StringVar(&o.workload, "workload", "", "filter: workload name")
+	fs.StringVar(&o.tier, "tier", "", "filter: service tier (run, disk, memo)")
+	fs.IntVar(&o.smt, "smt", 0, "filter: SMT level (0 = any)")
+	fs.Uint64Var(&o.since, "since", 0, "filter: sequence number >= since (0 = start)")
+	fs.Uint64Var(&o.until, "until", 0, "filter: sequence number <= until (0 = end)")
+	fs.IntVar(&o.k, "k", 10, "top: number of records")
+	fs.StringVar(&o.by, "by", "epi", "top: ranking metric (epi, energy, power, ipc, cpi, wall, cycles)")
+	fs.BoolVar(&o.asc, "asc", false, "top: rank ascending (best-first for epi/cpi/wall)")
+	fs.StringVar(&o.rangeA, "a", "", "trend: baseline seq range lo-hi")
+	fs.StringVar(&o.rangeB, "b", "", "trend: comparison seq range lo-hi")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if code, err := validate(o); err != nil {
+		fmt.Fprintf(errw, "p10query: %v (see -help)\n", err)
+		return code
+	}
+	recs, st, err := runlog.ScanDir(o.dir)
+	if err != nil {
+		fmt.Fprintf(errw, "p10query: %v\n", err)
+		return 1
+	}
+	if st.Corrupt > 0 || st.WrongSchema > 0 || st.UnterminatedTail {
+		fmt.Fprintf(errw, "p10query: ledger degraded: %d corrupt, %d wrong-schema, torn tail %v (continuing with %d records)\n",
+			st.Corrupt, st.WrongSchema, st.UnterminatedTail, st.Records)
+	}
+	recs = filter(recs, o)
+	switch o.op {
+	case "count":
+		fmt.Fprintf(out, "%d\n", len(recs))
+	case "list":
+		return emitList(out, errw, recs, o.format)
+	case "summary":
+		return emitSummary(out, errw, recs, o.format)
+	case "top":
+		return emitTop(out, errw, recs, o)
+	case "trend":
+		return emitTrend(out, errw, recs, o)
+	}
+	return 0
+}
+
+func validate(o options) (int, error) {
+	if o.dir == "" {
+		return 2, fmt.Errorf("-runlog is required")
+	}
+	switch o.op {
+	case "count", "list", "summary", "top", "trend":
+	default:
+		return 2, fmt.Errorf("-op %q: unknown operation", o.op)
+	}
+	switch o.format {
+	case "table", "csv", "json":
+	default:
+		return 2, fmt.Errorf("-format %q: unknown format", o.format)
+	}
+	if o.tier != "" && o.tier != runlog.TierRun && o.tier != runlog.TierDisk && o.tier != runlog.TierMemo {
+		return 2, fmt.Errorf("-tier %q: want run, disk or memo", o.tier)
+	}
+	if o.smt < 0 {
+		return 2, fmt.Errorf("-smt %d: must be >= 0", o.smt)
+	}
+	if _, ok := metricFuncs[o.by]; !ok {
+		return 2, fmt.Errorf("-by %q: unknown metric", o.by)
+	}
+	if o.k < 1 {
+		return 2, fmt.Errorf("-k %d: must be >= 1", o.k)
+	}
+	if o.op == "trend" {
+		if o.rangeA == "" || o.rangeB == "" {
+			return 2, fmt.Errorf("-op trend needs both -a lo-hi and -b lo-hi")
+		}
+		for _, r := range []string{o.rangeA, o.rangeB} {
+			if _, _, err := parseRange(r); err != nil {
+				return 2, err
+			}
+		}
+	}
+	return 0, nil
+}
+
+func parseRange(s string) (lo, hi uint64, err error) {
+	a, b, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("range %q: want lo-hi", s)
+	}
+	if lo, err = strconv.ParseUint(a, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("range %q: bad lower bound", s)
+	}
+	if hi, err = strconv.ParseUint(b, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("range %q: bad upper bound", s)
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("range %q: lower bound above upper", s)
+	}
+	return lo, hi, nil
+}
+
+func filter(recs []runlog.Record, o options) []runlog.Record {
+	out := recs[:0]
+	for _, r := range recs {
+		if o.config != "" && r.Config != o.config {
+			continue
+		}
+		if o.workload != "" && r.Workload != o.workload {
+			continue
+		}
+		if o.tier != "" && r.Tier != o.tier {
+			continue
+		}
+		if o.smt != 0 && r.SMT != o.smt {
+			continue
+		}
+		if o.since != 0 && r.Seq < o.since {
+			continue
+		}
+		if o.until != 0 && r.Seq > o.until {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// metricFuncs maps -by names to record accessors. Failed records carry no
+// measurements and are excluded from ranking and aggregation.
+var metricFuncs = map[string]func(runlog.Record) float64{
+	"epi":    func(r runlog.Record) float64 { return r.EPI },
+	"energy": func(r runlog.Record) float64 { return r.EnergyTotal },
+	"power":  func(r runlog.Record) float64 { return r.PowerTotal },
+	"ipc":    func(r runlog.Record) float64 { return r.IPC },
+	"cpi":    func(r runlog.Record) float64 { return r.CPI },
+	"wall":   func(r runlog.Record) float64 { return r.WallSeconds },
+	"cycles": func(r runlog.Record) float64 { return float64(r.Cycles) },
+}
+
+// row is the list/top record rendering, shared by all three formats.
+type row struct {
+	Seq      uint64  `json:"seq"`
+	Sim      string  `json:"sim"`
+	Tier     string  `json:"tier"`
+	Attempts int     `json:"attempts"`
+	IPC      float64 `json:"ipc"`
+	Power    float64 `json:"power"`
+	EPI      float64 `json:"epi"`
+	Wall     float64 `json:"wall_seconds"`
+	Err      string  `json:"error,omitempty"`
+}
+
+func toRow(r runlog.Record) row {
+	return row{Seq: r.Seq, Sim: r.SimLabel(), Tier: r.Tier, Attempts: r.Attempts,
+		IPC: r.IPC, Power: r.PowerTotal, EPI: r.EPI, Wall: r.WallSeconds, Err: r.Err}
+}
+
+func emitRows(out, errw io.Writer, rows []row, format string) int {
+	switch format {
+	case "json":
+		return emitJSON(out, errw, rows)
+	case "csv":
+		fmt.Fprintln(out, "seq,sim,tier,attempts,ipc,power,epi,wall_seconds,error")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%d,%s,%s,%d,%.4f,%.4f,%.4f,%.4f,%s\n",
+				r.Seq, csvField(r.Sim), r.Tier, r.Attempts, r.IPC, r.Power, r.EPI, r.Wall, csvField(r.Err))
+		}
+	default:
+		fmt.Fprintf(out, "%6s  %-36s %-5s %3s %8s %8s %10s %8s  %s\n",
+			"seq", "sim", "tier", "try", "ipc", "power", "epi", "wall", "error")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%6d  %-36s %-5s %3d %8.4f %8.4f %10.4f %8.4f  %s\n",
+				r.Seq, r.Sim, r.Tier, r.Attempts, r.IPC, r.Power, r.EPI, r.Wall, r.Err)
+		}
+	}
+	return 0
+}
+
+// csvField quotes a field only when it needs it, keeping output stable.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func emitJSON(out, errw io.Writer, v any) int {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(errw, "p10query: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func emitList(out, errw io.Writer, recs []runlog.Record, format string) int {
+	rows := make([]row, len(recs))
+	for i, r := range recs {
+		rows[i] = toRow(r)
+	}
+	return emitRows(out, errw, rows, format)
+}
+
+func emitTop(out, errw io.Writer, recs []runlog.Record, o options) int {
+	metric := metricFuncs[o.by]
+	var ranked []runlog.Record
+	for _, r := range recs {
+		if r.Err == "" {
+			ranked = append(ranked, r)
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		vi, vj := metric(ranked[i]), metric(ranked[j])
+		if vi != vj {
+			if o.asc {
+				return vi < vj
+			}
+			return vi > vj
+		}
+		return ranked[i].Seq < ranked[j].Seq
+	})
+	if len(ranked) > o.k {
+		ranked = ranked[:o.k]
+	}
+	rows := make([]row, len(ranked))
+	for i, r := range ranked {
+		rows[i] = toRow(r)
+	}
+	return emitRows(out, errw, rows, o.format)
+}
+
+// aggregate is the per-simulation mean block of summary and trend.
+type aggregate struct {
+	Sim       string  `json:"sim,omitempty"`
+	N         int     `json:"n"`
+	MeanIPC   float64 `json:"mean_ipc"`
+	MeanPower float64 `json:"mean_power"`
+	MeanEPI   float64 `json:"mean_epi"`
+	MeanWall  float64 `json:"mean_wall_seconds"`
+}
+
+// fold computes the mean block over the successful records in recs.
+func fold(recs []runlog.Record) aggregate {
+	var a aggregate
+	for _, r := range recs {
+		if r.Err != "" {
+			continue
+		}
+		a.N++
+		a.MeanIPC += r.IPC
+		a.MeanPower += r.PowerTotal
+		a.MeanEPI += r.EPI
+		a.MeanWall += r.WallSeconds
+	}
+	if a.N > 0 {
+		n := float64(a.N)
+		a.MeanIPC /= n
+		a.MeanPower /= n
+		a.MeanEPI /= n
+		a.MeanWall /= n
+	}
+	return a
+}
+
+type summary struct {
+	Records     int         `json:"records"`
+	Failed      int         `json:"failed"`
+	TierRun     int         `json:"tier_run"`
+	TierDisk    int         `json:"tier_disk"`
+	TierMemo    int         `json:"tier_memo"`
+	HitRatePct  float64     `json:"cache_tier_hit_rate_pct"`
+	WallSeconds float64     `json:"wall_seconds_total"`
+	Sims        []aggregate `json:"sims"`
+}
+
+func summarize(recs []runlog.Record) summary {
+	s := summary{Sims: []aggregate{}}
+	bySim := map[string][]runlog.Record{}
+	var order []string
+	for _, r := range recs {
+		s.Records++
+		switch r.Tier {
+		case runlog.TierRun:
+			s.TierRun++
+		case runlog.TierDisk:
+			s.TierDisk++
+		case runlog.TierMemo:
+			s.TierMemo++
+		}
+		if r.Err != "" {
+			s.Failed++
+		}
+		s.WallSeconds += r.WallSeconds
+		lbl := r.SimLabel()
+		if _, ok := bySim[lbl]; !ok {
+			order = append(order, lbl)
+		}
+		bySim[lbl] = append(bySim[lbl], r)
+	}
+	if s.Records > 0 {
+		s.HitRatePct = 100 * float64(s.TierDisk+s.TierMemo) / float64(s.Records)
+	}
+	sort.Strings(order)
+	for _, lbl := range order {
+		a := fold(bySim[lbl])
+		a.Sim = lbl
+		s.Sims = append(s.Sims, a)
+	}
+	return s
+}
+
+func emitSummary(out, errw io.Writer, recs []runlog.Record, format string) int {
+	s := summarize(recs)
+	switch format {
+	case "json":
+		return emitJSON(out, errw, s)
+	case "csv":
+		fmt.Fprintln(out, "sim,n,mean_ipc,mean_power,mean_epi,mean_wall_seconds")
+		for _, a := range s.Sims {
+			fmt.Fprintf(out, "%s,%d,%.4f,%.4f,%.4f,%.4f\n",
+				csvField(a.Sim), a.N, a.MeanIPC, a.MeanPower, a.MeanEPI, a.MeanWall)
+		}
+	default:
+		fmt.Fprintf(out, "records %d (%d failed)\n", s.Records, s.Failed)
+		fmt.Fprintf(out, "tiers: run %d, disk %d, memo %d\n", s.TierRun, s.TierDisk, s.TierMemo)
+		fmt.Fprintf(out, "cache-tier hit rate %.1f%%\n", s.HitRatePct)
+		fmt.Fprintf(out, "wall %.4fs total\n", s.WallSeconds)
+		fmt.Fprintf(out, "%-36s %4s %8s %8s %10s %8s\n", "sim", "n", "ipc", "power", "epi", "wall")
+		for _, a := range s.Sims {
+			fmt.Fprintf(out, "%-36s %4d %8.4f %8.4f %10.4f %8.4f\n",
+				a.Sim, a.N, a.MeanIPC, a.MeanPower, a.MeanEPI, a.MeanWall)
+		}
+	}
+	return 0
+}
+
+type trend struct {
+	A      aggregate          `json:"a"`
+	B      aggregate          `json:"b"`
+	Deltas map[string]float64 `json:"delta_pct"`
+}
+
+func emitTrend(out, errw io.Writer, recs []runlog.Record, o options) int {
+	loA, hiA, _ := parseRange(o.rangeA)
+	loB, hiB, _ := parseRange(o.rangeB)
+	inRange := func(lo, hi uint64) []runlog.Record {
+		var out []runlog.Record
+		for _, r := range recs {
+			if r.Seq >= lo && r.Seq <= hi {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	t := trend{A: fold(inRange(loA, hiA)), B: fold(inRange(loB, hiB)), Deltas: map[string]float64{}}
+	pct := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		return 100 * (b - a) / a
+	}
+	t.Deltas["ipc"] = pct(t.A.MeanIPC, t.B.MeanIPC)
+	t.Deltas["power"] = pct(t.A.MeanPower, t.B.MeanPower)
+	t.Deltas["epi"] = pct(t.A.MeanEPI, t.B.MeanEPI)
+	t.Deltas["wall_seconds"] = pct(t.A.MeanWall, t.B.MeanWall)
+	switch o.format {
+	case "json":
+		return emitJSON(out, errw, t)
+	case "csv":
+		fmt.Fprintln(out, "metric,a,b,delta_pct")
+		fmt.Fprintf(out, "n,%d,%d,\n", t.A.N, t.B.N)
+		fmt.Fprintf(out, "ipc,%.4f,%.4f,%.2f\n", t.A.MeanIPC, t.B.MeanIPC, t.Deltas["ipc"])
+		fmt.Fprintf(out, "power,%.4f,%.4f,%.2f\n", t.A.MeanPower, t.B.MeanPower, t.Deltas["power"])
+		fmt.Fprintf(out, "epi,%.4f,%.4f,%.2f\n", t.A.MeanEPI, t.B.MeanEPI, t.Deltas["epi"])
+		fmt.Fprintf(out, "wall_seconds,%.4f,%.4f,%.2f\n", t.A.MeanWall, t.B.MeanWall, t.Deltas["wall_seconds"])
+	default:
+		fmt.Fprintf(out, "%-14s %12s %12s %10s\n", "metric", "a", "b", "delta")
+		fmt.Fprintf(out, "%-14s %12d %12d %10s\n", "n", t.A.N, t.B.N, "")
+		fmt.Fprintf(out, "%-14s %12.4f %12.4f %+9.2f%%\n", "ipc", t.A.MeanIPC, t.B.MeanIPC, t.Deltas["ipc"])
+		fmt.Fprintf(out, "%-14s %12.4f %12.4f %+9.2f%%\n", "power", t.A.MeanPower, t.B.MeanPower, t.Deltas["power"])
+		fmt.Fprintf(out, "%-14s %12.4f %12.4f %+9.2f%%\n", "epi", t.A.MeanEPI, t.B.MeanEPI, t.Deltas["epi"])
+		fmt.Fprintf(out, "%-14s %12.4f %12.4f %+9.2f%%\n", "wall_seconds", t.A.MeanWall, t.B.MeanWall, t.Deltas["wall_seconds"])
+	}
+	return 0
+}

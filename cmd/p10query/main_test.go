@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureDir copies the committed ledger fixture into a runlog-shaped temp
+// directory (ScanDir reads DIR/ledger.jsonl).
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "ledger.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ledger.jsonl"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestGoldens locks the byte-stable output contract: every operation/format
+// pair here must render identically run over run, so shell pipelines and CI
+// diffs can rely on it. Regenerate with go test ./cmd/p10query -update.
+func TestGoldens(t *testing.T) {
+	dir := fixtureDir(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"count", []string{"-op", "count"}},
+		{"list_table", []string{"-op", "list"}},
+		{"list_csv", []string{"-op", "list", "-format", "csv"}},
+		{"list_filtered", []string{"-op", "list", "-workload", "compress", "-tier", "run"}},
+		{"summary_table", []string{"-op", "summary"}},
+		{"summary_json", []string{"-op", "summary", "-format", "json"}},
+		{"summary_since", []string{"-op", "summary", "-since", "6"}},
+		{"top_epi", []string{"-op", "top", "-k", "3", "-by", "epi"}},
+		{"top_best_csv", []string{"-op", "top", "-k", "2", "-by", "epi", "-asc", "-format", "csv"}},
+		{"trend", []string{"-op", "trend", "-a", "1-5", "-b", "6-9"}},
+		{"trend_json", []string{"-op", "trend", "-a", "1-5", "-b", "6-9", "-format", "json"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			args := append([]string{"-runlog", dir}, tc.args...)
+			if code := run(args, &out, &errw); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errw.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, out.String(), want)
+			}
+			// Byte-stability: a second identical invocation must render the
+			// same bytes.
+			var out2 bytes.Buffer
+			run(args, &out2, &errw)
+			if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+				t.Error("two identical invocations rendered different bytes")
+			}
+		})
+	}
+}
+
+// TestSummaryHitRateLine pins the grep target make ledger-check relies on.
+func TestSummaryHitRateLine(t *testing.T) {
+	dir := fixtureDir(t)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-runlog", dir, "-op", "summary", "-tier", "memo"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "cache-tier hit rate 100.0%") {
+		t.Fatalf("summary missing the hit-rate line:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	dir := fixtureDir(t)
+	for _, args := range [][]string{
+		{"-op", "summary"},                           // no -runlog
+		{"-runlog", dir, "-op", "teleport"},          // unknown op
+		{"-runlog", dir, "-format", "yaml"},          // unknown format
+		{"-runlog", dir, "-tier", "l3"},              // unknown tier
+		{"-runlog", dir, "-op", "top", "-by", "vibe"} /* unknown metric */,
+		{"-runlog", dir, "-op", "top", "-k", "0"},
+		{"-runlog", dir, "-op", "trend"},                             // missing ranges
+		{"-runlog", dir, "-op", "trend", "-a", "9-1", "-b", "1-2"},   // inverted range
+		{"-runlog", dir, "-op", "trend", "-a", "one-2", "-b", "1-2"}, // junk range
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr %q)", args, code, errw.String())
+		}
+	}
+}
+
+func TestMissingLedgerIsRuntimeError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-runlog", filepath.Join(t.TempDir(), "nope")}, &out, &errw); code != 1 {
+		t.Errorf("missing ledger dir: exit %d, want 1", code)
+	}
+}
+
+// TestDegradedLedgerWarnsAndContinues: corruption is reported on stderr but
+// the clean records still answer the query with exit 0.
+func TestDegradedLedgerWarnsAndContinues(t *testing.T) {
+	dir := fixtureDir(t)
+	f, err := os.OpenFile(filepath.Join(dir, "ledger.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"p10runlog-v1","seq":10,"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errw bytes.Buffer
+	if code := run([]string{"-runlog", dir, "-op", "count"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out.String() != "9\n" {
+		t.Errorf("count = %q, want 9", out.String())
+	}
+	if !strings.Contains(errw.String(), "degraded") {
+		t.Errorf("no degradation warning on stderr: %q", errw.String())
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"power10sim/internal/obsserver"
 	"power10sim/internal/power"
 	"power10sim/internal/progress"
+	"power10sim/internal/runlog"
+	"power10sim/internal/runner"
 	"power10sim/internal/sampling"
 	"power10sim/internal/simobs"
 	"power10sim/internal/telemetry"
@@ -100,6 +102,7 @@ func main() {
 		sampleMode = flag.String("sample-mode", "full", "full | sampled | validate: time every instruction, run the SimPoint-style sampling engine, or run both and compare")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		serveAddr  = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090)")
+		runlogDir  = flag.String("runlog", "", "append this run's campaign-ledger record under this directory")
 	)
 	flag.Parse()
 	if *smt < 1 {
@@ -116,6 +119,9 @@ func main() {
 		}
 		if *serveAddr != "" {
 			cliutil.Usagef("-serve requires -sample-mode=full")
+		}
+		if *runlogDir != "" {
+			cliutil.Usagef("-runlog requires -sample-mode=full (the ledger keys one complete timed run)")
 		}
 	default:
 		cliutil.Usagef("-sample-mode %q: must be full | sampled | validate", *sampleMode)
@@ -203,6 +209,27 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "obsserver: listening on %s\n", server.URL())
 	}
+	// One-shot ledger append: the record carries the same content key the
+	// runner's cache and ledger would use for an identical request, so ad-hoc
+	// p10sim runs join sweep history in p10query.
+	var led *runlog.Ledger
+	if *runlogDir != "" {
+		var lerr error
+		led, lerr = runlog.Open(*runlogDir, runlog.Options{Command: "p10sim"})
+		if lerr != nil {
+			cliutil.Usagef("%v", lerr)
+		}
+	}
+	logRun := func(rec runlog.Record) {
+		if led == nil {
+			return
+		}
+		if err := led.Append(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "runlog: %v\n", err)
+		}
+		led.Close()
+		fmt.Fprintf(os.Stderr, "runlog: 1 record appended under %s\n", *runlogDir)
+	}
 	shutdown := func() {
 		if server != nil {
 			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -226,16 +253,50 @@ func main() {
 		uarch.WithWarmup(w.Warmup*uint64(*smt)),
 		simobs.SampleOption(cfg, tr, *sample, *smt))
 	sp.End()
+	// The ledger record mirrors the simulation actually run above, so its
+	// content key matches an identical runner request's.
+	baseRec := func() runlog.Record {
+		req := runner.Request{Cfg: cfg, W: w, SMT: *smt, Budget: bud,
+			Warmup: w.Warmup * uint64(*smt), MaxCycles: 50_000_000}
+		key, _ := runner.ContentKey(req)
+		return runlog.Record{
+			Key: key, Config: cfg.Name, Workload: w.Name, SMT: *smt,
+			Budget: bud, Warmup: req.Warmup, MaxCycles: req.MaxCycles,
+			Tier: runlog.TierRun, Attempts: 1,
+			WallSeconds: time.Since(simStart).Seconds(),
+		}
+	}
 	if err != nil {
 		bus.Publish(progress.Event{Kind: progress.KindSimFailed, Sim: simName,
 			Err: err.Error(), Elapsed: time.Since(simStart).Seconds()})
 		fmt.Fprintln(os.Stderr, err)
+		rec := baseRec()
+		rec.Err = err.Error()
+		logRun(rec)
 		shutdown()
 		os.Exit(1)
 	}
-	bus.Publish(progress.Event{Kind: progress.KindSimFinished, Sim: simName,
-		Elapsed: time.Since(simStart).Seconds()})
 	a := &res.Activity
+	mdl := power.NewModel(cfg)
+	rep := mdl.Report(a)
+	bus.Publish(progress.Event{Kind: progress.KindSimFinished, Sim: simName,
+		Elapsed: time.Since(simStart).Seconds(), IPC: a.IPC(), Power: rep.Total})
+	rec := baseRec()
+	cyc := float64(a.Cycles)
+	rec.Cycles = a.Cycles
+	rec.Instructions = a.Instructions
+	rec.CPI = a.CPI()
+	rec.IPC = a.IPC()
+	rec.PowerTotal = rep.Total
+	rec.EnergyTotal = rep.Total * cyc
+	rec.EnergyClock = rep.Clock * cyc
+	rec.EnergySwitching = rep.Switching * cyc
+	rec.EnergyArray = rep.Array * cyc
+	rec.EnergyLeakage = rep.Leakage * cyc
+	if a.Instructions > 0 {
+		rec.EPI = rec.EnergyTotal / float64(a.Instructions)
+	}
+	logRun(rec)
 	fmt.Printf("workload        %s (SMT%d) on %s\n", w.Name, *smt, cfg.Name)
 	fmt.Printf("cycles          %d\n", a.Cycles)
 	fmt.Printf("instructions    %d\n", a.Instructions)
@@ -250,8 +311,6 @@ func main() {
 	fmt.Printf("DERAT lookups   %d   TLB misses %d\n", a.DERATLookups, a.TLBMisses)
 	fmt.Printf("MMA ops         %d   active cycles %d\n", a.MMAOps, a.MMAActiveCycles)
 
-	mdl := power.NewModel(cfg)
-	rep := mdl.Report(a)
 	fmt.Printf("power (total)   %.3f  [clock %.3f switch %.3f array %.3f leak %.3f]\n",
 		rep.Total, rep.Clock, rep.Switching, rep.Array, rep.Leakage)
 	fmt.Printf("perf/W (norm)   %.4f\n", a.IPC()/rep.Total)

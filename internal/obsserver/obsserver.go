@@ -10,9 +10,16 @@
 //	/healthz     liveness: 200 "ok" while the process serves
 //	/readyz      readiness: 503 until the sweep plan is built, then 200
 //	/status      live JSON: per-experiment progress, simulation counts,
-//	             runner stats, failure count, event-bus accounting
+//	             runner stats, failure count, event-bus accounting, build
+//	             info, runlog accounting
 //	/events      Server-Sent Events stream of progress events (one SSE
-//	             event per bus event, id = bus sequence number)
+//	             event per bus event, id = bus sequence number; reconnects
+//	             presenting Last-Event-ID are backfilled from the bus's
+//	             replay ring)
+//	/runs        recent campaign-ledger records as JSON (when a runlog is
+//	             attached)
+//	/dashboard   zero-dependency live HTML dashboard over /status, /events
+//	             and /runs
 //	/debug/pprof/*  the standard runtime profiles
 //
 // The server renders /status and /events from the same progress.Bus the
@@ -27,10 +34,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"power10sim/internal/progress"
+	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
 	"power10sim/internal/telemetry"
 )
@@ -49,6 +59,8 @@ type Options struct {
 	Stats func() runner.Stats
 	// Failures, when non-nil, is polled for the failure count in /status.
 	Failures func() int
+	// RunLog, when non-nil, backs /runs and the runlog block of /status.
+	RunLog *runlog.Ledger
 }
 
 // Server is one running observability server. Construct with Start.
@@ -56,6 +68,7 @@ type Server struct {
 	opts    Options
 	tracker *progress.Tracker
 	start   time.Time
+	build   buildInfo
 	ready   atomic.Bool
 	closing chan struct{}
 	httpSrv *http.Server
@@ -74,6 +87,7 @@ func Start(addr string, opts Options) (*Server, error) {
 		opts:    opts,
 		tracker: progress.NewTracker(opts.Bus),
 		start:   time.Now(),
+		build:   readBuildInfo(),
 		closing: make(chan struct{}),
 		ln:      ln,
 	}
@@ -84,6 +98,8 @@ func Start(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/dashboard", s.handleDashboard)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -134,6 +150,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "/readyz         readiness (sweep plan built)")
 	fmt.Fprintln(w, "/status         live sweep progress JSON")
 	fmt.Fprintln(w, "/events         SSE stream of progress events")
+	fmt.Fprintln(w, "/runs           recent campaign-ledger records (JSON)")
+	fmt.Fprintln(w, "/dashboard      live HTML dashboard")
 	fmt.Fprintln(w, "/debug/pprof/   runtime profiles")
 }
 
@@ -177,15 +195,54 @@ type runnerStats struct {
 	DiskWrittenBytes uint64  `json:"disk_written_bytes"`
 }
 
+// buildInfo is the /status rendering of the binary's embedded build
+// metadata, resolved once at Start.
+type buildInfo struct {
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+// readBuildInfo extracts the fields /status reports from the runtime's
+// embedded module info (absent under some test builds, hence best-effort).
+func readBuildInfo() buildInfo {
+	var b buildInfo
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// runlogStatus is the /status accounting block for an attached campaign
+// ledger.
+type runlogStatus struct {
+	Dir             string `json:"dir"`
+	RecordsAppended uint64 `json:"records_appended"`
+	BytesAppended   uint64 `json:"bytes_appended"`
+	SeriesAppended  uint64 `json:"series_appended"`
+}
+
 // statusPayload is the /status JSON document; DESIGN.md documents the shape.
 type statusPayload struct {
 	Command         string                      `json:"command,omitempty"`
+	Build           buildInfo                   `json:"build"`
 	UptimeSeconds   float64                     `json:"uptime_seconds"`
 	Ready           bool                        `json:"ready"`
 	SweepDone       bool                        `json:"sweep_done"`
 	Experiments     []progress.ExperimentStatus `json:"experiments"`
 	Sims            progress.SimCounts          `json:"sims"`
 	Runner          *runnerStats                `json:"runner,omitempty"`
+	RunLog          *runlogStatus               `json:"runlog,omitempty"`
 	Failures        int                         `json:"failures"`
 	EventsPublished uint64                      `json:"events_published"`
 	EventsDropped   uint64                      `json:"events_dropped"`
@@ -198,6 +255,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	}
 	p := statusPayload{
 		Command:         s.opts.Command,
+		Build:           s.build,
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Ready:           s.ready.Load(),
 		SweepDone:       sweepDone,
@@ -220,6 +278,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if s.opts.Failures != nil {
 		p.Failures = s.opts.Failures()
 	}
+	if l := s.opts.RunLog; l != nil {
+		recs, bytes := l.Appended()
+		p.RunLog = &runlogStatus{
+			Dir:             l.Dir(),
+			RecordsAppended: recs,
+			BytesAppended:   bytes,
+			SeriesAppended:  l.SeriesAppended(),
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -239,6 +306,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// The subscription buffer absorbs bursts (a whole quick experiment can
 	// finish in well under a second); a client that cannot drain 4096
 	// buffered events loses the overflow, visible in /status events_dropped.
+	// Subscribe BEFORE reading the replay ring: any event published between
+	// the two lands in the buffer, and the live loop below drops the overlap
+	// by sequence number, so a reconnect misses nothing the ring held.
 	sub := s.opts.Bus.Subscribe(4096)
 	defer sub.Close()
 	h := w.Header()
@@ -247,6 +317,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	// A reconnecting EventSource presents the last id it saw; backfill the
+	// gap from the bus replay ring before streaming live.
+	var last uint64
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		if seq, err := strconv.ParseUint(lid, 10, 64); err == nil {
+			for _, ev := range s.opts.Bus.ReplaySince(seq) {
+				if !writeSSE(w, ev) {
+					return
+				}
+				last = ev.Seq
+			}
+			if last < seq {
+				last = seq
+			}
+			fl.Flush()
+		}
+	}
 	for {
 		select {
 		case <-r.Context().Done():
@@ -257,16 +344,57 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			b, err := json.Marshal(ev)
-			if err != nil {
-				continue
+			if ev.Seq <= last {
+				continue // already sent during replay
 			}
-			// id carries the bus sequence number so clients can detect
-			// gaps from their own slow consumption.
-			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, b); err != nil {
+			if !writeSSE(w, ev) {
 				return
 			}
+			last = ev.Seq
 			fl.Flush()
 		}
 	}
+}
+
+// writeSSE renders one bus event as an SSE frame; id carries the bus
+// sequence number so clients can detect gaps and resume with Last-Event-ID.
+func writeSSE(w http.ResponseWriter, ev progress.Event) bool {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return true // skip the unmarshalable event, keep the stream
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, b)
+	return err == nil
+}
+
+// handleRuns serves the most recent campaign-ledger records, newest-last, as
+// the dashboard's run-history feed. ?n= bounds the count (default 50).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	type runsPayload struct {
+		Enabled         bool            `json:"enabled"`
+		RecordsAppended uint64          `json:"records_appended"`
+		BytesAppended   uint64          `json:"bytes_appended"`
+		Records         []runlog.Record `json:"records"`
+	}
+	p := runsPayload{Records: []runlog.Record{}}
+	if l := s.opts.RunLog; l != nil {
+		n := 50
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		if n > 1000 {
+			n = 1000
+		}
+		p.Enabled = true
+		p.RecordsAppended, p.BytesAppended = l.Appended()
+		if recs := l.Recent(n); recs != nil {
+			p.Records = recs
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"power10sim/internal/progress"
+	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
 	"power10sim/internal/telemetry"
 )
@@ -312,5 +313,198 @@ func TestPprofIndexServes(t *testing.T) {
 	code, body, _ := get(t, s.URL()+"/debug/pprof/")
 	if code != 200 || !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index = %d (%d bytes)", code, len(body))
+	}
+}
+
+// TestEventsReplayLastEventID is the reconnect contract: a client that drops
+// and reconnects presenting the last SSE id it saw is backfilled from the bus
+// replay ring — every missed event exactly once, then the live stream with no
+// duplicates across the seam.
+func TestEventsReplayLastEventID(t *testing.T) {
+	bus := progress.NewBus()
+	defer bus.Close()
+	s := startTestServer(t, Options{Bus: bus})
+
+	// The replay ring only holds stamped events, and events publish unstamped
+	// when nobody subscribes; keep one subscriber attached for the test.
+	keep := bus.Subscribe(64)
+	defer keep.Close()
+	for i := 0; i < 10; i++ {
+		bus.Publish(progress.Event{Kind: progress.KindSimStarted, Sim: fmt.Sprintf("sim%02d", i)})
+	}
+
+	// Reconnect claiming to have seen seq 4: frames 5..10 must be replayed.
+	req, err := http.NewRequest("GET", s.URL()+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "4")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// After the backfill, publish one live event; the stream must continue
+	// from it without re-sending anything.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		bus.Publish(progress.Event{Kind: progress.KindSweepDone, Elapsed: 1})
+	}()
+	frames := readSSE(t, resp.Body, func(e sseEvent) bool {
+		return e.event == string(progress.KindSweepDone)
+	})
+	if len(frames) != 7 { // replayed 5..10 + live 11
+		t.Fatalf("got %d frames, want 7: %+v", len(frames), frames)
+	}
+	for i, f := range frames {
+		if want := uint64(5 + i); f.id != want {
+			t.Errorf("frame %d: id %d, want %d", i, f.id, want)
+		}
+	}
+	var ev progress.Event
+	if err := json.Unmarshal([]byte(frames[0].data), &ev); err != nil || ev.Sim != "sim04" {
+		t.Errorf("first replayed frame = %+v (err %v), want sim04", ev, err)
+	}
+}
+
+// TestEventsReplayBeyondRing: a Last-Event-ID newer than anything buffered
+// must not replay stale events or duplicate the next live one.
+func TestEventsReplayBeyondRing(t *testing.T) {
+	bus := progress.NewBus()
+	defer bus.Close()
+	s := startTestServer(t, Options{Bus: bus})
+	keep := bus.Subscribe(64)
+	defer keep.Close()
+	for i := 0; i < 3; i++ {
+		bus.Publish(progress.Event{Kind: progress.KindSimStarted, Sim: "x"})
+	}
+	req, _ := http.NewRequest("GET", s.URL()+"/events", nil)
+	req.Header.Set("Last-Event-ID", "3") // fully caught up
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		bus.Publish(progress.Event{Kind: progress.KindSweepDone, Elapsed: 1})
+	}()
+	frames := readSSE(t, resp.Body, func(e sseEvent) bool {
+		return e.event == string(progress.KindSweepDone)
+	})
+	if len(frames) != 1 || frames[0].id != 4 {
+		t.Fatalf("caught-up reconnect got %+v, want only the live event (id 4)", frames)
+	}
+}
+
+// TestRunsEndpoint: /runs serves the recent ledger records, bounded by ?n=,
+// and degrades to an explicit "disabled" payload with no ledger attached.
+func TestRunsEndpoint(t *testing.T) {
+	led, err := runlog.Open(t.TempDir(), runlog.Options{Command: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	for i := 0; i < 5; i++ {
+		rec := runlog.Record{
+			Key: fmt.Sprintf("%064x", i), Config: "POWER10",
+			Workload: fmt.Sprintf("wl%d", i), SMT: 1, Tier: runlog.TierRun,
+		}
+		if err := led.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := startTestServer(t, Options{RunLog: led})
+	var p struct {
+		Enabled         bool            `json:"enabled"`
+		RecordsAppended uint64          `json:"records_appended"`
+		Records         []runlog.Record `json:"records"`
+	}
+	_, body, hdr := get(t, s.URL()+"/runs")
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("runs not JSON: %v\n%s", err, body)
+	}
+	if !p.Enabled || p.RecordsAppended != 5 || len(p.Records) != 5 {
+		t.Fatalf("runs = %+v", p)
+	}
+	_, body, _ = get(t, s.URL()+"/runs?n=2")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records) != 2 || p.Records[1].Seq != 5 || p.Records[1].Workload != "wl4" {
+		t.Fatalf("bounded runs = %+v, want the 2 newest", p.Records)
+	}
+
+	s2 := startTestServer(t, Options{})
+	_, body, _ = get(t, s2.URL()+"/runs")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Enabled || p.Records == nil || len(p.Records) != 0 {
+		t.Fatalf("runs without ledger = %+v, want enabled=false + empty list", p)
+	}
+}
+
+// TestDashboardServes: the embedded dashboard renders as self-contained HTML
+// wired to the three data endpoints.
+func TestDashboardServes(t *testing.T) {
+	s := startTestServer(t, Options{Command: "test"})
+	code, body, hdr := get(t, s.URL()+"/dashboard")
+	if code != 200 {
+		t.Fatalf("dashboard = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content-type = %q", ct)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "EventSource", "/status", "/runs", "sim_finished"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(body, "src=\"http") || strings.Contains(body, "href=\"http") {
+		t.Error("dashboard references external assets; must be self-contained")
+	}
+}
+
+// TestStatusBuildAndRunlogBlocks: /status carries the binary's build info and
+// the attached ledger's accounting.
+func TestStatusBuildAndRunlogBlocks(t *testing.T) {
+	dir := t.TempDir()
+	led, err := runlog.Open(dir, runlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	if err := led.Append(runlog.Record{Key: "k", Config: "c", Workload: "w", SMT: 1, Tier: runlog.TierRun}); err != nil {
+		t.Fatal(err)
+	}
+	s := startTestServer(t, Options{RunLog: led})
+	var p struct {
+		Build struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		RunLog        *struct {
+			Dir             string `json:"dir"`
+			RecordsAppended uint64 `json:"records_appended"`
+			BytesAppended   uint64 `json:"bytes_appended"`
+		} `json:"runlog"`
+	}
+	_, body, _ := get(t, s.URL()+"/status")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Build.GoVersion == "" {
+		t.Errorf("status build info empty: %s", body)
+	}
+	if p.UptimeSeconds < 0 {
+		t.Errorf("uptime = %f", p.UptimeSeconds)
+	}
+	if p.RunLog == nil || p.RunLog.Dir != dir || p.RunLog.RecordsAppended != 1 || p.RunLog.BytesAppended == 0 {
+		t.Errorf("status runlog block = %+v", p.RunLog)
 	}
 }

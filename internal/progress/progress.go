@@ -79,6 +79,10 @@ type Event struct {
 	Attempt int `json:"attempt,omitempty"`
 	// Count is the request count for batch events.
 	Count int `json:"count,omitempty"`
+	// IPC and Power are the finished simulation's headline readings on
+	// sim_finished events — the live feed behind the dashboard sparklines.
+	IPC   float64 `json:"ipc,omitempty"`
+	Power float64 `json:"power,omitempty"`
 }
 
 // String renders the event the way the console subscriber prints it.
@@ -104,6 +108,14 @@ func (e Event) String() string {
 	return string(e.Kind)
 }
 
+// replayCap bounds the bus's replay ring: the most recent stamped events,
+// kept so an SSE client reconnecting with Last-Event-ID can be backfilled
+// instead of silently losing the gap. Events published with no subscriber
+// attached are never stamped and therefore never buffered — a bus nobody was
+// watching has no history to replay, which keeps the zero-subscriber publish
+// path at one atomic load.
+const replayCap = 4096
+
 // Bus is the bounded pub/sub hub. The zero value is not usable; construct
 // with NewBus. A nil *Bus is a valid no-op sink.
 type Bus struct {
@@ -113,6 +125,7 @@ type Bus struct {
 	subs    map[int]*Subscription
 	nextID  int
 	seq     uint64
+	ring    []Event // replay ring, oldest-first once full
 	dropped atomic.Uint64
 }
 
@@ -193,6 +206,12 @@ func (b *Bus) Publish(ev Event) {
 	b.mu.Lock()
 	b.seq++
 	ev.Seq = b.seq
+	if len(b.ring) < replayCap {
+		b.ring = append(b.ring, ev)
+	} else {
+		copy(b.ring, b.ring[1:])
+		b.ring[len(b.ring)-1] = ev
+	}
 	for _, s := range b.subs {
 		select {
 		case s.c <- ev:
@@ -202,6 +221,36 @@ func (b *Bus) Publish(ev Event) {
 		}
 	}
 	b.mu.Unlock()
+}
+
+// ReplaySince returns the buffered events with sequence numbers strictly
+// greater than seq, oldest first — the backfill an SSE client presenting
+// Last-Event-ID receives on reconnect. Events older than the replay ring are
+// gone; the caller can detect that residual gap from the first returned
+// sequence number. Safe on nil.
+func (b *Bus) ReplaySince(seq uint64) []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The ring is ordered by Seq (stamped under this mutex); find the first
+	// event past seq.
+	lo, hi := 0, len(b.ring)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.ring[mid].Seq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(b.ring) {
+		return nil
+	}
+	out := make([]Event, len(b.ring)-lo)
+	copy(out, b.ring[lo:])
+	return out
 }
 
 // Dropped returns the total number of events dropped across all subscribers.

@@ -278,3 +278,49 @@ func BenchmarkPublishOneSubscriber(b *testing.B) {
 	bus.Close()
 	<-done
 }
+
+// TestReplaySince covers the SSE-reconnect backfill: only stamped events are
+// buffered, the cut is strictly-greater-than, and the ring stays bounded.
+func TestReplaySince(t *testing.T) {
+	var nilBus *Bus
+	if got := nilBus.ReplaySince(0); got != nil {
+		t.Fatalf("nil bus replayed %v", got)
+	}
+	b := NewBus()
+	defer b.Close()
+	// No subscriber: publishes are unstamped and must leave no history.
+	b.Publish(Event{Kind: KindSimStarted, Sim: "ghost"})
+	if got := b.ReplaySince(0); got != nil {
+		t.Fatalf("unwatched publish buffered: %v", got)
+	}
+	sub := b.Subscribe(1)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Kind: KindSimStarted, Sim: "s"})
+	}
+	got := b.ReplaySince(4)
+	if len(got) != 6 || got[0].Seq != 5 || got[5].Seq != 10 {
+		t.Fatalf("ReplaySince(4) = %d events (%v), want seqs 5..10", len(got), got)
+	}
+	if got := b.ReplaySince(10); got != nil {
+		t.Fatalf("ReplaySince(latest) = %v, want nil", got)
+	}
+	// Overflow: the ring keeps the newest replayCap events.
+	for i := 0; i < replayCap; i++ {
+		b.Publish(Event{Kind: KindSimStarted, Sim: "s"})
+	}
+	got = b.ReplaySince(0)
+	if len(got) != replayCap {
+		t.Fatalf("ring len = %d, want %d", len(got), replayCap)
+	}
+	// 10 pre-overflow events + replayCap more = latest seq 10+replayCap;
+	// the ring holds the newest replayCap of them, so the oldest is seq 11.
+	if first := got[0].Seq; first != 11 {
+		t.Fatalf("oldest buffered seq = %d, want 11", first)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("ring not contiguous at %d: %d after %d", i, got[i].Seq, got[i-1].Seq)
+		}
+	}
+}

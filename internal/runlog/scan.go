@@ -1,0 +1,86 @@
+package runlog
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ScanStats accounts what a tolerant ledger read encountered. Records is the
+// count of valid current-schema records returned; the other fields count
+// what was skipped and why, so validators (p10obscheck -runlog) can
+// distinguish a healthy ledger from a damaged one.
+type ScanStats struct {
+	// Lines is the number of physical lines (including the torn tail).
+	Lines int
+	// Records is the number of valid current-schema records.
+	Records int
+	// Corrupt counts newline-terminated lines that failed to parse.
+	Corrupt int
+	// WrongSchema counts parseable records carrying a different schema
+	// version (rejected, never misinterpreted).
+	WrongSchema int
+	// UnterminatedTail reports a final line without a newline — the torn
+	// tail of an interrupted writer, tolerated on read and sealed by the
+	// next appender.
+	UnterminatedTail bool
+	// Bytes is the total bytes read.
+	Bytes int64
+}
+
+// ScanDir reads the ledger under a runlog directory tolerantly: corrupt
+// lines, wrong-schema records, and a truncated final line are skipped and
+// counted in the returned stats. A missing ledger file returns an
+// os.IsNotExist error.
+func ScanDir(dir string) ([]Record, ScanStats, error) {
+	return scanFile(filepath.Join(dir, LedgerFile))
+}
+
+// ScanReader is ScanDir over an arbitrary stream (tests, pipes).
+func ScanReader(r io.Reader) ([]Record, ScanStats, error) {
+	return scanReader(bufio.NewReader(r))
+}
+
+// ScanSeries reads the series file under a runlog directory, skipping (and
+// counting as Corrupt) unparseable or wrong-schema lines. A missing series
+// file returns an os.IsNotExist error; a runlog without the recorder enabled
+// simply has none.
+func ScanSeries(dir string) ([]Series, ScanStats, error) {
+	f, err := os.Open(filepath.Join(dir, SeriesFile))
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var out []Series
+	var st ScanStats
+	for {
+		line, err := br.ReadBytes('\n')
+		terminated := err == nil
+		if len(line) > 0 {
+			st.Lines++
+			st.Bytes += int64(len(line))
+			var s Series
+			switch uerr := unmarshalSeries(line, &s); {
+			case uerr != nil:
+				if terminated {
+					st.Corrupt++
+				} else {
+					st.UnterminatedTail = true
+				}
+			case s.Schema != SeriesSchema:
+				st.WrongSchema++
+			default:
+				out = append(out, s)
+				st.Records++
+			}
+		}
+		if err == io.EOF {
+			return out, st, nil
+		}
+		if err != nil {
+			return out, st, err
+		}
+	}
+}

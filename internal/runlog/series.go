@@ -1,0 +1,221 @@
+package runlog
+
+import (
+	"encoding/json"
+
+	"power10sim/internal/power"
+	"power10sim/internal/uarch"
+)
+
+// SeriesSchema versions the series-file line format.
+const SeriesSchema = "p10series-v1"
+
+// Frame is one downsampled observation window of a recorded simulation:
+// retirement rate, unit occupancy, and the Einspower power decomposition
+// averaged over the window. All frames of a series span FrameCycles cycles
+// except possibly the final partial one.
+type Frame struct {
+	// EndCycle is the window's exclusive end cycle.
+	EndCycle uint64 `json:"end_cycle"`
+	// Cycles is the window width (FrameCycles except for the final frame).
+	Cycles uint64  `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+	// Unit occupancy fractions (busy cycles / window cycles).
+	Fetch float64 `json:"fetch"`
+	FXU   float64 `json:"fxu"`
+	VSU   float64 `json:"vsu"`
+	MMA   float64 `json:"mma"`
+	LSU   float64 `json:"lsu"`
+	L2    float64 `json:"l2"`
+	// Average power over the window, per Einspower category; Power is the
+	// total. Integrating Power over the frames reproduces the run's
+	// bottom-up energy (the same pricing as a full-run report).
+	Power     float64 `json:"power"`
+	Clock     float64 `json:"clock"`
+	Switching float64 `json:"switching"`
+	Array     float64 `json:"array"`
+	Leakage   float64 `json:"leakage"`
+}
+
+// Series is one recorded simulation's downsampled track set, keyed by the
+// same content key as its ledger record.
+type Series struct {
+	Schema   string `json:"schema"`
+	Key      string `json:"key"`
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	SMT      int    `json:"smt"`
+	// FrameCycles is the width of every full frame after decimation.
+	FrameCycles uint64  `json:"frame_cycles"`
+	Frames      []Frame `json:"frames"`
+}
+
+func unmarshalSeries(line []byte, s *Series) error { return json.Unmarshal(line, s) }
+
+// rawFrame accumulates mergeable quantities: counts and energies sum across
+// merged windows, so decimation never distorts the derived rates.
+type rawFrame struct {
+	endCycle uint64
+	cycles   uint64
+	insts    uint64
+	busy     [6]float64 // busy cycles: fetch, fxu, vsu, mma, lsu, l2
+	energy   [5]float64 // total, clock, switching, array, leakage
+}
+
+func (a *rawFrame) add(b *rawFrame) {
+	if b.endCycle > a.endCycle {
+		a.endCycle = b.endCycle
+	}
+	a.cycles += b.cycles
+	a.insts += b.insts
+	for i := range a.busy {
+		a.busy[i] += b.busy[i]
+	}
+	for i := range a.energy {
+		a.energy[i] += b.energy[i]
+	}
+}
+
+// SeriesCapture records one simulation's cycle samples into a bounded frame
+// set. It wraps uarch.WithSampler at a fixed base interval and decimates by
+// merging adjacent windows whenever the frame budget fills, doubling the
+// frame width — so an arbitrarily long simulation always lands in at most
+// maxFrames frames, each covering the same number of cycles (final partial
+// frame excepted), with rates and powers exact for every merged window.
+//
+// A capture is used by exactly one simulation attempt at a time; Reset
+// discards a failed attempt's frames before a retry re-records.
+type SeriesCapture struct {
+	mdl       *power.Model
+	maxFrames int
+	baseEvery uint64
+	width     int // base windows per frame
+	frames    []rawFrame
+	cur       rawFrame
+	curCount  int
+}
+
+// NewCapture creates a capture for one simulation on cfg, honoring the
+// ledger's recorder configuration. Returns nil when the recorder is
+// disabled (nil is a valid inert capture for the Option/Finish methods).
+func (l *Ledger) NewCapture(cfg *uarch.Config) *SeriesCapture {
+	if !l.SeriesEnabled() || cfg == nil {
+		return nil
+	}
+	return &SeriesCapture{
+		mdl:       power.NewModel(cfg),
+		maxFrames: l.opts.SeriesFrames,
+		baseEvery: l.opts.SeriesEvery,
+		width:     1,
+	}
+}
+
+// Option returns the sampling hook to pass to the simulation. Safe on nil
+// (returns an inert option).
+func (c *SeriesCapture) Option() uarch.SimOption {
+	if c == nil {
+		return uarch.WithSampler(0, nil)
+	}
+	return uarch.WithSampler(c.baseEvery, c.observe)
+}
+
+func (c *SeriesCapture) observe(s uarch.CycleSample) {
+	d := &s.Delta
+	rep := c.mdl.Report(d)
+	w := rawFrame{
+		endCycle: s.Cycle,
+		cycles:   d.Cycles,
+		insts:    d.Instructions,
+	}
+	wcyc := float64(d.Cycles)
+	w.busy = [6]float64{
+		wcyc * d.BusyFraction(uarch.UnitFetch),
+		wcyc * d.BusyFraction(uarch.UnitFXU),
+		wcyc * d.BusyFraction(uarch.UnitVSU),
+		wcyc * d.BusyFraction(uarch.UnitMMA),
+		wcyc * d.BusyFraction(uarch.UnitLSU),
+		wcyc * d.BusyFraction(uarch.UnitL2),
+	}
+	w.energy = [5]float64{
+		wcyc * rep.Total, wcyc * rep.Clock, wcyc * rep.Switching,
+		wcyc * rep.Array, wcyc * rep.Leakage,
+	}
+	c.cur.add(&w)
+	c.curCount++
+	if c.curCount < c.width {
+		return
+	}
+	c.frames = append(c.frames, c.cur)
+	c.cur, c.curCount = rawFrame{}, 0
+	if len(c.frames) == c.maxFrames {
+		// Budget full: halve the resolution by merging adjacent pairs. The
+		// in-progress frame keeps accumulating toward the doubled width.
+		half := c.frames[:0]
+		for i := 0; i+1 < c.maxFrames; i += 2 {
+			m := c.frames[i]
+			m.add(&c.frames[i+1])
+			half = append(half, m)
+		}
+		c.frames = half
+		c.width *= 2
+	}
+}
+
+// Reset discards everything recorded so far (a retried attempt re-records
+// from scratch). Safe on nil.
+func (c *SeriesCapture) Reset() {
+	if c == nil {
+		return
+	}
+	c.frames = c.frames[:0]
+	c.cur, c.curCount = rawFrame{}, 0
+	c.width = 1
+}
+
+// Finish converts the capture into its exported series. Safe on nil
+// (returns nil); returns nil when nothing was recorded.
+func (c *SeriesCapture) Finish(key, config, workload string, smt int) *Series {
+	if c == nil {
+		return nil
+	}
+	raw := c.frames
+	if c.curCount > 0 {
+		raw = append(raw, c.cur)
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	s := &Series{
+		Schema:      SeriesSchema,
+		Key:         key,
+		Config:      config,
+		Workload:    workload,
+		SMT:         smt,
+		FrameCycles: uint64(c.width) * c.baseEvery,
+		Frames:      make([]Frame, 0, len(raw)),
+	}
+	for i := range raw {
+		r := &raw[i]
+		wcyc := float64(r.cycles)
+		if wcyc == 0 {
+			wcyc = 1
+		}
+		s.Frames = append(s.Frames, Frame{
+			EndCycle:  r.endCycle,
+			Cycles:    r.cycles,
+			IPC:       float64(r.insts) / wcyc,
+			Fetch:     r.busy[0] / wcyc,
+			FXU:       r.busy[1] / wcyc,
+			VSU:       r.busy[2] / wcyc,
+			MMA:       r.busy[3] / wcyc,
+			LSU:       r.busy[4] / wcyc,
+			L2:        r.busy[5] / wcyc,
+			Power:     r.energy[0] / wcyc,
+			Clock:     r.energy[1] / wcyc,
+			Switching: r.energy[2] / wcyc,
+			Array:     r.energy[3] / wcyc,
+			Leakage:   r.energy[4] / wcyc,
+		})
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"power10sim/internal/runlog"
+	"power10sim/internal/uarch"
+)
+
+// This file feeds the persistent campaign ledger (internal/runlog): when a
+// ledger is attached, every request the runner completes — executed, served
+// from the persistent disk cache, or served from the in-process memo cache —
+// appends one provenance record, and (when the recorder is enabled) every
+// executed full-timing simulation also appends a downsampled IPC/occupancy/
+// power time series. Chaos self-test requests are excluded: their forced
+// failures are harness noise, not campaign history.
+
+// SetRunLog attaches a campaign ledger; nil detaches it (the default). Call
+// before submitting requests; SetRunLog is not synchronized with Do.
+func (r *Runner) SetRunLog(l *runlog.Ledger) { r.runlog = l }
+
+// ContentKey returns the request's persistent content key — the SHA-256 hex
+// the disk cache and the runlog ledger both address the simulation by. ok is
+// false for unkeyable requests (nil config/workload).
+func ContentKey(req Request) (string, bool) {
+	k, ok := keyOf(req)
+	if !ok {
+		return "", false
+	}
+	return diskKey(k), true
+}
+
+// runlogEligible reports whether the request belongs in the campaign ledger.
+func (r *Runner) runlogEligible(req Request) bool {
+	return r.runlog != nil && req.Chaos == nil
+}
+
+// seriesFor creates a time-series capture for a request about to execute,
+// or nil when recording does not apply: the recorder is off, or the run is
+// sampled (many short windows, no single cycle-resolved timeline) or
+// upset-injected (the corrupted tail would poison the track).
+func (r *Runner) seriesFor(req Request) *runlog.SeriesCapture {
+	if !r.runlogEligible(req) || !r.runlog.SeriesEnabled() {
+		return nil
+	}
+	if req.Sample != nil || req.Upset != nil {
+		return nil
+	}
+	return r.runlog.NewCapture(req.Cfg)
+}
+
+// logRecord appends one ledger record for a completed request. Best-effort:
+// a ledger write failure never degrades the sweep (the result is already
+// computed), so errors are swallowed here and surface only through the
+// byte/record counters not advancing.
+func (r *Runner) logRecord(k key, req Request, res Result, tier string, wall time.Duration) {
+	if !r.runlogEligible(req) {
+		return
+	}
+	smt := req.SMT
+	if smt < 1 {
+		smt = 1
+	}
+	rec := runlog.Record{
+		Key:         diskKey(k),
+		Config:      req.Cfg.Name,
+		Workload:    req.W.Name,
+		SMT:         smt,
+		Budget:      req.Budget,
+		Warmup:      req.Warmup,
+		MaxCycles:   req.MaxCycles,
+		Tier:        tier,
+		Attempts:    res.Attempts,
+		WallSeconds: wall.Seconds(),
+	}
+	if req.Sample != nil && req.Upset == nil {
+		n := req.Sample.Normalized()
+		rec.Sampled = true
+		rec.SampleSpec = fmt.Sprintf("iv%d k%d r%d w%d sig%d s%d",
+			n.IntervalInsts, n.MaxK, n.RepsPerCluster,
+			n.WarmupIntervals, n.SignatureDims, n.Seed)
+	}
+	if req.Upset != nil {
+		rec.Upset = true
+		rec.FaultOutcome = faultOutcome(res.Upset)
+	}
+	if res.Err != nil {
+		rec.Err = res.Err.Error()
+	} else if res.Activity != nil && res.Report != nil {
+		a, rep := res.Activity, res.Report
+		cyc := float64(a.Cycles)
+		rec.Cycles = a.Cycles
+		rec.Instructions = a.Instructions
+		rec.CPI = a.CPI()
+		rec.IPC = a.IPC()
+		rec.PowerTotal = rep.Total
+		rec.EnergyTotal = rep.Total * cyc
+		rec.EnergyClock = rep.Clock * cyc
+		rec.EnergySwitching = rep.Switching * cyc
+		rec.EnergyArray = rep.Array * cyc
+		rec.EnergyLeakage = rep.Leakage * cyc
+		if a.Instructions > 0 {
+			rec.EPI = rec.EnergyTotal / float64(a.Instructions)
+		}
+	}
+	r.runlog.Append(rec)
+}
+
+// logSeries appends a successful execution's recorded time series.
+func (r *Runner) logSeries(k key, req Request, cap *runlog.SeriesCapture) {
+	if cap == nil {
+		return
+	}
+	smt := req.SMT
+	if smt < 1 {
+		smt = 1
+	}
+	r.runlog.AppendSeries(cap.Finish(diskKey(k), req.Cfg.Name, req.W.Name, smt))
+}
+
+// faultOutcome renders an upset outcome for the ledger's fault_outcome
+// field.
+func faultOutcome(u *uarch.UpsetOutcome) string {
+	switch {
+	case u == nil:
+		return "unobserved"
+	case !u.Landed:
+		return "missed"
+	case u.VictimOp != "":
+		return "landed:" + u.VictimOp
+	default:
+		return "landed"
+	}
+}

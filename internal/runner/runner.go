@@ -28,6 +28,7 @@ import (
 
 	"power10sim/internal/power"
 	"power10sim/internal/progress"
+	"power10sim/internal/runlog"
 	"power10sim/internal/sampling"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
@@ -64,6 +65,11 @@ type Request struct {
 	// an Upset always run full: fault injection targets a specific cycle of
 	// the complete run, which a sampled run never reaches.
 	Sample *sampling.Spec
+
+	// series is the runner-attached time-series capture for this execution
+	// (see SetRunLog); it never joins the cache key — recording is an
+	// observation, not a different simulation.
+	series *runlog.SeriesCapture
 }
 
 // Result is one simulation's outcome. Activity and Report are private copies:
@@ -143,6 +149,9 @@ func (r Request) runCtx(ctx context.Context) Result {
 	opts := []uarch.SimOption{uarch.WithWarmup(r.Warmup), uarch.WithStrictCycleLimit()}
 	if ctx != nil && ctx.Done() != nil {
 		opts = append(opts, uarch.WithContext(ctx))
+	}
+	if r.series != nil {
+		opts = append(opts, r.series.Option())
 	}
 	if r.Upset != nil {
 		opts = append(opts, uarch.WithUpset(r.Upset))
@@ -256,6 +265,10 @@ type Runner struct {
 	// cacheDir roots the persistent result cache; empty disables it (see
 	// SetCacheDir in diskcache.go).
 	cacheDir string
+
+	// runlog, when non-nil, receives one campaign-ledger record per
+	// completed request (see SetRunLog in runlog.go).
+	runlog *runlog.Ledger
 
 	obs obs
 	bus *progress.Bus
@@ -399,6 +412,7 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 		r.mu.Unlock()
 		r.obs.hits.Inc()
 		r.publish(progress.KindCacheHit, req, nil)
+		hitStart := time.Now()
 		select {
 		case <-e.ready:
 		default:
@@ -407,6 +421,7 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 			r.obs.coalesced.Inc()
 			<-e.ready
 		}
+		r.logRecord(k, req, e.res, runlog.TierMemo, time.Since(hitStart))
 		return e.res.clone()
 	}
 	e := &entry{ready: make(chan struct{})}
@@ -419,9 +434,11 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 	// process. Served before taking a worker slot — a disk read should never
 	// queue behind running simulations.
 	if r.diskUsable(req) {
+		diskStart := time.Now()
 		if res, ok := r.diskLoad(k, req); ok {
 			e.res = res
 			r.publish(progress.KindCacheHit, req, nil)
+			r.logRecord(k, req, e.res, runlog.TierDisk, time.Since(diskStart))
 			close(e.ready)
 			return e.res.clone()
 		}
@@ -456,6 +473,7 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 		sp = r.obs.tracer.Begin(spanName(req), "runner")
 	}
 	r.publish(progress.KindSimStarted, req, nil)
+	req.series = r.seriesFor(req)
 	start := time.Now()
 	e.res = r.execute(ctx, req)
 	elapsed := time.Since(start)
@@ -471,8 +489,17 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 		r.publish(progress.KindSimFinished, req, func(ev *progress.Event) {
 			ev.Elapsed = elapsed.Seconds()
 			ev.Attempt = e.res.Attempts
+			// The live IPC/power readings drive the dashboard sparklines.
+			if e.res.Activity != nil {
+				ev.IPC = e.res.Activity.IPC()
+			}
+			if e.res.Report != nil {
+				ev.Power = e.res.Report.Total
+			}
 		})
+		r.logSeries(k, req, req.series)
 	}
+	r.logRecord(k, req, e.res, runlog.TierRun, elapsed)
 
 	if !cacheable(e.res.Err) {
 		// Cache-poisoning guard: a transient failure (or cancellation) is a
@@ -561,6 +588,9 @@ func (r *Runner) attempt(ctx context.Context, req Request) (res Result) {
 			res = Result{Err: &PanicError{Value: p, Stack: debug.Stack()}}
 		}
 	}()
+	// A retried attempt re-records its time series from scratch: frames
+	// from the failed attempt would otherwise pollute the track.
+	req.series.Reset()
 	res = req.runCtx(actx)
 	if res.Sampling != nil {
 		r.obs.samplingIntervals.Add(uint64(res.Sampling.Intervals))

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# ledger-check: end-to-end gate for the persistent campaign ledger. Runs the
+# same quick sweep twice with -runlog and a shared -cachedir, validates the
+# ledger structurally with p10obscheck, then uses p10query to prove the
+# second pass was served entirely from cache (every record in the second
+# sequence range logs a disk/memo tier, so the summary's cache-tier hit rate
+# is exactly 100.0%).
+#
+# Run from the repository root (the `make ledger-check` target does).
+set -euo pipefail
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+cleanup() {
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "ledger-check: $*" >&2
+    exit 1
+}
+
+$GO build -o "$TMP/p10bench" ./cmd/p10bench
+$GO build -o "$TMP/p10query" ./cmd/p10query
+$GO build -o "$TMP/p10obscheck" ./cmd/p10obscheck
+
+RL="$TMP/runlog"
+CACHE="$TMP/cache"
+
+# Pass 1: cold cache — every record should land with tier "run".
+"$TMP/p10bench" -quick -exp fig5 -runlog "$RL" -cachedir "$CACHE" \
+    >/dev/null 2>"$TMP/stderr1" || { cat "$TMP/stderr1" >&2; fail "first sweep failed"; }
+grep -q '^runlog: ' "$TMP/stderr1" || fail "first sweep printed no runlog summary"
+
+N=$("$TMP/p10query" -runlog "$RL" -op count)
+[ "$N" -ge 1 ] || fail "first sweep appended $N records"
+
+# Pass 2: warm cache — the same sweep re-keyed onto the same content keys.
+"$TMP/p10bench" -quick -exp fig5 -runlog "$RL" -cachedir "$CACHE" \
+    >/dev/null 2>"$TMP/stderr2" || { cat "$TMP/stderr2" >&2; fail "second sweep failed"; }
+
+TOTAL=$("$TMP/p10query" -runlog "$RL" -op count)
+[ "$TOTAL" -eq $((2 * N)) ] || fail "expected $((2 * N)) records after both passes, got $TOTAL"
+
+# Structural validation: pristine ledger, strictly-increasing seq, 64-hex
+# keys, the error/measurement exclusivity invariant.
+"$TMP/p10obscheck" -runlog "$RL" -min-records "$TOTAL" || fail "p10obscheck rejected the ledger"
+
+# The second pass (seq N+1 onward) must be 100% cache-served.
+SUMMARY=$("$TMP/p10query" -runlog "$RL" -op summary -since $((N + 1)))
+echo "$SUMMARY" | grep -q 'cache-tier hit rate 100.0%' || {
+    echo "$SUMMARY" >&2
+    fail "second pass was not fully cache-served"
+}
+
+# Aggregation smoke: top-k by energy-per-instruction over the whole campaign.
+"$TMP/p10query" -runlog "$RL" -op top -k 3 -by epi >/dev/null || fail "p10query -op top failed"
+
+echo "ledger-check: ok ($N records/pass, second pass 100% cache-served)"

@@ -27,7 +27,7 @@ $GO build -o "$TMP/p10obscheck" ./cmd/p10obscheck
 
 # fig10 runs long enough (~10s quick) that every probe below lands mid-sweep.
 "$TMP/p10bench" -quick -exp fig10 -serve 127.0.0.1:0 -metrics "$TMP/metrics.json" \
-    >"$TMP/stdout" 2>"$TMP/stderr" &
+    -runlog "$TMP/runlog" >"$TMP/stdout" 2>"$TMP/stderr" &
 PID=$!
 
 ADDR=
@@ -48,6 +48,16 @@ STATUS=$(curl -sf "http://$ADDR/status") || fail "/status fetch failed"
 echo "$STATUS" | grep -q '"command": "p10bench"' || fail "/status missing command: $STATUS"
 echo "$STATUS" | grep -q '"ready": true' || fail "/status not ready: $STATUS"
 echo "$STATUS" | grep -q '"name": "fig10"' || fail "/status missing fig10 progress: $STATUS"
+echo "$STATUS" | grep -q '"go_version"' || fail "/status missing build info: $STATUS"
+# The embedded dashboard must be a self-contained page: live (EventSource)
+# and dependency-free (no external script/style references).
+DASH=$(curl -sf "http://$ADDR/dashboard") || fail "/dashboard fetch failed"
+echo "$DASH" | grep -q 'EventSource' || fail "/dashboard is not wired to /events"
+if echo "$DASH" | grep -Eq 'src="https?://|href="https?://'; then
+    fail "/dashboard references external resources"
+fi
+RUNS=$(curl -sf "http://$ADDR/runs?n=5") || fail "/runs fetch failed"
+echo "$RUNS" | grep -q '"enabled": true' || fail "/runs ledger not enabled: $RUNS"
 
 kill -INT "$PID"
 for _ in $(seq 1 150); do
