@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs chaos serve-check sample-check ledger-check perf verify bench bench-core sweep profile
+.PHONY: build test vet race race-obs chaos serve-check sample-check ledger-check fabric-check perf verify bench bench-core sweep profile
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ race:
 # goroutines.
 race-obs:
 	$(GO) test -race ./internal/telemetry ./internal/progress ./internal/obsserver \
-		./internal/runner ./internal/simobs ./internal/runlog
+		./internal/runner ./internal/simobs ./internal/runlog ./internal/fabric
 
 # chaos is the fault-tolerance gate: the runner hardening tests under the
 # race detector, then a p10faults self-test campaign with forced panics,
@@ -62,6 +62,14 @@ sample-check:
 ledger-check:
 	bash scripts/ledger_check.sh
 
+# fabric-check is the end-to-end gate for the distributed sweep fabric: a
+# coordinator plus two workers on ephemeral ports, one worker killed
+# mid-sweep, asserting the merged stdout is byte-identical to a
+# single-process run, the lost leases were requeued, and the campaign ledger
+# records every remotely executed unit exactly once.
+fabric-check:
+	bash scripts/fabric_check.sh
+
 # perf runs the perf-regression ledger: the fixed go-bench tier plus a
 # wall-clocked quick sweep, written as the next perf/BENCH_<n>.json and
 # compared against the newest committed ledger. Exits nonzero on regression.
@@ -72,7 +80,7 @@ perf:
 # passes. The race pass matters because the experiment harness fans
 # simulations across a worker pool; race-obs fails fast on the telemetry
 # packages before the full-tree race run.
-verify: vet build test race-obs race chaos serve-check sample-check ledger-check
+verify: vet build test race-obs race chaos serve-check sample-check ledger-check fabric-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'

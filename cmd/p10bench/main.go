@@ -40,6 +40,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"power10sim/internal/cliutil"
@@ -49,46 +50,9 @@ import (
 	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
 	"power10sim/internal/sampling"
+	"power10sim/internal/sweep"
 	"power10sim/internal/telemetry"
 )
-
-type renderer interface{ Table() string }
-
-type experiment struct {
-	name, title string
-	run         func(experiments.Options) (renderer, error)
-}
-
-func wrap[T renderer](f func(experiments.Options) (T, error)) func(experiments.Options) (renderer, error) {
-	return func(o experiments.Options) (renderer, error) {
-		r, err := f(o)
-		if err != nil {
-			return nil, err
-		}
-		return r, nil
-	}
-}
-
-func catalog() []experiment {
-	return []experiment{
-		{"tableI", "Table I: chip features & efficiency projections", wrap(experiments.TableI)},
-		{"headline", "Section II-B headline: 1.3x perf at 0.5x power (2.6x perf/W)", wrap(experiments.Headline)},
-		{"fig2", "Fig. 2: optimal pipeline depth analysis", wrap(experiments.Fig2)},
-		{"fig4", "Fig. 4: per-unit design-change performance contributions", wrap(experiments.Fig4)},
-		{"fig5", "Fig. 5: DGEMM flops/cycle and core power (VSU vs MMA)", wrap(experiments.Fig5)},
-		{"fig6", "Fig. 6: ResNet-50 / BERT-Large end-to-end inference", wrap(experiments.Fig6)},
-		{"fig10", "Fig. 10: APEX core model vs chip model", wrap(experiments.Fig10)},
-		{"fig11", "Fig. 11: M1-linked power-model error vs inputs", wrap(experiments.Fig11)},
-		{"fig12", "Fig. 12: top-down vs bottom-up power models", wrap(experiments.Fig12)},
-		{"fig13", "Fig. 13: latch derating across testcase suites", wrap(experiments.Fig13)},
-		{"fig14", "Fig. 14: POWER9 vs POWER10 derating", wrap(experiments.Fig14)},
-		{"fig15", "Fig. 15: core power proxy accuracy and granularity", wrap(experiments.Fig15)},
-		{"proxies", "Section III-A: Chopstix-style proxy extraction", wrap(experiments.ProxyStats)},
-		{"apex", "Section III-C: APEX speedup and accuracy", wrap(experiments.APEXSpeedup)},
-		{"wof", "Section IV: Workload Optimized Frequency and droop control", wrap(experiments.WOF)},
-		{"socket", "Socket level: PFLY/CLY yield and up-to-3x efficiency", wrap(experiments.Socket)},
-	}
-}
 
 func main() {
 	var (
@@ -155,11 +119,11 @@ func main() {
 	if *traceOut != "" {
 		tr = telemetry.NewTracer()
 	}
-	cat := catalog()
+	cat := sweep.Catalog()
 	if *list {
 		names := make([]string, len(cat))
 		for i, e := range cat {
-			names[i] = fmt.Sprintf("%-10s %s", e.name, e.title)
+			names[i] = fmt.Sprintf("%-10s %s", e.Name, e.Title)
 		}
 		sort.Strings(names)
 		for _, n := range names {
@@ -167,10 +131,12 @@ func main() {
 		}
 		return
 	}
-	// SIGINT cancels the in-flight sweep cooperatively: the pool's context
-	// reaches every running simulation, which bails out at the next
-	// cancellation check instead of leaving the terminal wedged.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM both cancel the in-flight sweep cooperatively: the
+	// pool's context reaches every running simulation, which bails out at the
+	// next cancellation check; the drain below still flushes the run ledger,
+	// telemetry files, and the failure summary, and exits nonzero. SIGTERM
+	// matters for service use — process supervisors send it first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	pool := runner.New(*jobs)
 	pool.Instrument(reg, tr)
@@ -254,9 +220,9 @@ func main() {
 				}
 			}
 		}
-		cat = []experiment{{"sample-validate",
-			"Sampling validation: sampled vs full error bounds",
-			func(o experiments.Options) (renderer, error) {
+		cat = []sweep.Experiment{{Name: "sample-validate",
+			Title: "Sampling validation: sampled vs full error bounds",
+			Run: func(o experiments.Options) (sweep.Renderer, error) {
 				v, err := experiments.SampleValidate(o, sampling.DefaultSpec(), only)
 				if err != nil {
 					return nil, err
@@ -269,70 +235,26 @@ func main() {
 				return v, nil
 			}}}
 	}
-	expSeconds := telemetry.ExpBuckets(0.001, 4, 10)
 	// The sweep plan (catalog order, filter, pool) is built: flip readiness
 	// so /readyz distinguishes "starting" from "sweeping".
 	server.SetReady(true)
-	ran := 0
-	var failedExps []string
-	sweepStart := time.Now()
-	for _, e := range cat {
-		if *expName != "" && e.name != *expName {
-			continue
-		}
-		if ctx.Err() != nil {
-			break
-		}
-		ran++
-		fmt.Printf("=== %s ===\n", e.title)
-		bus.Publish(progress.Event{Kind: progress.KindExperimentBegun, Experiment: e.name})
-		start := time.Now()
-		sp := tr.Begin("exp:"+e.name, "experiment")
-		r, err := e.run(opt)
-		sp.End()
-		elapsed := time.Since(start)
-		reg.Counter("experiments_run_total", telemetry.L("exp", e.name)).Inc()
-		reg.Histogram("experiment_seconds", expSeconds, telemetry.L("exp", e.name)).Observe(elapsed.Seconds())
-		if err != nil {
-			failedExps = append(failedExps, e.name)
-			bus.Publish(progress.Event{Kind: progress.KindExperimentFailed,
-				Experiment: e.name, Err: err.Error(), Elapsed: elapsed.Seconds()})
-			continue
-		}
-		fmt.Print(r.Table())
-		fmt.Println()
-		bus.Publish(progress.Event{Kind: progress.KindExperimentDone,
-			Experiment: e.name, Elapsed: elapsed.Seconds()})
-	}
-	bus.Publish(progress.Event{Kind: progress.KindSweepDone,
-		Elapsed: time.Since(sweepStart).Seconds()})
+	outcome := sweep.Run(ctx, os.Stdout, cat, *expName, opt, reg, tr)
 	// Flush the console before printing the summary lines below, so stderr
 	// keeps its historical order: per-experiment lines, then totals.
 	console.Stop()
-	if ran == 0 {
+	if outcome.Ran == 0 {
 		closeRunLog()
 		shutdownServer(server, bus)
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expName)
 		os.Exit(1)
 	}
-	// Cache effectiveness summary. Hits and misses depend only on the
-	// request sequence, not on the worker count, so this line is part of
-	// the byte-identical stdout contract.
 	st := pool.Stats()
-	total := st.Hits + st.Misses
-	pct := 0.0
-	if total > 0 {
-		pct = 100 * float64(st.Hits) / float64(total)
-	}
-	fmt.Printf("runner: %d simulation requests, %d unique runs, %d cache hits (%.1f%%)\n",
-		total, st.Misses, st.Hits, pct)
+	sweep.Summary(os.Stdout, st)
 	// Pool-pressure diagnostics are scheduling-dependent, so they join the
 	// timing on stderr rather than the deterministic stdout summary.
-	fmt.Fprintf(os.Stderr, "total: %.1fs with %d workers, peak in-flight %d, total queue wait %.2fs\n",
-		time.Since(sweepStart).Seconds(), pool.Workers(), st.PeakInFlight, st.QueueWait.Seconds())
+	sweep.Totals(os.Stderr, st, pool.Workers(), outcome.Elapsed)
 	if *cacheDir != "" {
-		fmt.Fprintf(os.Stderr, "diskcache: %d hits, %d misses, %d B read, %d B written (%s)\n",
-			st.DiskHits, st.DiskMisses, st.DiskReadBytes, st.DiskWrittenBytes, *cacheDir)
+		sweep.DiskTotals(os.Stderr, st, *cacheDir)
 	}
 	// Telemetry files are written even when the sweep degraded or was
 	// interrupted: a partial run's diagnostics are exactly what you want to
@@ -361,8 +283,8 @@ func main() {
 		fmt.Fprint(os.Stderr, s)
 		exit = 1
 	}
-	if len(failedExps) > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) failed: %v\n", len(failedExps), failedExps)
+	if len(outcome.Failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed: %v\n", len(outcome.Failed), outcome.Failed)
 		exit = 1
 	}
 	if ctx.Err() != nil {

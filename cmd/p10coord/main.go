@@ -1,0 +1,301 @@
+// Command p10coord runs the paper sweep with simulation execution farmed out
+// to a fleet of p10worker processes over the fault-tolerant fabric protocol.
+//
+// Usage:
+//
+//	p10coord -listen :9170                  # serve the fabric + observability API
+//	p10coord -listen :9170 -exp fig5        # one experiment
+//	p10coord -quick -min-workers 2          # wait for 2 workers, reduced budgets
+//	p10coord -cachedir cache -runlog runs   # share cache/ledger formats with p10bench
+//
+// The coordinator owns the sweep plan and the merge; workers own execution.
+// Each unique simulation point becomes one content-keyed work unit, leased to
+// a worker under a heartbeat TTL. A worker that crashes, stalls, or returns a
+// corrupt result simply loses its lease: the unit is re-dispatched (bounded,
+// jittered) and the first structurally valid result wins. Because workers
+// ship back the deterministic simulation ground truth (activity counters, not
+// derived reports), the merged stdout is byte-identical to a single-process
+// `p10bench` run regardless of fleet size, failures, or completion order.
+//
+// The -listen address serves both the worker-facing fabric endpoints
+// (/fabric/*) and the human-facing observability surface (/status /events
+// /dashboard /metrics ...), including the external submit API:
+//
+//	curl -X POST :9170/fabric/submit -d '{"config":"POWER10","workload":"daxpy","smt":4}'
+//	curl :9170/fabric/poll?key=...
+//
+// SIGINT/SIGTERM drain cooperatively: in-flight leases finish or expire,
+// workers are told to stop polling, the run ledger and telemetry flush, and a
+// partial sweep exits nonzero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"power10sim/internal/cliutil"
+	"power10sim/internal/experiments"
+	"power10sim/internal/fabric"
+	"power10sim/internal/obsserver"
+	"power10sim/internal/progress"
+	"power10sim/internal/runlog"
+	"power10sim/internal/runner"
+	"power10sim/internal/sweep"
+	"power10sim/internal/telemetry"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+func main() {
+	var (
+		listenAddr  = flag.String("listen", "127.0.0.1:9170", "serve the fabric worker API and observability endpoints on this address")
+		expName     = flag.String("exp", "", "experiment to run (default: all)")
+		quick       = flag.Bool("quick", false, "reduced budgets")
+		jobs        = flag.Int("jobs", 0, "max simulation points in flight (0 = GOMAXPROCS)")
+		list        = flag.Bool("list", false, "list experiments")
+		minWorkers  = flag.Int("min-workers", 1, "wait for this many live workers before starting the sweep (0 = start immediately)")
+		waitFor     = flag.Duration("worker-wait", 2*time.Minute, "give up if -min-workers have not registered within this window")
+		leaseTTL    = flag.Duration("lease-ttl", fabric.DefaultLeaseTTL, "worker lease TTL; a silent worker loses its units after this")
+		maxAttempts = flag.Int("max-attempts", fabric.DefaultMaxAttempts, "dispatch attempts per unit before it fails permanently")
+		metricsOut  = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+		cacheDir    = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs and with p10bench)")
+		runlogDir   = flag.String("runlog", "", "append one campaign-ledger record per completed simulation under this directory")
+		runlogSer   = flag.Int("runlog-series", 0, "with -runlog, also record a downsampled time series per executed sim (0 = off)")
+	)
+	flag.Parse()
+	if *jobs < 0 {
+		cliutil.Usagef("-jobs %d: must be >= 0", *jobs)
+	}
+	if *minWorkers < 0 {
+		cliutil.Usagef("-min-workers %d: must be >= 0", *minWorkers)
+	}
+	if *maxAttempts < 1 {
+		cliutil.Usagef("-max-attempts %d: must be >= 1", *maxAttempts)
+	}
+	if *runlogSer != 0 && *runlogDir == "" {
+		cliutil.Usagef("-runlog-series needs -runlog")
+	}
+	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	cat := sweep.Catalog()
+	if *list {
+		names := make([]string, len(cat))
+		for i, e := range cat {
+			names[i] = fmt.Sprintf("%-10s %s", e.Name, e.Title)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	// SIGINT/SIGTERM drain the whole fabric cooperatively: the pool context
+	// unblocks waiting submissions, the coordinator refuses new leases and
+	// tells polling workers to stop, and the ledger/telemetry flush below
+	// still runs. A drained partial sweep exits nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The coordinator always carries a registry: the observability server is
+	// not optional here (workers connect through it), so fabric health is
+	// always scrapeable.
+	reg := telemetry.NewRegistry()
+	bus := progress.NewBus()
+	console := progress.NewConsole(bus, os.Stderr)
+	pool := runner.New(*jobs)
+	pool.Instrument(reg, nil)
+	pool.SetContext(ctx)
+	pool.SetBus(bus)
+	if err := pool.SetCacheDir(*cacheDir); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	var led *runlog.Ledger
+	if *runlogDir != "" {
+		var err error
+		led, err = runlog.Open(*runlogDir, runlog.Options{Command: "p10coord", SeriesFrames: *runlogSer})
+		if err != nil {
+			cliutil.Usagef("%v", err)
+		}
+		led.Instrument(reg)
+		pool.SetRunLog(led)
+	}
+	coord := fabric.NewCoordinator(fabric.CoordinatorOptions{
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+		Resolve:     newSubmitResolver(),
+		Bus:         bus,
+		Registry:    reg,
+	})
+	// Every cache-missing simulation the sweep requests is now dispatched to
+	// the fleet instead of simulated in-process; cache hits and chaos
+	// requests never leave the coordinator.
+	pool.SetExecutor(coord.Execute)
+	failures := new(experiments.FailureLog)
+	server, err := obsserver.Start(*listenAddr, obsserver.Options{
+		Command:  "p10coord",
+		Registry: reg,
+		Bus:      bus,
+		Stats:    pool.Stats,
+		Failures: failures.Count,
+		RunLog:   led,
+		Fleet:    coord.Fleet,
+		Fabric:   coord.Handler(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "p10coord: fabric + observability on %s\n", server.URL())
+	shutdown := func() {
+		// Order matters: stop handing out leases first so draining workers
+		// deregister promptly, then flush the ledger, then drop the HTTP
+		// surface and close the bus. Between Close and Shutdown, give the
+		// fleet a grace window to observe the Closing lease response and
+		// deregister — a worker mid-poll sees it within milliseconds, one
+		// between polls within its poll interval; past the window the
+		// worker's own unreachable bound takes over.
+		coord.Close()
+		drainDeadline := time.Now().Add(8 * time.Second)
+		for time.Now().Before(drainDeadline) {
+			live := 0
+			for _, w := range coord.Fleet().Workers {
+				if w.State == "live" {
+					live++
+				}
+			}
+			if live == 0 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if led != nil {
+			recs, n := led.Appended()
+			if err := led.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "runlog: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "runlog: %d records (%d B) appended under %s\n", recs, n, *runlogDir)
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		server.Shutdown(sctx)
+		cancel()
+		bus.Close()
+	}
+	if !waitForWorkers(ctx, coord, *minWorkers, *waitFor) {
+		console.Stop()
+		shutdown()
+		fmt.Fprintf(os.Stderr, "p10coord: %d worker(s) did not register within %s\n", *minWorkers, *waitFor)
+		os.Exit(1)
+	}
+	server.SetReady(true)
+	outcome := sweep.Run(ctx, os.Stdout, cat, *expName, experiments.Options{
+		Quick: *quick, Jobs: pool.Workers(), Runner: pool,
+		Metrics: reg, Failures: failures, Progress: bus,
+	}, reg, nil)
+	console.Stop()
+	if outcome.Ran == 0 {
+		shutdown()
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expName)
+		os.Exit(1)
+	}
+	st := pool.Stats()
+	sweep.Summary(os.Stdout, st)
+	sweep.Totals(os.Stderr, st, pool.Workers(), outcome.Elapsed)
+	if *cacheDir != "" {
+		sweep.DiskTotals(os.Stderr, st, *cacheDir)
+	}
+	fleet := coord.Fleet()
+	fmt.Fprintf(os.Stderr, "fabric: %d units done, %d failed, %d requeues, %d duplicate results across %d worker(s)\n",
+		fleet.Queue.Done, fleet.Queue.Failed, fleet.Queue.Requeues, fleet.Queue.Duplicates, len(fleet.Workers))
+	exit := 0
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+		}
+	}
+	if s := failures.Summary(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+		exit = 1
+	}
+	if len(outcome.Failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed: %v\n", len(outcome.Failed), outcome.Failed)
+		exit = 1
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "sweep interrupted")
+		exit = 1
+	}
+	shutdown()
+	os.Exit(exit)
+}
+
+// waitForWorkers blocks until n workers are live (or n == 0), the window
+// expires, or the context is canceled. Leases are only served to registered
+// workers, so starting the sweep with an empty fleet would just park every
+// unit in the queue; failing fast is kinder to automation.
+func waitForWorkers(ctx context.Context, coord *fabric.Coordinator, n int, window time.Duration) bool {
+	if n == 0 {
+		return true
+	}
+	deadline := time.Now().Add(window)
+	logged := false
+	for {
+		live := 0
+		for _, w := range coord.Fleet().Workers {
+			if w.State == "live" {
+				live++
+			}
+		}
+		if live >= n {
+			return true
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return false
+		}
+		if !logged {
+			fmt.Fprintf(os.Stderr, "p10coord: waiting for %d worker(s) to register...\n", n)
+			logged = true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// newSubmitResolver maps the external submit API's (config, workload, smt)
+// names onto full simulation requests, mirroring p10sim's request
+// construction so a fabric-submitted point lands on the same content key as
+// the equivalent CLI run.
+func newSubmitResolver() func(fabric.SubmitRequest) (runner.Request, error) {
+	catalog := workloads.Catalog()
+	return func(sr fabric.SubmitRequest) (runner.Request, error) {
+		cfg := uarch.ConfigByName(sr.Config)
+		if cfg == nil {
+			return runner.Request{}, fmt.Errorf("unknown config %q", sr.Config)
+		}
+		w := catalog[sr.Workload]
+		if w == nil {
+			return runner.Request{}, fmt.Errorf("unknown workload %q", sr.Workload)
+		}
+		smt := sr.SMT
+		if smt < 1 {
+			smt = 1
+		}
+		bud := w.Budget
+		if sr.Budget > 0 {
+			bud = sr.Budget
+		}
+		return runner.Request{Cfg: cfg, W: w, SMT: smt, Budget: bud,
+			Warmup: w.Warmup * uint64(smt), MaxCycles: 50_000_000}, nil
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"power10sim/internal/cliutil"
@@ -36,18 +37,6 @@ import (
 	"power10sim/internal/telemetry"
 	"power10sim/internal/uarch"
 )
-
-func configByName(name string) *uarch.Config {
-	switch name {
-	case "POWER9", "p9":
-		return uarch.POWER9()
-	case "POWER10", "p10":
-		return uarch.POWER10()
-	case "POWER10-noMMA", "p10-nomma":
-		return uarch.POWER10NoMMA()
-	}
-	return nil
-}
 
 func main() {
 	var (
@@ -93,12 +82,15 @@ func main() {
 	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
 		cliutil.Usagef("%v", err)
 	}
-	cfg := configByName(*cfgName)
+	cfg := uarch.ConfigByName(*cfgName)
 	if cfg == nil {
 		cliutil.Usagef("unknown config %q", *cfgName)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM both drain the campaign cooperatively: in-flight
+	// injections finish or cancel, the ledger and telemetry flush, and a
+	// partial campaign exits nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var reg *telemetry.Registry
 	if *metricsOut != "" || *serveAddr != "" {

@@ -44,7 +44,7 @@ func checkRunlog(dir string, minRecords int) {
 			fail("runlog: %s: smt %d", where, r.SMT)
 		}
 		switch r.Tier {
-		case runlog.TierRun, runlog.TierDisk, runlog.TierMemo:
+		case runlog.TierRun, runlog.TierDisk, runlog.TierMemo, runlog.TierFabric:
 		default:
 			fail("runlog: %s: unknown tier %q", where, r.Tier)
 		}

@@ -19,7 +19,9 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"power10sim/internal/cliutil"
@@ -36,58 +38,6 @@ import (
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
 )
-
-func catalog() map[string]*workloads.Workload {
-	m := map[string]*workloads.Workload{}
-	add := func(w *workloads.Workload, err error) {
-		if err != nil {
-			panic(err)
-		}
-		m[w.Name] = w
-	}
-	for _, w := range workloads.SPECintSuite() {
-		m[w.Name] = w
-	}
-	gd := workloads.GEMMSize{M: 16, N: 64, K: 256}
-	wv, _, err := workloads.DGEMMVSU(gd)
-	add(wv, err)
-	wm, _, err := workloads.DGEMMMMA(gd)
-	add(wm, err)
-	gs := workloads.GEMMSize{M: 32, N: 64, K: 64}
-	sv, _, err := workloads.SGEMMVSU(gs)
-	add(sv, err)
-	sm, _, err := workloads.SGEMMMMA(gs)
-	add(sm, err)
-	i8, err := workloads.GEMMInt8MMA(gs)
-	add(i8, err)
-	add(workloads.ResNet50(false))
-	add(workloads.ResNet50(true))
-	add(workloads.BERTLarge(false))
-	add(workloads.BERTLarge(true))
-	cw, _, err := workloads.Conv2DMMA(workloads.ConvShape{H: 6, W: 6, C: 4, K: 3, F: 16})
-	add(cw, err)
-	dw, _, err := workloads.DFTMMA(16, 16)
-	add(dw, err)
-	tw, _, err := workloads.TRSVUnitLower(64)
-	add(tw, err)
-	m["daxpy"] = workloads.Daxpy(4096, 12)
-	m["stressmark"] = workloads.Stressmark(false)
-	m["stressmark-mma"] = workloads.Stressmark(true)
-	m["active-idle"] = workloads.ActiveIdle()
-	return m
-}
-
-func configByName(name string) *uarch.Config {
-	switch name {
-	case "POWER9", "p9":
-		return uarch.POWER9()
-	case "POWER10", "p10":
-		return uarch.POWER10()
-	case "POWER10-noMMA", "p10-nomma":
-		return uarch.POWER10NoMMA()
-	}
-	return nil
-}
 
 func main() {
 	var (
@@ -148,7 +98,7 @@ func main() {
 		}()
 	}
 
-	cat := catalog()
+	cat := workloads.Catalog()
 	if *list {
 		var names []string
 		for n := range cat {
@@ -165,7 +115,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wlName)
 		os.Exit(1)
 	}
-	cfg := configByName(*cfgName)
+	cfg := uarch.ConfigByName(*cfgName)
 	if cfg == nil {
 		fmt.Fprintf(os.Stderr, "unknown config %q\n", *cfgName)
 		os.Exit(1)
@@ -239,6 +189,12 @@ func main() {
 		bus.Close()
 	}
 	server.SetReady(true)
+	// SIGINT/SIGTERM cancel the simulation cooperatively through the core's
+	// context check; the error path below still appends the ledger record,
+	// publishes the failure event, shuts the server down, and exits nonzero —
+	// the same graceful drain p10bench performs for a whole sweep.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	simName := fmt.Sprintf("%s@%s/smt%d", w.Name, cfg.Name, *smt)
 	// Recorded before Simulate so /metrics has a sample while the (possibly
 	// long) simulation is still running, not only after it retires.
@@ -251,6 +207,7 @@ func main() {
 	sp := tr.Begin("sim:"+simName, "p10sim")
 	res, err := uarch.Simulate(cfg, streams, 50_000_000,
 		uarch.WithWarmup(w.Warmup*uint64(*smt)),
+		uarch.WithContext(ctx),
 		simobs.SampleOption(cfg, tr, *sample, *smt))
 	sp.End()
 	// The ledger record mirrors the simulation actually run above, so its

@@ -1,0 +1,136 @@
+// Command p10worker executes simulation work units leased from a p10coord
+// coordinator.
+//
+// Usage:
+//
+//	p10worker -coord http://host:9170             # join the fleet
+//	p10worker -coord http://host:9170 -jobs 4     # bound local parallelism
+//	p10worker -coord ... -cachedir cache          # share the p10cache-v1 store
+//	p10worker -coord ... -chaos kill:3            # fault harness: die after 3 units
+//
+// A worker is deliberately stateless: it registers, long-polls for leases,
+// runs each unit through the same bounded runner pool (and optional disk
+// cache / campaign ledger) that p10bench and p10sim use, heartbeats while
+// executing, and reports results. Everything that makes the fleet
+// fault-tolerant lives in the coordinator — a worker that dies mid-batch
+// simply stops heartbeating and its units are re-dispatched elsewhere.
+//
+// -chaos injects worker-side misbehavior for harness testing: "kill[:n]"
+// exits the process without reporting after n units, "stall[:n]" withholds a
+// result past the lease TTL and then delivers it late (exercising the
+// coordinator's accept-once path), "corrupt[:n]" reports a structurally
+// invalid result once.
+//
+// SIGINT/SIGTERM drain: the current batch finishes and is reported, the
+// worker deregisters (releasing any leases immediately instead of waiting
+// for TTL expiry), the ledger flushes, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"power10sim/internal/cliutil"
+	"power10sim/internal/fabric"
+	"power10sim/internal/progress"
+	"power10sim/internal/runlog"
+	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
+)
+
+func main() {
+	var (
+		coordURL   = flag.String("coord", "", "coordinator base URL (e.g. http://127.0.0.1:9170)")
+		name       = flag.String("name", "", "advertised worker name (default: hostname-pid)")
+		jobs       = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		batch      = flag.Int("batch", 0, "max units leased per poll (0 = match -jobs)")
+		chaosSpec  = flag.String("chaos", "", "misbehave on purpose: kill[:n] | stall[:n] | corrupt[:n]")
+		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot on exit")
+		cacheDir   = flag.String("cachedir", "", "persist simulation results under this directory (shared p10cache-v1 store)")
+		runlogDir  = flag.String("runlog", "", "append one campaign-ledger record per executed simulation under this directory")
+	)
+	flag.Parse()
+	if *coordURL == "" {
+		cliutil.Usagef("-coord is required")
+	}
+	if *jobs < 0 {
+		cliutil.Usagef("-jobs %d: must be >= 0", *jobs)
+	}
+	if *batch < 0 {
+		cliutil.Usagef("-batch %d: must be >= 0", *batch)
+	}
+	chaos, err := fabric.ParseChaos(*chaosSpec)
+	if err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	// SIGTERM drains rather than kills: Run finishes and reports the current
+	// batch, then deregisters so the coordinator reclaims nothing by timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	bus := progress.NewBus()
+	pool := runner.New(*jobs)
+	pool.Instrument(reg, nil)
+	pool.SetContext(ctx)
+	pool.SetBus(bus)
+	console := progress.NewConsole(bus, os.Stderr)
+	if err := pool.SetCacheDir(*cacheDir); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	var led *runlog.Ledger
+	if *runlogDir != "" {
+		led, err = runlog.Open(*runlogDir, runlog.Options{Command: "p10worker"})
+		if err != nil {
+			cliutil.Usagef("%v", err)
+		}
+		led.Instrument(reg)
+		pool.SetRunLog(led)
+	}
+	w := fabric.NewWorker(pool, fabric.WorkerOptions{
+		Coordinator: *coordURL,
+		Name:        *name,
+		Batch:       *batch,
+		Chaos:       chaos,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "p10worker: "+format+"\n", args...)
+		},
+	})
+	runErr := w.Run(ctx)
+	console.Stop()
+	exit := 0
+	if runErr != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "p10worker: %v\n", runErr)
+		exit = 1
+	}
+	st := pool.Stats()
+	fmt.Fprintf(os.Stderr, "p10worker: executed %d unique run(s), %d memo + %d disk hit(s)\n",
+		st.Misses-st.DiskHits, st.Hits, st.DiskHits)
+	if led != nil {
+		recs, n := led.Appended()
+		if err := led.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "runlog: %v\n", err)
+			exit = 1
+		}
+		fmt.Fprintf(os.Stderr, "runlog: %d records (%d B) appended under %s\n", recs, n, *runlogDir)
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+		}
+	}
+	bus.Close()
+	os.Exit(exit)
+}

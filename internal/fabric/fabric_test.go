@@ -1,0 +1,382 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
+	"power10sim/internal/uarch"
+	"power10sim/internal/workloads"
+)
+
+// testRequest builds a small representative simulation request.
+func testRequest(cfg *uarch.Config, w *workloads.Workload, smt int) runner.Request {
+	return runner.Request{Cfg: cfg, W: w, SMT: smt,
+		Budget: 6000 / uint64(smt), Warmup: 500, MaxCycles: 10_000_000}
+}
+
+func TestCodecRoundTripPreservesContentKey(t *testing.T) {
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 2)
+	payload, key, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRequest(payload, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := runner.ContentKey(dec)
+	if !ok || got != key {
+		t.Fatalf("round-trip key = %s, want %s", got, key)
+	}
+	// A payload delivered under the wrong unit key must be refused.
+	other, otherKey, err := EncodeRequest(testRequest(uarch.POWER9(), workloads.Compress(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = otherKey
+	if _, err := DecodeRequest(other, key); err == nil {
+		t.Fatal("decode accepted a payload whose content key does not match the unit")
+	}
+}
+
+func TestChaosRequestsAreNotDistributable(t *testing.T) {
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	req.Chaos = &runner.ChaosSpec{PanicFirst: 1}
+	if _, _, err := EncodeRequest(req); err == nil {
+		t.Fatal("chaos request encoded for the wire; its failure budget must stay process-local")
+	}
+}
+
+// startFleet launches a coordinator behind an httptest server plus n workers,
+// returning the executor-wired coordinator and a cleanup.
+func startFleet(t *testing.T, n int, chaos ...*WorkerChaos) *Coordinator {
+	t.Helper()
+	coord := NewCoordinator(CoordinatorOptions{
+		LeaseTTL:     2 * time.Second,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		var c *WorkerChaos
+		if i < len(chaos) {
+			c = chaos[i]
+		}
+		w := NewWorker(runner.New(2), WorkerOptions{
+			Coordinator: srv.URL,
+			Name:        "testworker",
+			PollWait:    100 * time.Millisecond,
+			Chaos:       c,
+		})
+		go func() {
+			defer func() { done <- struct{}{} }()
+			w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Error("worker did not drain")
+			}
+		}
+		coord.Close()
+		srv.Close()
+	})
+	return coord
+}
+
+func fleetRequests() []runner.Request {
+	return []runner.Request{
+		testRequest(uarch.POWER10(), workloads.Compress(), 1),
+		testRequest(uarch.POWER10(), workloads.Compress(), 2),
+		testRequest(uarch.POWER9(), workloads.Compress(), 1),
+		testRequest(uarch.POWER10(), workloads.Daxpy(64, 8), 1),
+	}
+}
+
+// TestFleetMatchesLocalRun is the determinism contract end to end: a runner
+// whose executor ships every simulation through the HTTP fabric must return
+// results bit-identical to a plain local runner, for every fleet size.
+func TestFleetMatchesLocalRun(t *testing.T) {
+	local := runner.New(2)
+	want := local.RunAll(fleetRequests())
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			coord := startFleet(t, workers)
+
+			r := runner.New(2)
+			r.SetExecutor(coord.Execute)
+			got := r.RunAll(fleetRequests())
+
+			for i := range want {
+				if want[i].Err != nil || got[i].Err != nil {
+					t.Fatalf("request %d: local err %v, fleet err %v", i, want[i].Err, got[i].Err)
+				}
+				if !reflect.DeepEqual(want[i].Activity, got[i].Activity) {
+					t.Errorf("request %d: fleet activity differs from local", i)
+				}
+				if !reflect.DeepEqual(want[i].Report, got[i].Report) {
+					t.Errorf("request %d: fleet report differs from local", i)
+				}
+			}
+			st := r.Stats()
+			if st.Remote == 0 {
+				t.Error("no simulations ran remotely")
+			}
+			if st.Remote != st.Misses {
+				t.Errorf("%d of %d unique simulations ran locally on the coordinator; all should have shipped",
+					st.Misses-st.Remote, st.Misses)
+			}
+			fs := coord.Fleet()
+			if fs.Queue.Done != int(st.Remote) {
+				t.Errorf("fleet done = %d, runner remote = %d", fs.Queue.Done, st.Remote)
+			}
+		})
+	}
+}
+
+// TestFleetSurvivesCorruptWorker injects a corrupt-response worker next to a
+// healthy one: results must stay bit-identical and the corruption must be
+// visible in the queue accounting.
+func TestFleetSurvivesCorruptWorker(t *testing.T) {
+	coord := startFleet(t, 2, &WorkerChaos{Mode: "corrupt", After: 0})
+
+	local := runner.New(2)
+	want := local.RunAll(fleetRequests())
+
+	r := runner.New(2)
+	r.SetExecutor(coord.Execute)
+	got := r.RunAll(fleetRequests())
+
+	for i := range want {
+		if got[i].Err != nil {
+			t.Fatalf("request %d failed through fleet: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(want[i].Activity, got[i].Activity) {
+			t.Errorf("request %d: fleet activity differs from local under chaos", i)
+		}
+	}
+}
+
+func TestAcceptOnceAndLateResult(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Hour})
+	defer coord.Close()
+
+	regA, _ := coord.Register(RegisterRequest{Name: "a"})
+	regB, _ := coord.Register(RegisterRequest{Name: "b"})
+
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	payload, key, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := coord.enqueue(key, "test", payload, req, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lease, err := coord.Lease(context.Background(), regA.WorkerID, 1, 0)
+	if err != nil || len(lease.Units) != 1 {
+		t.Fatalf("lease A: %v, %d units", err, len(lease.Units))
+	}
+	// Simulate a lease expiry: force the unit back and hand it to B.
+	coord.mu.Lock()
+	coord.requeueLocked(u, "test expiry")
+	u.notBefore = time.Time{}
+	coord.mu.Unlock()
+	lease, err = coord.Lease(context.Background(), regB.WorkerID, 1, 0)
+	if err != nil || len(lease.Units) != 1 {
+		t.Fatalf("lease B: %v, %d units", err, len(lease.Units))
+	}
+	if lease.Units[0].Attempt != 2 {
+		t.Fatalf("re-dispatch attempt = %d, want 2", lease.Units[0].Attempt)
+	}
+
+	// A's late result arrives first: determinism makes it as good as B's, so
+	// it must be accepted.
+	res := runner.New(1).Do(req)
+	wire := EncodeResult(key, res)
+	resp := coord.Complete(CompleteRequest{WorkerID: regA.WorkerID, Results: []WireResult{wire}})
+	if resp.Accepted != 1 {
+		t.Fatalf("late result not accepted: %+v", resp)
+	}
+	select {
+	case <-u.done:
+	default:
+		t.Fatal("unit not released to waiters after acceptance")
+	}
+	// B finishes too: accept-once discards and counts the duplicate.
+	resp = coord.Complete(CompleteRequest{WorkerID: regB.WorkerID, Results: []WireResult{wire}})
+	if resp.Duplicates != 1 || resp.Accepted != 0 {
+		t.Fatalf("duplicate not discarded: %+v", resp)
+	}
+	if fs := coord.Fleet(); fs.Queue.Duplicates != 1 || fs.Queue.Requeues != 1 {
+		t.Errorf("queue accounting = %+v, want 1 duplicate, 1 requeue", fs.Queue)
+	}
+}
+
+func TestCorruptResultRequeuesUnit(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Hour, RetryBackoff: time.Nanosecond})
+	defer coord.Close()
+	reg, _ := coord.Register(RegisterRequest{Name: "w"})
+
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	payload, key, _ := EncodeRequest(req)
+	if _, err := coord.enqueue(key, "test", payload, req, false); err != nil {
+		t.Fatal(err)
+	}
+	if lease, _ := coord.Lease(context.Background(), reg.WorkerID, 1, 0); len(lease.Units) != 1 {
+		t.Fatal("lease failed")
+	}
+	// Success claim with no ground truth: structurally corrupt.
+	resp := coord.Complete(CompleteRequest{WorkerID: reg.WorkerID, Results: []WireResult{{Key: key}}})
+	if resp.Rejected != 1 {
+		t.Fatalf("corrupt result not rejected: %+v", resp)
+	}
+	// An unknown key is corruption too.
+	resp = coord.Complete(CompleteRequest{WorkerID: reg.WorkerID, Results: []WireResult{{Key: "feedbeef"}}})
+	if resp.Rejected != 1 {
+		t.Fatalf("unknown-key result not rejected: %+v", resp)
+	}
+	fs := coord.Fleet()
+	if fs.Queue.Corrupt != 2 {
+		t.Errorf("corrupt count = %d, want 2", fs.Queue.Corrupt)
+	}
+	if fs.Queue.Pending != 1 {
+		t.Errorf("unit not requeued after corrupt result: %+v", fs.Queue)
+	}
+}
+
+func TestUnitFailsPermanentlyAfterMaxAttempts(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{
+		LeaseTTL: time.Hour, MaxAttempts: 2, RetryBackoff: time.Nanosecond})
+	defer coord.Close()
+	reg, _ := coord.Register(RegisterRequest{Name: "w"})
+
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	payload, key, _ := EncodeRequest(req)
+	u, err := coord.enqueue(key, "test", payload, req, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; ; attempt++ {
+		lease, err := coord.Lease(context.Background(), reg.WorkerID, 1, 250*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lease.Units) == 0 {
+			t.Fatalf("no lease on attempt %d", attempt)
+		}
+		coord.Complete(CompleteRequest{WorkerID: reg.WorkerID, Results: []WireResult{
+			{Key: key, Err: "worker exploded", Transient: true}}})
+		select {
+		case <-u.done:
+			if attempt != 2 {
+				t.Fatalf("unit finalized on attempt %d, want 2", attempt)
+			}
+			res, err := DecodeResult(u.wire, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Err == nil || runner.IsTransient(res.Err) {
+				t.Fatalf("exhausted unit error = %v, want permanent", res.Err)
+			}
+			return
+		default:
+			if attempt >= 2 {
+				t.Fatal("unit not finalized after exhausting dispatch budget")
+			}
+		}
+	}
+}
+
+func TestExternalSubmitBackpressure(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	coord := NewCoordinator(CoordinatorOptions{QueueBound: 1, Registry: reg})
+	defer coord.Close()
+
+	if _, _, err := coord.SubmitExternal(testRequest(uarch.POWER10(), workloads.Compress(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Resubmitting the same point dedups instead of consuming queue space.
+	if _, state, err := coord.SubmitExternal(testRequest(uarch.POWER10(), workloads.Compress(), 1)); err != nil || state != "pending" {
+		t.Fatalf("dedup submit: state %q, err %v", state, err)
+	}
+	// A distinct point overflows the bound.
+	_, _, err := coord.SubmitExternal(testRequest(uarch.POWER9(), workloads.Compress(), 1))
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("overflow submit err = %v, want ErrBusy", err)
+	}
+	if got := reg.Counter("fabric_submits_rejected_total").Value(); got != 1 {
+		t.Errorf("fabric_submits_rejected_total = %d, want 1", got)
+	}
+}
+
+func TestLostWorkerLeasesAreReclaimed(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{LeaseTTL: 60 * time.Millisecond})
+	defer coord.Close()
+	reg, _ := coord.Register(RegisterRequest{Name: "doomed"})
+
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+	payload, key, _ := EncodeRequest(req)
+	if _, err := coord.enqueue(key, "test", payload, req, false); err != nil {
+		t.Fatal(err)
+	}
+	if lease, _ := coord.Lease(context.Background(), reg.WorkerID, 1, 0); len(lease.Units) != 1 {
+		t.Fatal("lease failed")
+	}
+	// No heartbeats: the sweeper must expire the lease, then declare the
+	// worker lost after 2×TTL of silence.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fs := coord.Fleet()
+		if fs.Queue.Requeues >= 1 && len(fs.Workers) == 1 && fs.Workers[0].State == "lost" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never declared lost: %+v", fs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// A lost worker's lease call is rejected so it re-registers.
+	if _, err := coord.Lease(context.Background(), reg.WorkerID, 1, 0); err == nil {
+		t.Fatal("lost worker leased without re-registering")
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want *WorkerChaos
+		ok   bool
+	}{
+		{"", nil, true},
+		{"kill:3", &WorkerChaos{Mode: "kill", After: 3}, true},
+		{"stall", &WorkerChaos{Mode: "stall"}, true},
+		{"corrupt:0", &WorkerChaos{Mode: "corrupt"}, true},
+		{"explode:1", nil, false},
+		{"kill:-1", nil, false},
+		{"kill:x", nil, false},
+	} {
+		got, err := ParseChaos(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseChaos(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseChaos(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

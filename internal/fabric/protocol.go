@@ -1,0 +1,214 @@
+// Package fabric is the distributed sweep fabric: a stdlib-HTTP
+// coordinator/worker protocol that shards the experiment harness's
+// simulations across worker processes while preserving the repository's
+// central invariant — the merged stdout of a distributed sweep is
+// byte-identical to a single-process run, regardless of worker count,
+// join/leave order, or injected failures.
+//
+// Robustness is the design center:
+//
+//   - Work units are content-keyed (runner.ContentKey — the same SHA-256 the
+//     disk cache and the campaign ledger address simulations by), so the
+//     fleet dedups in flight: two submitters of the same point share one
+//     unit, and a warm worker serves it from the shared p10cache-v1 disk
+//     cache without re-simulating.
+//   - Units are dispatched under time-limited leases. Workers heartbeat to
+//     extend them; a missed heartbeat or dead worker expires the lease and
+//     the unit is re-dispatched with bounded, deterministically-jittered
+//     backoff (generalizing the runner's single-process retry policy).
+//   - Completions are accepted once. A slow-then-recovered worker's late
+//     result either wins the race (and the re-dispatched copy becomes the
+//     duplicate) or is discarded — a unit's result is recorded exactly once,
+//     which the determinism of the simulator makes safe: both copies are
+//     bit-identical.
+//   - Results carry only simulator ground truth (the Activity counters); the
+//     coordinator recomputes the power report locally, exactly like a disk
+//     cache load, so a fleet result is indistinguishable from a local one.
+//
+// The coordinator embeds into the observability server (internal/obsserver
+// mounts Handler() under /fabric/ and surfaces FleetStatus in /status), and
+// the external submit/poll API gives any HTTP client a sweep-as-a-service
+// entry point with admission control: a bounded queue that answers 429 with
+// Retry-After under pressure.
+package fabric
+
+import "time"
+
+// ProtocolVersion is the fabric wire-schema generation. It is embedded in
+// every request payload and checked on both sides, so a version-skewed
+// worker rejects units instead of misinterpreting them.
+const ProtocolVersion = "p10fabric-v1"
+
+// Worker-protocol and client-API endpoint paths, all rooted under the
+// coordinator's HTTP surface (obsserver mounts them verbatim).
+const (
+	PathRegister   = "/fabric/register"
+	PathDeregister = "/fabric/deregister"
+	PathLease      = "/fabric/lease"
+	PathHeartbeat  = "/fabric/heartbeat"
+	PathComplete   = "/fabric/complete"
+	PathSubmit     = "/fabric/submit"
+	PathPoll       = "/fabric/poll"
+	PathFleet      = "/fabric/fleet"
+)
+
+// Defaults for CoordinatorOptions.
+const (
+	DefaultLeaseTTL     = 10 * time.Second
+	DefaultMaxAttempts  = 5
+	DefaultRetryBackoff = 250 * time.Millisecond
+	DefaultQueueBound   = 1024
+)
+
+// Unit is one leased work item: a content-keyed simulation request.
+type Unit struct {
+	// Key is the simulation's content key (runner.ContentKey).
+	Key string `json:"key"`
+	// Label is the human-readable "workload@config/smtN" identity.
+	Label string `json:"label"`
+	// Attempt is the 1-based dispatch attempt this lease represents.
+	Attempt int `json:"attempt"`
+	// Payload is the encoded WireRequest (see codec.go).
+	Payload []byte `json:"payload"`
+}
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name is the worker's self-chosen identity (hostname-pid by default);
+	// the coordinator uniquifies clashes.
+	Name string `json:"name"`
+	// Workers is the worker's local simulation parallelism (fleet-table
+	// diagnostics only).
+	Workers int `json:"workers"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	// WorkerID is the coordinator-assigned identity all later calls carry.
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLSeconds is the lease duration; workers heartbeat at a fraction
+	// of it.
+	LeaseTTLSeconds float64 `json:"lease_ttl_seconds"`
+	// Protocol echoes ProtocolVersion for skew detection.
+	Protocol string `json:"protocol"`
+}
+
+// DeregisterRequest is a clean goodbye: the worker has completed (or
+// abandoned) its leases and is draining.
+type DeregisterRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseRequest asks for up to Max units, long-polling up to WaitSeconds when
+// the queue is empty.
+type LeaseRequest struct {
+	WorkerID    string  `json:"worker_id"`
+	Max         int     `json:"max"`
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
+// LeaseResponse carries the leased units (possibly none after a long-poll
+// timeout). Closing tells the worker the coordinator is shutting down.
+type LeaseResponse struct {
+	Units   []Unit `json:"units"`
+	Closing bool   `json:"closing,omitempty"`
+}
+
+// HeartbeatRequest extends the worker's leases on the listed unit keys.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	Keys     []string `json:"keys"`
+}
+
+// HeartbeatResponse reports keys the worker no longer holds (expired and
+// re-dispatched); the worker may abandon them mid-run.
+type HeartbeatResponse struct {
+	Expired []string `json:"expired,omitempty"`
+}
+
+// CompleteRequest delivers finished unit results.
+type CompleteRequest struct {
+	WorkerID string       `json:"worker_id"`
+	Results  []WireResult `json:"results"`
+}
+
+// CompleteResponse accounts the delivery: Accepted results were recorded,
+// Duplicates were discarded under the accept-once rule, Rejected failed
+// validation (unknown key, corrupt payload).
+type CompleteResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	Rejected   int `json:"rejected"`
+}
+
+// SubmitRequest is the external sweep-as-a-service entry point: one
+// simulation point by catalog name. (The coordinator's own sweep submits
+// internally with full request values; this API resolves names against the
+// workload catalog.)
+type SubmitRequest struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	SMT      int    `json:"smt"`
+	// Budget overrides the workload's default dynamic-instruction budget
+	// when > 0.
+	Budget uint64 `json:"budget,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted submission with the unit's content
+// key — the handle PathPoll answers for.
+type SubmitResponse struct {
+	Key string `json:"key"`
+	// State is the unit's state at submit time ("pending", or "done" when
+	// the fleet had already computed this point).
+	State string `json:"state"`
+}
+
+// PollResponse reports a unit's state and, once done, its headline
+// measurements.
+type PollResponse struct {
+	Key      string `json:"key"`
+	State    string `json:"state"` // pending | leased | done | failed | unknown
+	Attempts int    `json:"attempts,omitempty"`
+	Err      string `json:"error,omitempty"`
+	// Measurements (done units only).
+	Cycles       uint64  `json:"cycles,omitempty"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	IPC          float64 `json:"ipc,omitempty"`
+	CPI          float64 `json:"cpi,omitempty"`
+	PowerTotal   float64 `json:"power_total,omitempty"`
+}
+
+// WorkerStatus is one worker's row in the fleet table.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	// State is "live", "draining", "drained", or "lost".
+	State string `json:"state"`
+	// Workers is the worker's local parallelism.
+	Workers int `json:"workers"`
+	// Leased is the number of units currently leased to it.
+	Leased int `json:"leased"`
+	// Completed / Failed count accepted results attributed to it.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	// LastSeenSeconds is the age of its last RPC.
+	LastSeenSeconds float64 `json:"last_seen_seconds"`
+}
+
+// QueueStatus aggregates the unit ledger.
+type QueueStatus struct {
+	Pending    int    `json:"pending"`
+	Leased     int    `json:"leased"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Requeues   uint64 `json:"requeues"`
+	Duplicates uint64 `json:"duplicates"`
+	Corrupt    uint64 `json:"corrupt_results"`
+	Rejected   uint64 `json:"submits_rejected"`
+}
+
+// FleetStatus is the coordinator's live view: the /status fabric block, the
+// /fabric/fleet payload, and the dashboard's fleet table all render it.
+type FleetStatus struct {
+	Workers []WorkerStatus `json:"workers"`
+	Queue   QueueStatus    `json:"queue"`
+}

@@ -100,6 +100,7 @@ footer { color: var(--muted); font-size: 11px; margin-top: 10px; }
   <div class="tile"><div class="label">Cache hit rate</div><div class="value" id="t-hit">–</div><div class="note" id="t-hit-note"></div><div class="meter"><div id="t-hit-bar"></div></div></div>
   <div class="tile"><div class="label">Failures</div><div class="value" id="t-fail">–</div><div class="note" id="t-fail-note"></div></div>
   <div class="tile"><div class="label">Ledger records</div><div class="value" id="t-led">–</div><div class="note" id="t-led-note"></div></div>
+  <div class="tile" id="t-fab-tile" style="display:none"><div class="label">Fabric workers</div><div class="value" id="t-fab">–</div><div class="note" id="t-fab-note"></div></div>
 </div>
 
 <div class="grid2">
@@ -122,6 +123,11 @@ footer { color: var(--muted); font-size: 11px; margin-top: 10px; }
     <h2>Recent failures</h2>
     <div id="fail-holder"><div class="empty">none</div></div>
   </div>
+</div>
+
+<div class="card" id="fab-card" style="display:none">
+  <h2>Distributed fabric — worker fleet</h2>
+  <div id="fab-holder"><div class="empty">no workers registered</div></div>
 </div>
 
 <div class="card">
@@ -267,6 +273,36 @@ function poll() {
           esc(exps[i].state) + "</span></td><td class=num>" + fmt(exps[i].elapsed_seconds, 1) + "s</td></tr>";
       }
       document.getElementById("exp-holder").innerHTML = h + "</table>";
+    }
+    /* fleet tile + worker table only appear when a fabric coordinator is
+       wired into this server (p10coord); plain p10bench never shows them */
+    var fab = st.fabric;
+    if (fab) {
+      document.getElementById("t-fab-tile").style.display = "";
+      document.getElementById("fab-card").style.display = "";
+      var ws = fab.workers || [], live = 0;
+      for (i = 0; i < ws.length; i++) if (ws[i].state === "live") live++;
+      document.getElementById("t-fab").textContent = live + "/" + ws.length;
+      var q = fab.queue || {};
+      document.getElementById("t-fab-note").textContent =
+        (q.pending || 0) + " pending · " + (q.leased || 0) + " leased · " + (q.requeues || 0) + " requeued";
+      if (ws.length) {
+        var fh = "<table><tr><th>worker</th><th>state</th><th class=num>slots</th>" +
+          "<th class=num>leased</th><th class=num>completed</th><th class=num>failed</th><th class=num>last seen</th></tr>";
+        for (i = 0; i < ws.length; i++) {
+          var wst = ws[i].state === "live" ? "running" : (ws[i].state === "lost" ? "failed" : "done");
+          fh += "<tr><td>" + esc(ws[i].name) + '</td><td><span class="state ' + wst + '">' +
+            esc(ws[i].state) + "</span></td><td class=num>" + ws[i].workers +
+            "</td><td class=num>" + ws[i].leased + "</td><td class=num>" + ws[i].completed +
+            "</td><td class=num>" + ws[i].failed + "</td><td class=num>" +
+            fmt(ws[i].last_seen_seconds, 1) + "s</td></tr>";
+        }
+        fh += "</table>";
+        fh += '<div class="empty" style="margin-top:6px">queue: ' + (q.done || 0) + " done · " +
+          (q.failed || 0) + " failed · " + (q.duplicates || 0) + " duplicate results · " +
+          (q.corrupt_results || 0) + " corrupt</div>";
+        document.getElementById("fab-holder").innerHTML = fh;
+      }
     }
     var b = st.build || {};
     document.getElementById("build").textContent =

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"power10sim/internal/fabric"
 	"power10sim/internal/progress"
 	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
@@ -61,7 +62,24 @@ type Options struct {
 	Failures func() int
 	// RunLog, when non-nil, backs /runs and the runlog block of /status.
 	RunLog *runlog.Ledger
+	// Fleet, when non-nil, is polled for the fabric block of /status and the
+	// dashboard's worker-fleet table (the coordinator wires this to
+	// fabric.Coordinator.Fleet).
+	Fleet func() fabric.FleetStatus
+	// Fabric, when non-nil, is mounted under /fabric/ — the coordinator's
+	// worker protocol and submit/poll API share the observability listener.
+	Fabric http.Handler
+	// SSEWriteTimeout bounds each /events write; a client that cannot accept
+	// an event frame within it is disconnected (and counted in
+	// obsserver_sse_dropped_clients_total) instead of pinning a handler
+	// goroutine and its subscription for the life of the sweep. Zero means
+	// the 10s default.
+	SSEWriteTimeout time.Duration
 }
+
+// defaultSSEWriteTimeout is generous for any live reader — the frames are a
+// few hundred bytes — while still unpinning handlers from stalled ones.
+const defaultSSEWriteTimeout = 10 * time.Second
 
 // Server is one running observability server. Construct with Start.
 type Server struct {
@@ -73,6 +91,9 @@ type Server struct {
 	closing chan struct{}
 	httpSrv *http.Server
 	ln      net.Listener
+	// sseDropped counts /events clients disconnected by the slow-consumer
+	// write deadline (obsserver_sse_dropped_clients_total).
+	sseDropped *telemetry.Counter
 }
 
 // Start listens on addr (e.g. ":9090" or "127.0.0.1:0" for an ephemeral
@@ -83,6 +104,9 @@ func Start(addr string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obsserver: listen %s: %w", addr, err)
 	}
+	if opts.SSEWriteTimeout <= 0 {
+		opts.SSEWriteTimeout = defaultSSEWriteTimeout
+	}
 	s := &Server{
 		opts:    opts,
 		tracker: progress.NewTracker(opts.Bus),
@@ -90,6 +114,9 @@ func Start(addr string, opts Options) (*Server, error) {
 		build:   readBuildInfo(),
 		closing: make(chan struct{}),
 		ln:      ln,
+		// obsserver_sse_dropped_clients_total: /events clients disconnected
+		// for failing the per-write deadline.
+		sseDropped: opts.Registry.Counter("obsserver_sse_dropped_clients_total"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -105,6 +132,9 @@ func Start(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if opts.Fabric != nil {
+		mux.Handle("/fabric/", opts.Fabric)
+	}
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(ln)
 	return s, nil
@@ -187,10 +217,12 @@ type runnerStats struct {
 	Timeouts         uint64  `json:"watchdog_timeouts"`
 	Cancels          uint64  `json:"cancels"`
 	Uncached         uint64  `json:"uncached_errors"`
+	Remote           uint64  `json:"remote_runs"`
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 	PeakInFlight     int     `json:"peak_in_flight"`
 	DiskHits         uint64  `json:"disk_hits"`
 	DiskMisses       uint64  `json:"disk_misses"`
+	DiskCorrupt      uint64  `json:"disk_corrupt"`
 	DiskReadBytes    uint64  `json:"disk_read_bytes"`
 	DiskWrittenBytes uint64  `json:"disk_written_bytes"`
 }
@@ -243,6 +275,7 @@ type statusPayload struct {
 	Sims            progress.SimCounts          `json:"sims"`
 	Runner          *runnerStats                `json:"runner,omitempty"`
 	RunLog          *runlogStatus               `json:"runlog,omitempty"`
+	Fabric          *fabric.FleetStatus         `json:"fabric,omitempty"`
 	Failures        int                         `json:"failures"`
 	EventsPublished uint64                      `json:"events_published"`
 	EventsDropped   uint64                      `json:"events_dropped"`
@@ -269,11 +302,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		p.Runner = &runnerStats{
 			Hits: st.Hits, Misses: st.Misses, Retries: st.Retries,
 			Panics: st.Panics, Timeouts: st.Timeouts, Cancels: st.Cancels,
-			Uncached: st.Uncached, QueueWaitSeconds: st.QueueWait.Seconds(),
-			PeakInFlight: st.PeakInFlight,
-			DiskHits:     st.DiskHits, DiskMisses: st.DiskMisses,
+			Uncached: st.Uncached, Remote: st.Remote,
+			QueueWaitSeconds: st.QueueWait.Seconds(),
+			PeakInFlight:     st.PeakInFlight,
+			DiskHits:         st.DiskHits, DiskMisses: st.DiskMisses,
+			DiskCorrupt:   st.DiskCorrupt,
 			DiskReadBytes: st.DiskReadBytes, DiskWrittenBytes: st.DiskWrittenBytes,
 		}
+	}
+	if s.opts.Fleet != nil {
+		fs := s.opts.Fleet()
+		if fs.Workers == nil {
+			fs.Workers = []fabric.WorkerStatus{}
+		}
+		p.Fabric = &fs
 	}
 	if s.opts.Failures != nil {
 		p.Failures = s.opts.Failures()
@@ -311,6 +353,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// by sequence number, so a reconnect misses nothing the ring held.
 	sub := s.opts.Bus.Subscribe(4096)
 	defer sub.Close()
+	// Slow-consumer guard: every frame write runs under a deadline via the
+	// ResponseController. The subscription buffer already protects
+	// *publishers* from a slow client; the deadline protects the *server* —
+	// without it a reader that stops draining its socket (but keeps the
+	// connection open) pins this handler goroutine, its subscription, and a
+	// TCP send buffer for the rest of the sweep. On a missed deadline the
+	// client is disconnected and counted.
+	rc := http.NewResponseController(w)
+	write := func(ev progress.Event) bool {
+		rc.SetWriteDeadline(time.Now().Add(s.opts.SSEWriteTimeout))
+		if !writeSSE(w, ev) {
+			s.sseDropped.Inc()
+			return false
+		}
+		return true
+	}
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
@@ -323,7 +381,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
 		if seq, err := strconv.ParseUint(lid, 10, 64); err == nil {
 			for _, ev := range s.opts.Bus.ReplaySince(seq) {
-				if !writeSSE(w, ev) {
+				if !write(ev) {
 					return
 				}
 				last = ev.Seq
@@ -347,7 +405,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if ev.Seq <= last {
 				continue // already sent during replay
 			}
-			if !writeSSE(w, ev) {
+			if !write(ev) {
 				return
 			}
 			last = ev.Seq

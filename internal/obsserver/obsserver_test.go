@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -506,5 +507,44 @@ func TestStatusBuildAndRunlogBlocks(t *testing.T) {
 	}
 	if p.RunLog == nil || p.RunLog.Dir != dir || p.RunLog.RecordsAppended != 1 || p.RunLog.BytesAppended == 0 {
 		t.Errorf("status runlog block = %+v", p.RunLog)
+	}
+}
+
+// A client that opens /events and then stops draining its socket must not pin
+// the handler goroutine forever: the per-write deadline disconnects it and the
+// drop is counted. The test never reads from the connection, so once the
+// kernel socket buffers fill, the server's next frame write blocks until the
+// deadline fires.
+func TestEventsDropsStalledReader(t *testing.T) {
+	bus := progress.NewBus()
+	defer bus.Close()
+	reg := telemetry.NewRegistry()
+	s := startTestServer(t, Options{
+		Bus:             bus,
+		Registry:        reg,
+		SSEWriteTimeout: 200 * time.Millisecond,
+	})
+	dropped := reg.Counter("obsserver_sse_dropped_clients_total")
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /events HTTP/1.1\r\nHost: %s\r\nAccept: text/event-stream\r\n\r\n", s.Addr())
+
+	// Pump large frames until the stalled connection's buffers fill and the
+	// write deadline disconnects it. Loopback socket buffers are a few MB at
+	// most, so this converges quickly; the deadline bounds each blocked write.
+	big := strings.Repeat("x", 32<<10)
+	deadline := time.Now().Add(15 * time.Second)
+	for dropped.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled /events client was never dropped")
+		}
+		for i := 0; i < 32; i++ {
+			bus.Publish(progress.Event{Kind: progress.KindSimFinished, Sim: big})
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -16,6 +16,13 @@ var consoleKinds = map[Kind]bool{
 	KindExperimentFailed: true,
 	KindSimRetried:       true,
 	KindSimFailed:        true,
+	// Fleet lifecycle events are low-volume and only ever published by the
+	// fabric coordinator, so they narrate p10coord's stderr without touching
+	// the single-process commands.
+	KindWorkerJoined:  true,
+	KindWorkerLost:    true,
+	KindWorkerDrained: true,
+	KindUnitRequeued:  true,
 }
 
 // Console renders progress events to a writer (stderr in the commands). It

@@ -57,6 +57,24 @@ const (
 	KindExperimentFailed Kind = "experiment_failed"
 	// KindSweepDone fires once, after the last experiment of a sweep.
 	KindSweepDone Kind = "sweep_done"
+
+	// Fabric events (published by the distributed-sweep coordinator in
+	// internal/fabric; Worker carries the worker name).
+	//
+	// KindWorkerJoined fires when a worker registers with the coordinator.
+	KindWorkerJoined Kind = "worker_joined"
+	// KindWorkerLost fires when a worker misses its lease heartbeats and its
+	// in-flight units are reclaimed; Count is the number of reclaimed units.
+	KindWorkerLost Kind = "worker_lost"
+	// KindWorkerDrained fires when a worker deregisters cleanly.
+	KindWorkerDrained Kind = "worker_drained"
+	// KindUnitRequeued fires when a work unit returns to the queue after a
+	// lease expiry or a failed attempt; Attempt is the next attempt number
+	// and Sim the unit's simulation label.
+	KindUnitRequeued Kind = "unit_requeued"
+	// KindUnitDuplicate fires when a late completion for an already-accepted
+	// unit is discarded (the accept-once rule).
+	KindUnitDuplicate Kind = "unit_duplicate"
 )
 
 // Event is one progress observation. Seq is assigned by the bus at publish
@@ -83,6 +101,8 @@ type Event struct {
 	// sim_finished events — the live feed behind the dashboard sparklines.
 	IPC   float64 `json:"ipc,omitempty"`
 	Power float64 `json:"power,omitempty"`
+	// Worker is the fleet worker name for fabric events.
+	Worker string `json:"worker,omitempty"`
 }
 
 // String renders the event the way the console subscriber prints it.
@@ -98,6 +118,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("sim %s failed: %s", e.Sim, e.Err)
 	case KindSweepDone:
 		return fmt.Sprintf("sweep done: %.1fs", e.Elapsed)
+	case KindWorkerJoined:
+		return fmt.Sprintf("worker %s joined", e.Worker)
+	case KindWorkerLost:
+		return fmt.Sprintf("worker %s lost (%d unit(s) reclaimed)", e.Worker, e.Count)
+	case KindWorkerDrained:
+		return fmt.Sprintf("worker %s drained", e.Worker)
+	case KindUnitRequeued:
+		return fmt.Sprintf("requeue %s (attempt %d)", e.Sim, e.Attempt)
+	case KindUnitDuplicate:
+		return fmt.Sprintf("duplicate result for %s discarded", e.Sim)
 	}
 	if e.Sim != "" {
 		return fmt.Sprintf("%s %s", e.Kind, e.Sim)

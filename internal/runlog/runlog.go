@@ -55,11 +55,13 @@ const LedgerFile = "ledger.jsonl"
 const SeriesFile = "series.jsonl"
 
 // Cache tiers a record can carry: an actually executed simulation, a
-// persistent disk-cache load, or an in-process memoization hit.
+// persistent disk-cache load, an in-process memoization hit, or an execution
+// served remotely by the distributed sweep fabric (internal/fabric).
 const (
-	TierRun  = "run"
-	TierDisk = "disk"
-	TierMemo = "memo"
+	TierRun    = "run"
+	TierDisk   = "disk"
+	TierMemo   = "memo"
+	TierFabric = "fabric"
 )
 
 // Record is one ledger line: the full provenance and outcome of one
@@ -435,15 +437,20 @@ func scanReader(br *bufio.Reader) ([]Record, ScanStats, error) {
 		if len(line) > 0 {
 			st.Lines++
 			st.Bytes += int64(len(line))
+			if !terminated {
+				// The torn tail of an interrupted writer: tolerated, and the
+				// next appender seals it with a newline. This must be
+				// reported even when the tail happens to parse (the writer
+				// died between the record bytes and the newline) — appending
+				// to an unsealed complete record would merge two records
+				// into one corrupt line and lose both.
+				st.UnterminatedTail = true
+			}
 			var r Record
 			switch uerr := json.Unmarshal(line, &r); {
 			case uerr != nil:
 				if terminated {
 					st.Corrupt++
-				} else {
-					// The torn tail of an interrupted writer: tolerated, the
-					// appender seals it with a newline before the next record.
-					st.UnterminatedTail = true
 				}
 			case r.Schema != Schema:
 				// A parseable record from another schema generation is

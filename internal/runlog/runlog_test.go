@@ -1,6 +1,7 @@
 package runlog
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -337,4 +338,129 @@ func TestSeriesCaptureDecimation(t *testing.T) {
 	if got := cap.Finish("k", "c", "w", 1); got != nil {
 		t.Fatalf("Finish after Reset = %+v, want nil", got)
 	}
+}
+
+// TestTornTailRecoveryAtEveryOffset proves the crash-recovery contract
+// exhaustively: a writer killed at ANY byte of the final record leaves a
+// ledger whose intact prefix scans cleanly, and whose next appender seals the
+// tear and continues the sequence. One subtlety is intentional: a tail cut
+// between the closing brace and the newline is a complete record and is
+// accepted, not discarded.
+func TestTornTailRecoveryAtEveryOffset(t *testing.T) {
+	prefix := line(t, 1) + line(t, 2)
+	last := line(t, 3)
+	whole := prefix + last
+	for cut := 0; cut < len(last); cut++ {
+		content := whole[:len(prefix)+cut]
+		tailComplete := cut == len(last)-1 // only the newline is missing
+
+		recs, st, err := ScanReader(strings.NewReader(content))
+		if err != nil {
+			t.Fatalf("cut %d: scan: %v", cut, err)
+		}
+		wantRecs := 2
+		if tailComplete {
+			wantRecs = 3
+		}
+		if st.Records != wantRecs || st.Corrupt != 0 {
+			t.Fatalf("cut %d: stats = %+v, want %d records, 0 corrupt", cut, st, wantRecs)
+		}
+		// Any cut that leaves tail bytes is reported as unterminated — even
+		// the complete-record cut, whose acceptance must not suppress the
+		// sealing contract.
+		wantTorn := cut > 0
+		if st.UnterminatedTail != wantTorn {
+			t.Fatalf("cut %d: UnterminatedTail = %v, want %v", cut, st.UnterminatedTail, wantTorn)
+		}
+		for i, r := range recs[:2] {
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("cut %d: surviving record %d has seq %d", cut, i, r.Seq)
+			}
+		}
+
+		// Recovery: reopen the torn ledger and append. The torn tail is
+		// sealed (becoming one corrupt interior line), the new record
+		// continues after the last intact sequence number, and nothing that
+		// survived the crash is lost.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, LedgerFile), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if err := l.Append(testRecord(99)); err != nil {
+			t.Fatalf("cut %d: append: %v", cut, err)
+		}
+		l.Close()
+		recs, st, err = ScanDir(dir)
+		if err != nil {
+			t.Fatalf("cut %d: rescan: %v", cut, err)
+		}
+		if st.Records != wantRecs+1 || st.UnterminatedTail {
+			t.Fatalf("cut %d: post-append stats = %+v, want %d records", cut, st, wantRecs+1)
+		}
+		wantCorrupt := 0
+		if cut > 0 && !tailComplete {
+			wantCorrupt = 1 // the sealed partial line
+		}
+		if st.Corrupt != wantCorrupt {
+			t.Fatalf("cut %d: post-append corrupt = %d, want %d", cut, st.Corrupt, wantCorrupt)
+		}
+		got := recs[len(recs)-1]
+		if got.Workload != "wl99" || got.Seq != uint64(wantRecs)+1 {
+			t.Fatalf("cut %d: recovered append = seq %d wl %q, want seq %d wl99",
+				cut, got.Seq, got.Workload, wantRecs+1)
+		}
+	}
+}
+
+// FuzzScanReader drives the tolerant ledger reader with arbitrary bytes: it
+// must never panic, never error on an in-memory stream, and its stats must
+// stay internally consistent no matter how mangled the input is. The seed
+// corpus in testdata/fuzz covers the shapes the tests above construct
+// deliberately (clean ledger, torn tail, corrupt interior, foreign schema).
+func FuzzScanReader(f *testing.F) {
+	f.Add([]byte(fuzzLine(1) + fuzzLine(2)))
+	f.Add([]byte(fuzzLine(1) + `{"schema":"p10runlog-v1","seq":2,"key":"dead`))
+	f.Add([]byte(fuzzLine(1) + "not json at all\n" + fuzzLine(2)))
+	f.Add([]byte(`{"schema":"p10runlog-v0","seq":1}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, st, err := ScanReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("in-memory scan errored: %v", err)
+		}
+		if st.Records != len(recs) {
+			t.Fatalf("Records = %d but %d returned", st.Records, len(recs))
+		}
+		if st.Bytes != int64(len(data)) {
+			t.Fatalf("Bytes = %d, want %d", st.Bytes, len(data))
+		}
+		if st.Records+st.Corrupt+st.WrongSchema > st.Lines {
+			t.Fatalf("classified more lines than seen: %+v", st)
+		}
+		if st.UnterminatedTail && len(data) > 0 && data[len(data)-1] == '\n' {
+			t.Fatal("UnterminatedTail on newline-terminated input")
+		}
+		for _, r := range recs {
+			if r.Schema != Schema {
+				t.Fatalf("returned foreign-schema record %+v", r)
+			}
+		}
+	})
+}
+
+// fuzzLine is line() without a testing.T, usable from fuzz seed setup.
+func fuzzLine(seq uint64) string {
+	r := testRecord(int(seq))
+	r.Schema = Schema
+	r.Seq = seq
+	b, err := json.Marshal(&r)
+	if err != nil {
+		panic(err)
+	}
+	return string(b) + "\n"
 }

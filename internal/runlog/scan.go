@@ -61,13 +61,15 @@ func ScanSeries(dir string) ([]Series, ScanStats, error) {
 		if len(line) > 0 {
 			st.Lines++
 			st.Bytes += int64(len(line))
+			if !terminated {
+				// Reported even for a tail that parses — see scanReader.
+				st.UnterminatedTail = true
+			}
 			var s Series
 			switch uerr := unmarshalSeries(line, &s); {
 			case uerr != nil:
 				if terminated {
 					st.Corrupt++
-				} else {
-					st.UnterminatedTail = true
 				}
 			case s.Schema != SeriesSchema:
 				st.WrongSchema++

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"power10sim/internal/power"
 	"power10sim/internal/sampling"
@@ -101,15 +102,24 @@ func (r *Runner) diskUsable(req Request) bool {
 }
 
 // diskLoad attempts to serve a request from the persistent cache. Any
-// failure — missing file, corrupt JSON, schema mismatch — is a miss.
+// failure — missing file, corrupt JSON, schema mismatch — is a miss; a
+// readable-but-unparseable entry is additionally quarantined (renamed to
+// <key>.bad) so the damaged bytes are preserved for inspection but can never
+// be re-hit, and the slot is free for the re-simulation to overwrite.
 func (r *Runner) diskLoad(k key, req Request) (Result, bool) {
-	data, err := os.ReadFile(r.diskPath(k))
+	path := r.diskPath(k)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		r.diskMiss(0)
 		return Result{}, false
 	}
 	var p diskPayload
 	if err := json.Unmarshal(data, &p); err != nil || p.Schema != diskSchema {
+		// The file name hash covers the schema version, so a wrong-schema
+		// payload under this name is corruption too, not a foreign
+		// generation. Quarantine is best-effort: a failed rename still
+		// reads as a plain miss.
+		r.quarantine(path)
 		r.diskMiss(uint64(len(data)))
 		return Result{}, false
 	}
@@ -125,6 +135,21 @@ func (r *Runner) diskLoad(k key, req Request) (Result, bool) {
 	// what the execution path does (runCtx).
 	rep := power.NewModel(req.Cfg).Report(&act)
 	return Result{Activity: &act, Report: rep, Upset: p.Upset, Sampling: p.Sampling}, true
+}
+
+// quarantine renames a corrupt or truncated cache entry to "<key>.bad",
+// counting it in DiskCorrupt / runner_diskcache_corrupt_total. Renaming (not
+// deleting) keeps the evidence while guaranteeing the entry is never
+// addressed again — .bad files are outside the content-key namespace.
+func (r *Runner) quarantine(path string) {
+	bad := strings.TrimSuffix(path, ".json") + ".bad"
+	if err := os.Rename(path, bad); err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.stats.DiskCorrupt++
+	r.mu.Unlock()
+	r.obs.diskCorrupt.Inc()
 }
 
 func (r *Runner) diskMiss(readBytes uint64) {

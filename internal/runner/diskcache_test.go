@@ -4,8 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
+	"power10sim/internal/telemetry"
 	"power10sim/internal/uarch"
 	"power10sim/internal/workloads"
 )
@@ -204,5 +206,78 @@ func TestDiskKeySensitivity(t *testing.T) {
 	}
 	if filepath.Ext(diskKey(kBase)+".json") != ".json" {
 		t.Error("unexpected key format")
+	}
+}
+
+// A single flipped bit in a persisted entry — the classic silent-media-error
+// shape — must never be served, must be quarantined to <key>.bad with the
+// damaged bytes intact for inspection, and must be counted, while the request
+// itself transparently re-executes and repairs the entry.
+func TestDiskCacheBitFlipQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	req := testRequest(uarch.POWER10(), workloads.Compress(), 1)
+
+	r := New(1)
+	if err := r.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	first := r.Do(req)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	k, ok := keyOf(req)
+	if !ok {
+		t.Fatal("unkeyable test request")
+	}
+	path := r.diskPath(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit of the opening brace so the JSON no longer parses; the
+	// quarantine path also covers subtler flips via the schema check.
+	data[0] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	r2 := New(1)
+	r2.Instrument(reg, nil)
+	if err := r2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	res := r2.Do(req)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !reflect.DeepEqual(first.Activity, res.Activity) {
+		t.Error("re-executed result differs from original")
+	}
+	st := r2.Stats()
+	if st.DiskCorrupt != 1 || st.DiskHits != 0 {
+		t.Errorf("stats = corrupt %d hits %d, want 1/0", st.DiskCorrupt, st.DiskHits)
+	}
+	if got := reg.Counter("runner_diskcache_corrupt_total").Value(); got != 1 {
+		t.Errorf("runner_diskcache_corrupt_total = %d, want 1", got)
+	}
+	bad := strings.TrimSuffix(path, ".json") + ".bad"
+	kept, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatalf("quarantined entry missing: %v", err)
+	}
+	if !reflect.DeepEqual(kept, data) {
+		t.Error("quarantined bytes differ from the damaged entry")
+	}
+	// The repair wrote a fresh entry under the same key; a third runner
+	// serves it as a plain disk hit.
+	r3 := New(1)
+	if err := r3.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if res := r3.Do(req); res.Err != nil {
+		t.Fatal(res.Err)
+	} else if r3.Stats().DiskHits != 1 {
+		t.Error("repaired entry did not serve a disk hit")
 	}
 }

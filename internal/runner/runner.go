@@ -201,12 +201,18 @@ type Stats struct {
 	// Uncached counts results withheld from the memoization cache because
 	// their error was transient (the cache-poisoning guard).
 	Uncached uint64
+	// Remote counts executions served by an installed Executor (the
+	// distributed sweep fabric) instead of the local pool.
+	Remote uint64
 	// DiskHits / DiskMisses count persistent-cache lookups (SetCacheDir).
 	// They partition the memo Misses above: a disk hit is still a memo miss
 	// (a unique request this process), so Hits/Misses — and the stdout
 	// summary built from them — are unchanged by the disk layer.
 	DiskHits   uint64
 	DiskMisses uint64
+	// DiskCorrupt counts corrupt or truncated persistent-cache entries that
+	// were quarantined (renamed to <key>.bad) instead of served.
+	DiskCorrupt uint64
 	// DiskReadBytes / DiskWrittenBytes account persistent-cache I/O.
 	DiskReadBytes    uint64
 	DiskWrittenBytes uint64
@@ -220,7 +226,9 @@ type obs struct {
 	retries, panics         *telemetry.Counter
 	timeouts, cancels       *telemetry.Counter
 	uncached                *telemetry.Counter
+	remote                  *telemetry.Counter
 	diskHits, diskMisses    *telemetry.Counter
+	diskCorrupt             *telemetry.Counter
 	diskReadBytes           *telemetry.Counter
 	diskWrittenBytes        *telemetry.Counter
 	queueWait, runLatency   *telemetry.Histogram
@@ -266,6 +274,11 @@ type Runner struct {
 	// SetCacheDir in diskcache.go).
 	cacheDir string
 
+	// exec, when non-nil, offers cache-miss executions to an external
+	// executor (the distributed sweep fabric) before the local pool (see
+	// SetExecutor).
+	exec Executor
+
 	// runlog, when non-nil, receives one campaign-ledger record per
 	// completed request (see SetRunLog in runlog.go).
 	runlog *runlog.Ledger
@@ -296,6 +309,22 @@ func (r *Runner) Workers() int { return r.workers }
 // requests; SetPolicy is not synchronized with Do.
 func (r *Runner) SetPolicy(p Policy) { r.policy = p }
 
+// Executor is an external execution backend for cache-miss requests: the
+// distributed sweep fabric's coordinator plugs in here. It either executes
+// the request somewhere (handled true) or declines (handled false), in which
+// case the request falls through to the local pool. Results an executor
+// returns must obey the same determinism contract as local execution: the
+// Activity of a given request is bit-identical wherever it runs.
+type Executor func(ctx context.Context, req Request) (res Result, handled bool)
+
+// SetExecutor installs an external executor. Remote executions bypass the
+// local worker semaphore — their concurrency is bounded by the executor's own
+// fleet — but keep every other layer: the memo cache still dedups and
+// coalesces, the disk cache still persists results, and the campaign ledger
+// records them under the "fabric" tier. Call before submitting requests;
+// SetExecutor is not synchronized with Do.
+func (r *Runner) SetExecutor(e Executor) { r.exec = e }
+
 // SetContext sets the base context Do and RunAll derive executions from,
 // threading external cancellation (SIGINT) through every simulation. Call
 // before submitting requests; SetContext is not synchronized with Do.
@@ -320,6 +349,8 @@ func (r *Runner) SetContext(ctx context.Context) {
 //	runner_watchdog_timeouts_total    attempts aborted by the wall-clock watchdog
 //	runner_cancels_total              attempts aborted by context cancellation
 //	runner_uncached_errors_total      transient results withheld from the cache
+//	runner_remote_runs_total          executions served by the installed Executor
+//	runner_diskcache_corrupt_total    corrupt cache entries quarantined to .bad
 //	runner_diskcache_hits_total / runner_diskcache_misses_total
 //	runner_diskcache_read_bytes_total / runner_diskcache_written_bytes_total
 //	                                  persistent-cache effectiveness and I/O
@@ -340,8 +371,10 @@ func (r *Runner) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		timeouts:          reg.Counter("runner_watchdog_timeouts_total"),
 		cancels:           reg.Counter("runner_cancels_total"),
 		uncached:          reg.Counter("runner_uncached_errors_total"),
+		remote:            reg.Counter("runner_remote_runs_total"),
 		diskHits:          reg.Counter("runner_diskcache_hits_total"),
 		diskMisses:        reg.Counter("runner_diskcache_misses_total"),
+		diskCorrupt:       reg.Counter("runner_diskcache_corrupt_total"),
 		diskReadBytes:     reg.Counter("runner_diskcache_read_bytes_total"),
 		diskWrittenBytes:  reg.Counter("runner_diskcache_written_bytes_total"),
 		queueWait:         reg.Histogram("runner_queue_wait_seconds", telemetry.DurationBuckets()),
@@ -444,6 +477,18 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 		}
 	}
 
+	// External executor (the distributed sweep fabric): a cache-miss request
+	// is offered to the fleet before the local pool. Remote executions do not
+	// hold a local worker slot — their concurrency is the fleet's — but they
+	// share the entry lifecycle, so coalesced waiters and the disk cache see
+	// remote results exactly like local ones. Chaos self-tests stay local:
+	// their mutable failure budgets must not cross process boundaries.
+	if r.exec != nil && req.Chaos == nil {
+		if res, handled := r.remoteExecute(ctx, req, e, k); handled {
+			return res
+		}
+	}
+
 	enqueued := time.Now()
 	select {
 	case r.sem <- struct{}{}:
@@ -519,6 +564,60 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 	<-r.sem
 	close(e.ready)
 	return e.res.clone()
+}
+
+// remoteExecute runs one cache-miss request through the installed executor.
+// handled is false when the executor declined (chaos self-tests, unkeyable
+// shapes), leaving the request to the local pool. On handled results it
+// performs the same bookkeeping as local execution: progress events, ledger
+// record (under the fabric tier), cache-poisoning guard, and disk persist.
+func (r *Runner) remoteExecute(ctx context.Context, req Request, e *entry, k key) (Result, bool) {
+	var sp telemetry.Span
+	if r.obs.tracer != nil {
+		sp = r.obs.tracer.Begin(spanName(req), "fabric")
+	}
+	r.publish(progress.KindSimStarted, req, nil)
+	start := time.Now()
+	res, handled := r.exec(ctx, req)
+	elapsed := time.Since(start)
+	sp.End()
+	if !handled {
+		return Result{}, false
+	}
+	e.res = res
+	r.mu.Lock()
+	r.stats.Remote++
+	r.mu.Unlock()
+	r.obs.remote.Inc()
+	r.obs.runLatency.Observe(elapsed.Seconds())
+	if e.res.Err != nil {
+		r.publish(progress.KindSimFailed, req, func(ev *progress.Event) {
+			ev.Err = e.res.Err.Error()
+			ev.Elapsed = elapsed.Seconds()
+			ev.Attempt = e.res.Attempts
+		})
+	} else {
+		r.publish(progress.KindSimFinished, req, func(ev *progress.Event) {
+			ev.Elapsed = elapsed.Seconds()
+			ev.Attempt = e.res.Attempts
+			if e.res.Activity != nil {
+				ev.IPC = e.res.Activity.IPC()
+			}
+			if e.res.Report != nil {
+				ev.Power = e.res.Report.Total
+			}
+		})
+	}
+	r.logRecord(k, req, e.res, runlog.TierFabric, elapsed)
+	if !cacheable(e.res.Err) {
+		r.uncache(k, e)
+	} else if r.diskUsable(req) {
+		// A fleet-computed result is as durable as a local one: persisting it
+		// lets the next coordinator process skip the dispatch entirely.
+		r.diskStore(k, req, e.res)
+	}
+	close(e.ready)
+	return e.res.clone(), true
 }
 
 // uncache withdraws a failed entry from the cache (the entry's ready channel

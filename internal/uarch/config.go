@@ -271,6 +271,23 @@ func POWER10Next() *Config {
 	return c
 }
 
+// ConfigByName resolves the CLI-facing configuration names (long form or
+// short alias) to a fresh Config, or nil for an unknown name. Shared by
+// p10sim and the fabric coordinator's submit API so a config name denotes
+// the same microarchitecture — and therefore the same content key —
+// everywhere.
+func ConfigByName(name string) *Config {
+	switch name {
+	case "POWER9", "p9":
+		return POWER9()
+	case "POWER10", "p10":
+		return POWER10()
+	case "POWER10-noMMA", "p10-nomma":
+		return POWER10NoMMA()
+	}
+	return nil
+}
+
 // Ablation identifies one Fig. 4 design-change group.
 type Ablation int
 
