@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs chaos serve-check sample-check ledger-check fabric-check perf verify bench bench-core sweep profile
+.PHONY: build test vet race race-obs chaos serve-check sample-check ledger-check fabric-check trace-check perf verify bench bench-core sweep profile
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,8 @@ race:
 # goroutines.
 race-obs:
 	$(GO) test -race ./internal/telemetry ./internal/progress ./internal/obsserver \
-		./internal/runner ./internal/simobs ./internal/runlog ./internal/fabric
+		./internal/runner ./internal/simobs ./internal/runlog ./internal/fabric \
+		./internal/flightrec
 
 # chaos is the fault-tolerance gate: the runner hardening tests under the
 # race detector, then a p10faults self-test campaign with forced panics,
@@ -70,6 +71,14 @@ ledger-check:
 fabric-check:
 	bash scripts/fabric_check.sh
 
+# trace-check is the end-to-end gate for fleet observability: a chaos run
+# whose killed worker must leave a valid flight-recorder dump, whose
+# coordinator must emit a structurally valid merged fleet trace (full
+# clock-corrected unit lifecycles), and whose federated metrics snapshot must
+# carry per-worker and fleet-aggregate series.
+trace-check:
+	bash scripts/trace_check.sh
+
 # perf runs the perf-regression ledger: the fixed go-bench tier plus a
 # wall-clocked quick sweep, written as the next perf/BENCH_<n>.json and
 # compared against the newest committed ledger. Exits nonzero on regression.
@@ -80,7 +89,7 @@ perf:
 # passes. The race pass matters because the experiment harness fans
 # simulations across a worker pool; race-obs fails fast on the telemetry
 # packages before the full-tree race run.
-verify: vet build test race-obs race chaos serve-check sample-check ledger-check fabric-check
+verify: vet build test race-obs race chaos serve-check sample-check ledger-check fabric-check trace-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'

@@ -45,6 +45,7 @@ import (
 
 	"power10sim/internal/cliutil"
 	"power10sim/internal/experiments"
+	"power10sim/internal/flightrec"
 	"power10sim/internal/obsserver"
 	"power10sim/internal/progress"
 	"power10sim/internal/runlog"
@@ -62,6 +63,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments")
 		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
+		flightOut  = flag.String("flightrec", "", "arm the flight recorder; dump its ring to this file on panic, SIGQUIT, watchdog kill, or drain")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		serveAddr  = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090, 127.0.0.1:0)")
 		cacheDir   = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs)")
@@ -98,6 +100,9 @@ func main() {
 		cliutil.Usagef("%v", err)
 	}
 	if err := cliutil.CheckOutputPath("trace", *traceOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	if err := cliutil.CheckOutputPath("flightrec", *flightOut); err != nil {
 		cliutil.Usagef("%v", err)
 	}
 	if *pprofAddr != "" {
@@ -181,6 +186,29 @@ func main() {
 	bus := progress.NewBus()
 	pool.SetBus(bus)
 	console := progress.NewConsole(bus, os.Stderr)
+	// Armed only when requested: a nil recorder is a no-op everywhere, and
+	// not subscribing keeps the unobserved-bus publish at one atomic load.
+	var rec *flightrec.Recorder
+	if *flightOut != "" {
+		rec = flightrec.New(flightrec.Options{
+			Command:  "p10bench",
+			Bus:      bus,
+			Registry: reg,
+			DumpPath: *flightOut,
+			AutoDump: flightrec.WatchdogAutoDump,
+		})
+	}
+	rec.ArmSIGQUIT(nil)
+	defer rec.DumpOnPanic()
+	// A drain that wedges after the signal still leaves its observability
+	// artifacts behind; the normal end-of-run writes below overwrite these.
+	cliutil.FlushOnDrain(ctx, func() {
+		rec.Note("drain signal received")
+		_ = rec.Dump("drain")
+		if *metricsOut != "" {
+			_ = reg.WriteFile(*metricsOut)
+		}
+	})
 	// Tolerant sweep: a failed simulation point (or whole experiment) is
 	// recorded and reported at end of sweep instead of aborting the run, so
 	// one bad point cannot void hours of completed figures.
@@ -274,6 +302,14 @@ func main() {
 			exit = 1
 		} else {
 			fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events)\n", *traceOut, tr.Len())
+		}
+	}
+	if *flightOut != "" {
+		if err := rec.DumpFile(*flightOut, "end of run"); err != nil {
+			fmt.Fprintf(os.Stderr, "flightrec: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "flightrec: wrote %s\n", *flightOut)
 		}
 	}
 	// End-of-sweep failure accounting: every degraded point and every failed

@@ -42,6 +42,7 @@ import (
 	"power10sim/internal/cliutil"
 	"power10sim/internal/experiments"
 	"power10sim/internal/fabric"
+	"power10sim/internal/flightrec"
 	"power10sim/internal/obsserver"
 	"power10sim/internal/progress"
 	"power10sim/internal/runlog"
@@ -63,7 +64,9 @@ func main() {
 		waitFor     = flag.Duration("worker-wait", 2*time.Minute, "give up if -min-workers have not registered within this window")
 		leaseTTL    = flag.Duration("lease-ttl", fabric.DefaultLeaseTTL, "worker lease TTL; a silent worker loses its units after this")
 		maxAttempts = flag.Int("max-attempts", fabric.DefaultMaxAttempts, "dispatch attempts per unit before it fails permanently")
-		metricsOut  = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+		metricsOut  = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file (federated: includes worker-pushed series)")
+		traceOut    = flag.String("trace", "", "write the merged fleet Chrome trace (clock-corrected unit lifecycles) to this file")
+		flightOut   = flag.String("flightrec", "", "arm the flight recorder; dump its ring to this file on panic, SIGQUIT, or drain")
 		cacheDir    = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs and with p10bench)")
 		runlogDir   = flag.String("runlog", "", "append one campaign-ledger record per completed simulation under this directory")
 		runlogSer   = flag.Int("runlog-series", 0, "with -runlog, also record a downsampled time series per executed sim (0 = off)")
@@ -82,6 +85,12 @@ func main() {
 		cliutil.Usagef("-runlog-series needs -runlog")
 	}
 	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	if err := cliutil.CheckOutputPath("trace", *traceOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	if err := cliutil.CheckOutputPath("flightrec", *flightOut); err != nil {
 		cliutil.Usagef("%v", err)
 	}
 	cat := sweep.Catalog()
@@ -132,6 +141,48 @@ func main() {
 		Bus:         bus,
 		Registry:    reg,
 	})
+	// Armed only when requested: a nil recorder is a no-op everywhere, so the
+	// dump calls below need no flag checks of their own.
+	var rec *flightrec.Recorder
+	if *flightOut != "" {
+		rec = flightrec.New(flightrec.Options{
+			Command:  "p10coord",
+			Bus:      bus,
+			Registry: reg,
+			DumpPath: *flightOut,
+			AutoDump: flightrec.WatchdogAutoDump,
+		})
+	}
+	rec.ArmSIGQUIT(nil)
+	defer rec.DumpOnPanic()
+	// writeArtifacts is shared by the normal end-of-run path and the drain
+	// flush: the federated metrics snapshot (fleet + per-worker series) and the
+	// merged fleet trace, both written atomically.
+	writeArtifacts := func(report bool) int {
+		exit := 0
+		if *metricsOut != "" {
+			if err := coord.FederatedSnapshot().WriteFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				exit = 1
+			} else if report {
+				fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+			}
+		}
+		if *traceOut != "" {
+			if err := telemetry.WriteFileAtomic(*traceOut, coord.WriteTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				exit = 1
+			} else if report {
+				fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceOut)
+			}
+		}
+		return exit
+	}
+	cliutil.FlushOnDrain(ctx, func() {
+		rec.Note("drain signal received")
+		_ = rec.Dump("drain")
+		writeArtifacts(false)
+	})
 	// Every cache-missing simulation the sweep requests is now dispatched to
 	// the fleet instead of simulated in-process; cache hits and chaos
 	// requests never leave the coordinator.
@@ -146,6 +197,10 @@ func main() {
 		RunLog:   led,
 		Fleet:    coord.Fleet,
 		Fabric:   coord.Handler(),
+		// The coordinator is the only process that can render the fleet-wide
+		// views: the merged clock-corrected trace and the federated scrape.
+		FleetTrace:        coord.WriteTrace,
+		FederatedSnapshot: coord.FederatedSnapshot,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -212,13 +267,13 @@ func main() {
 	fleet := coord.Fleet()
 	fmt.Fprintf(os.Stderr, "fabric: %d units done, %d failed, %d requeues, %d duplicate results across %d worker(s)\n",
 		fleet.Queue.Done, fleet.Queue.Failed, fleet.Queue.Requeues, fleet.Queue.Duplicates, len(fleet.Workers))
-	exit := 0
-	if *metricsOut != "" {
-		if err := reg.WriteFile(*metricsOut); err != nil {
-			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+	exit := writeArtifacts(true)
+	if *flightOut != "" {
+		if err := rec.DumpFile(*flightOut, "end of run"); err != nil {
+			fmt.Fprintf(os.Stderr, "flightrec: %v\n", err)
 			exit = 1
 		} else {
-			fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+			fmt.Fprintf(os.Stderr, "flightrec: wrote %s\n", *flightOut)
 		}
 	}
 	if s := failures.Summary(); s != "" {

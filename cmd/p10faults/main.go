@@ -30,6 +30,7 @@ import (
 
 	"power10sim/internal/cliutil"
 	"power10sim/internal/faultinject"
+	"power10sim/internal/flightrec"
 	"power10sim/internal/obsserver"
 	"power10sim/internal/progress"
 	"power10sim/internal/runlog"
@@ -53,6 +54,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "per-simulation watchdog deadline")
 		chaos        = flag.Bool("chaos", false, "inject panics/transient failures/hangs into the harness (self-test)")
 		metricsOut   = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+		flightOut    = flag.String("flightrec", "", "arm the flight recorder; dump its ring to this file on panic, SIGQUIT, watchdog kill, or drain")
 		serveAddr    = flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :9090)")
 		cacheDir     = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs)")
 		runlogDir    = flag.String("runlog", "", "append one campaign-ledger record per completed trial under this directory")
@@ -80,6 +82,9 @@ func main() {
 		}
 	}
 	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	if err := cliutil.CheckOutputPath("flightrec", *flightOut); err != nil {
 		cliutil.Usagef("%v", err)
 	}
 	cfg := uarch.ConfigByName(*cfgName)
@@ -128,6 +133,31 @@ func main() {
 	// costs one atomic load per publish.
 	bus := progress.NewBus()
 	pool.SetBus(bus)
+	// The flight recorder is the per-trial diagnostic channel this command
+	// otherwise lacks (no stderr console): the event tail before a watchdog
+	// kill or a panic burst survives in the dump even when the campaign table
+	// renders normally.
+	// Armed only when requested: a nil recorder is a no-op everywhere, and
+	// not subscribing preserves the deliberately subscriber-free bus above.
+	var rec *flightrec.Recorder
+	if *flightOut != "" {
+		rec = flightrec.New(flightrec.Options{
+			Command:  "p10faults",
+			Bus:      bus,
+			Registry: reg,
+			DumpPath: *flightOut,
+			AutoDump: flightrec.WatchdogAutoDump,
+		})
+	}
+	rec.ArmSIGQUIT(nil)
+	defer rec.DumpOnPanic()
+	cliutil.FlushOnDrain(ctx, func() {
+		rec.Note("drain signal received")
+		_ = rec.Dump("drain")
+		if *metricsOut != "" && reg != nil {
+			_ = reg.WriteFile(*metricsOut)
+		}
+	})
 	var server *obsserver.Server
 	if *serveAddr != "" {
 		var err error
@@ -244,6 +274,14 @@ func main() {
 		exit = 1
 	}
 	writeMetrics()
+	if *flightOut != "" {
+		if err := rec.DumpFile(*flightOut, "end of run"); err != nil {
+			fmt.Fprintf(os.Stderr, "flightrec: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "flightrec: wrote %s\n", *flightOut)
+		}
+	}
 	shutdown()
 	os.Exit(exit)
 }

@@ -1,9 +1,11 @@
 // Command p10obscheck sanity-checks the observability artifacts a sweep
 // produces: the metrics-registry JSON snapshot (-metrics), the Chrome
 // trace_event file (-trace), the Prometheus text exposition served on
-// /metrics (-prom, "-" for stdin), and the campaign ledger written with
-// -runlog (-runlog DIR). It is the verification half of `make profile`,
-// `make serve-check` and `make ledger-check`.
+// /metrics (-prom, "-" for stdin), the campaign ledger written with
+// -runlog (-runlog DIR), the flight-recorder dump (-flightrec), and the
+// coordinator's merged fleet trace (-fleet-trace). It is the verification
+// half of `make profile`, `make serve-check`, `make ledger-check` and
+// `make trace-check`.
 //
 // Checks performed:
 //
@@ -21,6 +23,13 @@
 //     content keys, known tiers, and the error/measurement exclusivity
 //     invariant; when a series file is present, every series joins a
 //     ledger record by key with non-empty frames.
+//   - flightrec: the p10flightrec-v1 schema, a non-empty command and reason,
+//     strictly increasing entry sequence numbers, well-formed event/note
+//     entries, and no zero counter deltas.
+//   - fleet-trace: one enclosing unit span per lane; every unit that claims
+//     a clean merge shows the full queued → leased → running → shipped chain
+//     inside it (running inside a lease) plus exactly one merge instant, and
+//     at least -min-units units merged.
 //
 // Exit status 0 when every check passes; 1 with a message on stderr when a
 // check fails; 2 on a usage error.
@@ -35,6 +44,7 @@ import (
 	"strings"
 
 	"power10sim/internal/cliutil"
+	"power10sim/internal/flightrec"
 	"power10sim/internal/telemetry"
 )
 
@@ -147,6 +157,166 @@ func checkTrace(path, requireSpan string, minSpans int) {
 	fmt.Fprintf(os.Stderr, "p10obscheck: trace ok (%d events, %d spans)\n", len(tf.TraceEvents), spans)
 }
 
+func checkFlightrec(path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fail("flightrec: %v", err)
+	}
+	var d flightrec.Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		fail("flightrec: invalid JSON: %v", err)
+	}
+	if d.Schema != flightrec.Schema {
+		fail("flightrec: schema %q, want %q", d.Schema, flightrec.Schema)
+	}
+	if d.Command == "" {
+		fail("flightrec: empty command")
+	}
+	if d.Reason == "" {
+		fail("flightrec: empty reason")
+	}
+	if d.DumpedAt.IsZero() {
+		fail("flightrec: zero dumped_at")
+	}
+	var lastSeq uint64
+	for i, e := range d.Events {
+		if e.Seq <= lastSeq {
+			fail("flightrec: entry %d seq %d not strictly increasing (prev %d)", i, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Kind {
+		case "event":
+			if e.Event == nil {
+				fail("flightrec: entry %d kind \"event\" with no event payload", i)
+			}
+		case "note":
+			if e.Note == "" {
+				fail("flightrec: entry %d kind \"note\" with empty note", i)
+			}
+		default:
+			fail("flightrec: entry %d has unknown kind %q", i, e.Kind)
+		}
+		if e.Time.IsZero() {
+			fail("flightrec: entry %d has zero time", i)
+		}
+	}
+	for _, c := range d.Counters {
+		// The dump contract omits zero deltas: only counters that moved during
+		// the flight appear.
+		if c.Delta == 0 {
+			fail("flightrec: counter %s has zero delta (should be omitted)", c.Name)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "p10obscheck: flightrec ok (%q by %s: %d entries, %d dropped, %d counters)\n",
+		d.Reason, d.Command, len(d.Events), d.Dropped, len(d.Counters))
+}
+
+// checkFleetTrace validates the structure of a coordinator's merged fleet
+// trace: each lane (tid) is one work unit, and every unit that claims a clean
+// merge must show the full lifecycle chain — queued, leased, running (inside
+// a lease), shipped — inside its enclosing unit span, plus the merge instant.
+func checkFleetTrace(path string, minUnits int) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fail("fleet-trace: %v", err)
+	}
+	var tf struct {
+		TraceEvents []telemetry.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &tf); err != nil {
+		fail("fleet-trace: invalid JSON: %v", err)
+	}
+	byTid := map[int][]telemetry.Event{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		byTid[e.Tid] = append(byTid[e.Tid], e)
+	}
+	units, merged := 0, 0
+	for tid, evs := range byTid {
+		var parent *telemetry.Event
+		parentIdx := -1
+		for i := range evs {
+			if evs[i].Ph == "X" && strings.HasPrefix(evs[i].Name, "unit:") {
+				if parent != nil {
+					fail("fleet-trace: tid %d has two unit spans", tid)
+				}
+				parent = &evs[i]
+				parentIdx = i
+			}
+		}
+		if parent == nil {
+			fail("fleet-trace: tid %d has no enclosing unit span", tid)
+		}
+		units++
+		pStart, pEnd := parent.Ts, parent.Ts+parent.Dur
+		inside := func(e telemetry.Event) bool {
+			return e.Ts >= pStart && e.Ts+e.Dur <= pEnd
+		}
+		isMerged, _ := parent.Args["merged"].(bool)
+		var queued, leases, running, shipped []telemetry.Event
+		instants := 0
+		for i, e := range evs {
+			if e.Ph != "X" && e.Ph != "i" {
+				fail("fleet-trace: tid %d has unexpected phase %q", tid, e.Ph)
+			}
+			if e.Ph == "X" && e.Dur < 1 {
+				fail("fleet-trace: tid %d span %q has non-positive duration", tid, e.Name)
+			}
+			switch {
+			case e.Ph == "i" && e.Name == "merged":
+				instants++
+			case e.Name == "queued":
+				queued = append(queued, e)
+			case strings.HasPrefix(e.Name, "leased:"):
+				leases = append(leases, e)
+			case e.Name == "running":
+				running = append(running, e)
+			case e.Name == "shipped":
+				shipped = append(shipped, e)
+			}
+			if e.Ph == "X" && i != parentIdx && !inside(e) {
+				fail("fleet-trace: tid %d span %q [%d,%d) escapes unit span [%d,%d)",
+					tid, e.Name, e.Ts, e.Ts+e.Dur, pStart, pEnd)
+			}
+		}
+		for _, r := range running {
+			enclosed := false
+			for _, l := range leases {
+				if r.Ts >= l.Ts && r.Ts+r.Dur <= l.Ts+l.Dur {
+					enclosed = true
+					break
+				}
+			}
+			if !enclosed {
+				fail("fleet-trace: tid %d running span escapes every lease span", tid)
+			}
+		}
+		if !isMerged {
+			continue
+		}
+		merged++
+		if len(queued) == 0 || len(leases) == 0 || len(running) == 0 || len(shipped) == 0 {
+			fail("fleet-trace: tid %d merged unit missing lifecycle spans (queued %d, leased %d, running %d, shipped %d)",
+				tid, len(queued), len(leases), len(running), len(shipped))
+		}
+		if instants != 1 {
+			fail("fleet-trace: tid %d merged unit has %d merge instants, want 1", tid, instants)
+		}
+		if w, _ := parent.Args["worker"].(string); w == "" {
+			fail("fleet-trace: tid %d merged unit missing merging worker", tid)
+		}
+		if id, _ := parent.Args["trace_id"].(string); len(id) != 16 {
+			fail("fleet-trace: tid %d unit trace_id %q not 16 hex chars", tid, id)
+		}
+	}
+	if merged < minUnits {
+		fail("fleet-trace: %d merged unit(s), want >= %d", merged, minUnits)
+	}
+	fmt.Fprintf(os.Stderr, "p10obscheck: fleet-trace ok (%d units, %d merged)\n", units, merged)
+}
+
 func checkProm(path string) {
 	var r *os.File
 	if path == "-" {
@@ -176,10 +346,14 @@ func main() {
 		minSpans       = flag.Int("min-spans", 1, "minimum spans matching -require-span")
 		runlogDir      = flag.String("runlog", "", "campaign ledger directory to check")
 		minRecords     = flag.Int("min-records", 1, "minimum ledger records with -runlog")
+		flightPath     = flag.String("flightrec", "", "flight-recorder dump JSON to check")
+		fleetTrace     = flag.String("fleet-trace", "", "merged fleet Chrome trace (p10coord -trace) to check")
+		minUnits       = flag.Int("min-units", 1, "minimum merged work units with -fleet-trace")
 	)
 	flag.Parse()
-	if *metricsPath == "" && *tracePath == "" && *promPath == "" && *runlogDir == "" {
-		cliutil.Usagef("nothing to check: pass -metrics, -trace, -prom and/or -runlog")
+	if *metricsPath == "" && *tracePath == "" && *promPath == "" && *runlogDir == "" &&
+		*flightPath == "" && *fleetTrace == "" {
+		cliutil.Usagef("nothing to check: pass -metrics, -trace, -prom, -runlog, -flightrec and/or -fleet-trace")
 	}
 	if *minSpans < 0 {
 		cliutil.Usagef("-min-spans %d: must be >= 0", *minSpans)
@@ -196,6 +370,12 @@ func main() {
 	if *requireCounter != "" && *metricsPath == "" {
 		cliutil.Usagef("-require-counter needs -metrics")
 	}
+	if *minUnits < 0 {
+		cliutil.Usagef("-min-units %d: must be >= 0", *minUnits)
+	}
+	if *minUnits != 1 && *fleetTrace == "" {
+		cliutil.Usagef("-min-units needs -fleet-trace")
+	}
 	if *metricsPath != "" {
 		checkMetrics(*metricsPath, *requireCounter)
 	}
@@ -207,5 +387,11 @@ func main() {
 	}
 	if *runlogDir != "" {
 		checkRunlog(*runlogDir, *minRecords)
+	}
+	if *flightPath != "" {
+		checkFlightrec(*flightPath)
+	}
+	if *fleetTrace != "" {
+		checkFleetTrace(*fleetTrace, *minUnits)
 	}
 }

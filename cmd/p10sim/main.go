@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"power10sim/internal/cliutil"
+	"power10sim/internal/flightrec"
 	"power10sim/internal/isa"
 	"power10sim/internal/obsserver"
 	"power10sim/internal/power"
@@ -48,6 +49,7 @@ func main() {
 		list       = flag.Bool("list", false, "list workloads and exit")
 		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file to this file")
+		flightOut  = flag.String("flightrec", "", "arm the flight recorder; dump its ring to this file on panic, SIGQUIT, or drain")
 		sample     = flag.Uint64("sample", 1000, "cycle-sampling interval for -trace counter tracks (0 = off)")
 		sampleMode = flag.String("sample-mode", "full", "full | sampled | validate: time every instruction, run the SimPoint-style sampling engine, or run both and compare")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -73,6 +75,9 @@ func main() {
 		if *runlogDir != "" {
 			cliutil.Usagef("-runlog requires -sample-mode=full (the ledger keys one complete timed run)")
 		}
+		if *flightOut != "" {
+			cliutil.Usagef("-flightrec requires -sample-mode=full (sampled runs publish no progress events to record)")
+		}
 	default:
 		cliutil.Usagef("-sample-mode %q: must be full | sampled | validate", *sampleMode)
 	}
@@ -88,6 +93,9 @@ func main() {
 		cliutil.Usagef("%v", err)
 	}
 	if err := cliutil.CheckOutputPath("trace", *traceOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
+	if err := cliutil.CheckOutputPath("flightrec", *flightOut); err != nil {
 		cliutil.Usagef("%v", err)
 	}
 	if *pprofAddr != "" {
@@ -147,6 +155,19 @@ func main() {
 	// so -serve clients see the run on /events and /status; with no server
 	// (and thus no subscriber) every Publish is a single atomic load.
 	bus := progress.NewBus()
+	// Armed only when requested: a nil recorder is a no-op everywhere, and
+	// not subscribing keeps the unobserved-bus publish at one atomic load.
+	var frec *flightrec.Recorder
+	if *flightOut != "" {
+		frec = flightrec.New(flightrec.Options{
+			Command:  "p10sim",
+			Bus:      bus,
+			Registry: reg,
+			DumpPath: *flightOut,
+		})
+	}
+	frec.ArmSIGQUIT(nil)
+	defer frec.DumpOnPanic()
 	var server *obsserver.Server
 	if *serveAddr != "" {
 		var serr error
@@ -195,6 +216,16 @@ func main() {
 	// the same graceful drain p10bench performs for a whole sweep.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	// The drain flush closes a gap the normal paths cannot: a canceled
+	// simulation's error path exits before the telemetry writes below, and a
+	// wedged drain never reaches them at all.
+	cliutil.FlushOnDrain(ctx, func() {
+		frec.Note("drain signal received")
+		_ = frec.Dump("drain")
+		if *metricsOut != "" && reg != nil {
+			_ = reg.WriteFile(*metricsOut)
+		}
+	})
 	simName := fmt.Sprintf("%s@%s/smt%d", w.Name, cfg.Name, *smt)
 	// Recorded before Simulate so /metrics has a sample while the (possibly
 	// long) simulation is still running, not only after it retires.
@@ -230,6 +261,7 @@ func main() {
 		rec := baseRec()
 		rec.Err = err.Error()
 		logRun(rec)
+		_ = frec.Dump(fmt.Sprintf("sim failed: %v", err))
 		shutdown()
 		os.Exit(1)
 	}
@@ -299,6 +331,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events)\n", *traceOut, tr.Len())
+	}
+	if *flightOut != "" {
+		if err := frec.DumpFile(*flightOut, "end of run"); err != nil {
+			fmt.Fprintf(os.Stderr, "flightrec: %v\n", err)
+			shutdown()
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "flightrec: wrote %s\n", *flightOut)
 	}
 	shutdown()
 }

@@ -36,6 +36,7 @@ import (
 
 	"power10sim/internal/cliutil"
 	"power10sim/internal/fabric"
+	"power10sim/internal/flightrec"
 	"power10sim/internal/progress"
 	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
@@ -50,6 +51,7 @@ func main() {
 		batch      = flag.Int("batch", 0, "max units leased per poll (0 = match -jobs)")
 		chaosSpec  = flag.String("chaos", "", "misbehave on purpose: kill[:n] | stall[:n] | corrupt[:n]")
 		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot on exit")
+		flightOut  = flag.String("flightrec", "", "arm the flight recorder; dump its ring to this file on panic, SIGQUIT, chaos kill, or a lost lease")
 		cacheDir   = flag.String("cachedir", "", "persist simulation results under this directory (shared p10cache-v1 store)")
 		runlogDir  = flag.String("runlog", "", "append one campaign-ledger record per executed simulation under this directory")
 	)
@@ -70,14 +72,16 @@ func main() {
 	if err := cliutil.CheckOutputPath("metrics", *metricsOut); err != nil {
 		cliutil.Usagef("%v", err)
 	}
+	if err := cliutil.CheckOutputPath("flightrec", *flightOut); err != nil {
+		cliutil.Usagef("%v", err)
+	}
 	// SIGTERM drains rather than kills: Run finishes and reports the current
 	// batch, then deregisters so the coordinator reclaims nothing by timeout.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	var reg *telemetry.Registry
-	if *metricsOut != "" {
-		reg = telemetry.NewRegistry()
-	}
+	// The registry is always live so the coordinator's federated scrape has
+	// worker-side series to merge; the -metrics file write stays opt-in.
+	reg := telemetry.NewRegistry()
 	bus := progress.NewBus()
 	pool := runner.New(*jobs)
 	pool.Instrument(reg, nil)
@@ -96,13 +100,50 @@ func main() {
 		led.Instrument(reg)
 		pool.SetRunLog(led)
 	}
+	// Armed only when requested: a nil recorder is a no-op everywhere, so the
+	// lease-loss and chaos-kill hooks below need no flag checks of their own.
+	var rec *flightrec.Recorder
+	if *flightOut != "" {
+		rec = flightrec.New(flightrec.Options{
+			Command:  "p10worker",
+			Bus:      bus,
+			Registry: reg,
+			DumpPath: *flightOut,
+			AutoDump: flightrec.WatchdogAutoDump,
+		})
+	}
+	rec.ArmSIGQUIT(nil)
+	defer rec.DumpOnPanic()
+	cliutil.FlushOnDrain(ctx, func() {
+		rec.Note("drain signal received")
+		_ = rec.Dump("drain")
+		if *metricsOut != "" {
+			_ = reg.WriteFile(*metricsOut)
+		}
+	})
 	w := fabric.NewWorker(pool, fabric.WorkerOptions{
 		Coordinator: *coordURL,
 		Name:        *name,
 		Batch:       *batch,
 		Chaos:       chaos,
+		Registry:    reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "p10worker: "+format+"\n", args...)
+		},
+		// A lost lease means the coordinator gave this worker's units away —
+		// exactly the "what was I doing when the fleet moved on?" moment the
+		// flight record exists for.
+		OnLeaseExpired: func(keys []string) {
+			rec.Note("lease lost: %v", keys)
+			_ = rec.Dump("lease lost")
+		},
+		// The chaos kill path exits without unwinding; dump the record first so
+		// the harness (and scripts/trace_check.sh) can post-mortem the corpse.
+		// Exit code 3 is part of the chaos contract — keep it.
+		Exit: func(code int) {
+			rec.Note("chaos kill: exiting %d", code)
+			_ = rec.Dump("chaos kill")
+			os.Exit(code)
 		},
 	})
 	runErr := w.Run(ctx)
@@ -129,6 +170,14 @@ func main() {
 			exit = 1
 		} else {
 			fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+		}
+	}
+	if *flightOut != "" {
+		if err := rec.DumpFile(*flightOut, "end of run"); err != nil {
+			fmt.Fprintf(os.Stderr, "flightrec: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "flightrec: wrote %s\n", *flightOut)
 		}
 	}
 	bus.Close()

@@ -1,0 +1,20 @@
+package cliutil
+
+import "context"
+
+// FlushOnDrain runs flush once when ctx is canceled — the SIGINT/SIGTERM
+// drain path. CLIs use it to push their observability artifacts (metrics
+// snapshot, flight-recorder dump) to disk the moment a drain begins, so even
+// a drain that subsequently wedges (a stuck worker, an unreachable
+// coordinator) leaves a record. The end-of-run write still happens on the
+// normal path; both writes are atomic, so racing them is harmless — the last
+// complete file wins.
+func FlushOnDrain(ctx context.Context, flush func()) {
+	if ctx == nil || flush == nil {
+		return
+	}
+	go func() {
+		<-ctx.Done()
+		flush()
+	}()
+}

@@ -79,6 +79,12 @@ type WireResult struct {
 	// simulation errors (final: every worker would reproduce them).
 	Err       string `json:"error,omitempty"`
 	Transient bool   `json:"transient,omitempty"`
+	// StartedUnixMicro / FinishedUnixMicro bracket the unit's execution on
+	// the worker's own wall clock (unix microseconds). The coordinator maps
+	// them into its time base with the worker's reported clock offset when
+	// building the merged fleet trace; they carry no other semantics.
+	StartedUnixMicro  int64 `json:"started_unix_micro,omitempty"`
+	FinishedUnixMicro int64 `json:"finished_unix_micro,omitempty"`
 }
 
 // EncodeRequest converts a runner request into its wire payload, returning

@@ -90,9 +90,37 @@ type unit struct {
 
 	leaseExpiry time.Time
 
+	// Lifecycle record for the merged fleet trace: the trace context minted
+	// at submit, the submit time, the start of the current pending interval
+	// (queue-wait accounting), and one hop per lease. Queued intervals are
+	// not stored — they are derivable as the gaps between submit/hop-end and
+	// the next lease.
+	trace     telemetry.TraceContext
+	submitted time.Time
+	queuedAt  time.Time
+	hops      []*hop
+	mergedAt  time.Time
+	mergedBy  string // worker name that produced the accepted result
+
 	wire   WireResult // final result once state == stateDone
 	failed bool
 	done   chan struct{}
+}
+
+// hop is one lease of a unit by one worker — the coordinator-side record the
+// merged fleet trace and the lease-age/requeue-latency histograms are built
+// from. Times are on the coordinator clock except startedW/finishedW, which
+// the worker reports on its own clock (unix µs) and the trace builder maps
+// through that worker's estimated offset.
+type hop struct {
+	worker   string // worker name (trace annotation)
+	workerID string
+	leased   time.Time
+	ended    time.Time // zero while the lease is live
+	outcome  string    // "merged", "failed", "requeued: <reason>"
+
+	startedW  int64
+	finishedW int64
 }
 
 // workerState is the coordinator's view of one registered worker.
@@ -105,6 +133,15 @@ type workerState struct {
 
 	completed uint64
 	failed    uint64
+
+	// offsetMicros/rttMicros are the worker's latest reported clock-offset
+	// estimate ((coordinator - worker) µs, with its RTT error bound); zero
+	// RTT means never reported. snap is the worker's latest telemetry
+	// snapshot, kept for federation — it survives the worker draining so the
+	// fleet view doesn't lose counters when a worker leaves cleanly.
+	offsetMicros int64
+	rttMicros    int64
+	snap         *telemetry.Snapshot
 }
 
 // Coordinator owns the unit ledger, the worker registry, and the lease
@@ -117,6 +154,7 @@ type Coordinator struct {
 	now  func() time.Time // injectable clock for lease tests
 
 	mu      sync.Mutex
+	start   time.Time // trace epoch: all merged-trace timestamps are µs since this
 	units   map[string]*unit
 	fifo    []*unit // pending units, dispatch order
 	workers map[string]*workerState
@@ -138,6 +176,10 @@ type Coordinator struct {
 	tmRejected  *telemetry.Counter
 	tmJoined    *telemetry.Counter
 	tmLost      *telemetry.Counter
+
+	tmQueueWait  *telemetry.Histogram
+	tmLeaseAge   *telemetry.Histogram
+	tmRequeueLat *telemetry.Histogram
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
@@ -162,6 +204,7 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	c := &Coordinator{
 		opts:    opts,
 		now:     time.Now,
+		start:   time.Now(),
 		units:   map[string]*unit{},
 		workers: map[string]*workerState{},
 		wake:    make(chan struct{}),
@@ -177,8 +220,14 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 		tmRejected:  reg.Counter("fabric_submits_rejected_total"),
 		tmJoined:    reg.Counter("fabric_workers_joined_total"),
 		tmLost:      reg.Counter("fabric_workers_lost_total"),
-		sweepStop:   make(chan struct{}),
-		sweepDone:   make(chan struct{}),
+		// Dispatch-latency histograms: how long units sit queued before a
+		// lease, how long an accepted lease lives before its result merges,
+		// and how long a doomed lease lives before the fabric recovers it.
+		tmQueueWait:  reg.Histogram("fabric_queue_wait_seconds", telemetry.DurationBuckets()),
+		tmLeaseAge:   reg.Histogram("fabric_lease_age_seconds", telemetry.DurationBuckets()),
+		tmRequeueLat: reg.Histogram("fabric_requeue_latency_seconds", telemetry.DurationBuckets()),
+		sweepStop:    make(chan struct{}),
+		sweepDone:    make(chan struct{}),
 	}
 	go c.sweep()
 	return c
@@ -272,13 +321,20 @@ func (c *Coordinator) enqueue(key, label string, payload []byte, req runner.Requ
 		c.tmRejected.Inc()
 		return nil, ErrBusy
 	}
+	now := c.now()
 	u := &unit{
 		key:     key,
 		label:   label,
 		payload: payload,
 		req:     req,
 		state:   statePending,
-		done:    make(chan struct{}),
+		// The trace ID is a visible prefix of the content key, so a span in
+		// any process's trace can be joined back to cache entries, ledger
+		// rows, and run-log lines naming the same simulation.
+		trace:     telemetry.NewTraceContext(key),
+		submitted: now,
+		queuedAt:  now,
+		done:      make(chan struct{}),
 	}
 	c.units[key] = u
 	c.fifo = append(c.fifo, u)
@@ -318,6 +374,7 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 		WorkerID:        w.id,
 		LeaseTTLSeconds: c.opts.LeaseTTL.Seconds(),
 		Protocol:        ProtocolVersion,
+		CoordUnixMicro:  c.now().UnixMicro(),
 	}, nil
 }
 
@@ -329,6 +386,9 @@ func (c *Coordinator) Deregister(req DeregisterRequest) {
 	w, ok := c.workers[req.WorkerID]
 	if !ok || w.state != "live" {
 		return
+	}
+	if req.Snapshot != nil {
+		w.snap = req.Snapshot
 	}
 	w.state = "drained"
 	c.reclaimLocked(w.id, "worker drained")
@@ -385,6 +445,10 @@ func (c *Coordinator) Lease(ctx context.Context, workerID string, max int, wait 
 // leases them to workerID. Callers hold c.mu.
 func (c *Coordinator) takeLocked(workerID string, max int) []Unit {
 	now := c.now()
+	workerName := workerID
+	if w, ok := c.workers[workerID]; ok {
+		workerName = w.name
+	}
 	var out []Unit
 	kept := c.fifo[:0]
 	for _, u := range c.fifo {
@@ -393,7 +457,14 @@ func (c *Coordinator) takeLocked(workerID string, max int) []Unit {
 			u.attempt++
 			u.leasedTo = workerID
 			u.leaseExpiry = now.Add(c.opts.LeaseTTL)
-			out = append(out, Unit{Key: u.key, Label: u.label, Attempt: u.attempt, Payload: u.payload})
+			c.tmQueueWait.Observe(now.Sub(u.queuedAt).Seconds())
+			u.hops = append(u.hops, &hop{worker: workerName, workerID: workerID, leased: now})
+			out = append(out, Unit{
+				Key: u.key, Label: u.label, Attempt: u.attempt,
+				// The worker's spans parent under this lease hop.
+				Trace:   u.trace.Child("leased", u.attempt),
+				Payload: u.payload,
+			})
 		} else {
 			kept = append(kept, u)
 		}
@@ -415,8 +486,11 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	now := c.now()
 	if w, ok := c.workers[req.WorkerID]; ok {
 		w.last = now
+		if req.ClockRTTMicros > 0 {
+			w.offsetMicros, w.rttMicros = req.ClockOffsetMicros, req.ClockRTTMicros
+		}
 	}
-	var resp HeartbeatResponse
+	resp := HeartbeatResponse{CoordUnixMicro: now.UnixMicro()}
 	for _, key := range req.Keys {
 		u, ok := c.units[key]
 		if ok && u.state == stateLeased && u.leasedTo == req.WorkerID {
@@ -444,8 +518,15 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
 	if w, ok := c.workers[req.WorkerID]; ok {
-		w.last = c.now()
+		w.last = now
+		if req.ClockRTTMicros > 0 {
+			w.offsetMicros, w.rttMicros = req.ClockOffsetMicros, req.ClockRTTMicros
+		}
+		if req.Snapshot != nil {
+			w.snap = req.Snapshot
+		}
 	}
 	var resp CompleteResponse
 	for _, wr := range req.Results {
@@ -463,6 +544,13 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 			c.opts.Bus.Publish(progress.Event{Kind: progress.KindUnitDuplicate, Sim: u.label, Worker: req.WorkerID})
 			continue
 		}
+		// Stamp the delivering worker's execution bracket onto its open hop
+		// (if it still holds one) before the outcome decides the hop's fate —
+		// even a requeued attempt keeps its "ran from/to" record in the trace.
+		if h := openHop(u, req.WorkerID); h != nil {
+			h.startedW = wr.StartedUnixMicro
+			h.finishedW = wr.FinishedUnixMicro
+		}
 		if wr.Err == "" && wr.Activity == nil {
 			// Structurally corrupt: claims success but carries no ground
 			// truth. Recover the unit now instead of waiting for the lease.
@@ -479,10 +567,31 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 			resp.Accepted++
 			continue
 		}
+		if h := openHop(u, req.WorkerID); h != nil {
+			h.ended = now
+			if wr.Err != "" {
+				h.outcome = "failed"
+			} else {
+				h.outcome = "merged"
+			}
+			c.tmLeaseAge.Observe(now.Sub(h.leased).Seconds())
+		}
 		c.finishLocked(u, wr, req.WorkerID)
 		resp.Accepted++
 	}
 	return resp
+}
+
+// openHop finds the unit's live hop held by workerID (empty matches any).
+// Callers hold c.mu.
+func openHop(u *unit, workerID string) *hop {
+	for i := len(u.hops) - 1; i >= 0; i-- {
+		h := u.hops[i]
+		if h.ended.IsZero() && (workerID == "" || h.workerID == workerID) {
+			return h
+		}
+	}
+	return nil
 }
 
 // finishLocked transitions a unit to done and releases its waiters. Callers
@@ -492,7 +601,9 @@ func (c *Coordinator) finishLocked(u *unit, wr WireResult, workerID string) {
 	u.leasedTo = ""
 	u.wire = wr
 	u.failed = wr.Err != ""
+	u.mergedAt = c.now()
 	if w, ok := c.workers[workerID]; ok {
+		u.mergedBy = w.name
 		if u.failed {
 			w.failed++
 		} else {
@@ -510,6 +621,16 @@ func (c *Coordinator) requeueLocked(u *unit, reason string) {
 	if u.state == stateDone {
 		return
 	}
+	now := c.now()
+	// Close the lease hop this requeue recovers from (the current
+	// leaseholder's, when the unit is leased) so the merged trace shows the
+	// doomed attempt with its recovery reason and the requeue-latency
+	// histogram sees how long the fabric took to notice.
+	if h := openHop(u, u.leasedTo); h != nil {
+		h.ended = now
+		h.outcome = "requeued: " + reason
+		c.tmRequeueLat.Observe(now.Sub(h.leased).Seconds())
+	}
 	if u.attempt >= c.opts.MaxAttempts {
 		// Permanent and deliberately non-transient: the submitting runner
 		// must report it, not retry a unit the whole fleet already failed.
@@ -524,7 +645,8 @@ func (c *Coordinator) requeueLocked(u *unit, reason string) {
 	backoff += jitter(u.key, u.attempt, c.opts.RetryBackoff)
 	u.state = statePending
 	u.leasedTo = ""
-	u.notBefore = c.now().Add(backoff)
+	u.notBefore = now.Add(backoff)
+	u.queuedAt = now
 	c.fifo = append(c.fifo, u)
 	c.requeues++
 	c.tmRequeued.Inc()
@@ -644,17 +766,49 @@ func (c *Coordinator) Fleet() FleetStatus {
 	}
 	for _, w := range c.workers {
 		fs.Workers = append(fs.Workers, WorkerStatus{
-			Name:            w.name,
-			State:           w.state,
-			Workers:         w.workers,
-			Leased:          leases[w.id],
-			Completed:       w.completed,
-			Failed:          w.failed,
-			LastSeenSeconds: now.Sub(w.last).Seconds(),
+			Name:               w.name,
+			State:              w.state,
+			Workers:            w.workers,
+			Leased:             leases[w.id],
+			Completed:          w.completed,
+			Failed:             w.failed,
+			LastSeenSeconds:    now.Sub(w.last).Seconds(),
+			ClockOffsetSeconds: float64(w.offsetMicros) / 1e6,
 		})
 	}
 	sort.Slice(fs.Workers, func(i, j int) bool { return fs.Workers[i].Name < fs.Workers[j].Name })
 	return fs
+}
+
+// FederatedSnapshot merges the workers' pushed telemetry snapshots into the
+// coordinator's own registry snapshot (telemetry.Federate): the fleet-wide
+// /metrics view. With no registry and no worker snapshots it degenerates to
+// an empty snapshot; with workers but no local registry the worker series
+// still federate.
+func (c *Coordinator) FederatedSnapshot() telemetry.Snapshot {
+	local := c.opts.Registry.Snapshot()
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.workers))
+	for id, w := range c.workers {
+		if w.snap != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	workers := make(map[string]telemetry.Snapshot, len(ids))
+	for _, id := range ids {
+		w := c.workers[id]
+		// Label by advertised name; a name clash (two workers launched with
+		// the same -name) falls back to the uniquified coordinator ID, in
+		// deterministic ID order so reruns label identically.
+		key := w.name
+		if _, dup := workers[key]; dup {
+			key = w.id
+		}
+		workers[key] = *w.snap
+	}
+	c.mu.Unlock()
+	return telemetry.Federate(local, workers)
 }
 
 // Poll answers the external poll API for one unit key.

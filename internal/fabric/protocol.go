@@ -32,7 +32,11 @@
 // Retry-After under pressure.
 package fabric
 
-import "time"
+import (
+	"time"
+
+	"power10sim/internal/telemetry"
+)
 
 // ProtocolVersion is the fabric wire-schema generation. It is embedded in
 // every request payload and checked on both sides, so a version-skewed
@@ -68,6 +72,11 @@ type Unit struct {
 	Label string `json:"label"`
 	// Attempt is the 1-based dispatch attempt this lease represents.
 	Attempt int `json:"attempt"`
+	// Trace is the unit's distributed-tracing context: the trace ID minted at
+	// enqueue (a prefix of the content key) with Parent set to this lease
+	// hop's span ID, so worker-side telemetry joins the coordinator's span
+	// chain without coordination.
+	Trace telemetry.TraceContext `json:"trace"`
 	// Payload is the encoded WireRequest (see codec.go).
 	Payload []byte `json:"payload"`
 }
@@ -91,12 +100,21 @@ type RegisterResponse struct {
 	LeaseTTLSeconds float64 `json:"lease_ttl_seconds"`
 	// Protocol echoes ProtocolVersion for skew detection.
 	Protocol string `json:"protocol"`
+	// CoordUnixMicro is the coordinator's wall clock (unix microseconds) at
+	// response time — the server timestamp of an NTP-style exchange. The
+	// worker brackets the call with its own clock and estimates its offset as
+	// CoordUnixMicro - (t_send+t_recv)/2, refining it on every heartbeat.
+	CoordUnixMicro int64 `json:"coord_unix_micro"`
 }
 
 // DeregisterRequest is a clean goodbye: the worker has completed (or
 // abandoned) its leases and is draining.
 type DeregisterRequest struct {
 	WorkerID string `json:"worker_id"`
+	// Snapshot is the worker's final telemetry snapshot, so counters from a
+	// cleanly-drained worker survive in the federated fleet view after the
+	// worker's own /metrics endpoint is gone.
+	Snapshot *telemetry.Snapshot `json:"snapshot,omitempty"`
 }
 
 // LeaseRequest asks for up to Max units, long-polling up to WaitSeconds when
@@ -114,22 +132,42 @@ type LeaseResponse struct {
 	Closing bool   `json:"closing,omitempty"`
 }
 
-// HeartbeatRequest extends the worker's leases on the listed unit keys.
+// HeartbeatRequest extends the worker's leases on the listed unit keys. It
+// doubles as the clock-sync carrier: the worker reports its current best
+// offset estimate so the coordinator can translate worker-clock timestamps
+// into its own time base when building the merged fleet trace.
 type HeartbeatRequest struct {
 	WorkerID string   `json:"worker_id"`
 	Keys     []string `json:"keys"`
+	// ClockOffsetMicros is the worker's estimate of (coordinator clock -
+	// worker clock), from the minimum-RTT register/heartbeat exchange.
+	ClockOffsetMicros int64 `json:"clock_offset_micros,omitempty"`
+	// ClockRTTMicros is the round-trip time of the exchange that produced the
+	// estimate — its error bound.
+	ClockRTTMicros int64 `json:"clock_rtt_micros,omitempty"`
 }
 
 // HeartbeatResponse reports keys the worker no longer holds (expired and
 // re-dispatched); the worker may abandon them mid-run.
 type HeartbeatResponse struct {
 	Expired []string `json:"expired,omitempty"`
+	// CoordUnixMicro timestamps the response on the coordinator clock, the
+	// per-heartbeat sample the worker's offset estimator consumes.
+	CoordUnixMicro int64 `json:"coord_unix_micro"`
 }
 
-// CompleteRequest delivers finished unit results.
+// CompleteRequest delivers finished unit results, piggybacking the worker's
+// telemetry snapshot (for metrics federation) and its latest clock-offset
+// estimate (so even a worker whose first batch finishes before its first
+// heartbeat gets offset-corrected trace spans).
 type CompleteRequest struct {
 	WorkerID string       `json:"worker_id"`
 	Results  []WireResult `json:"results"`
+	// Snapshot is the worker's current telemetry snapshot; the coordinator
+	// keeps the latest per worker and federates them on demand.
+	Snapshot          *telemetry.Snapshot `json:"snapshot,omitempty"`
+	ClockOffsetMicros int64               `json:"clock_offset_micros,omitempty"`
+	ClockRTTMicros    int64               `json:"clock_rtt_micros,omitempty"`
 }
 
 // CompleteResponse accounts the delivery: Accepted results were recorded,
@@ -192,6 +230,9 @@ type WorkerStatus struct {
 	Failed    uint64 `json:"failed"`
 	// LastSeenSeconds is the age of its last RPC.
 	LastSeenSeconds float64 `json:"last_seen_seconds"`
+	// ClockOffsetSeconds is the worker's reported clock offset relative to
+	// the coordinator (coordinator - worker), zero until first reported.
+	ClockOffsetSeconds float64 `json:"clock_offset_seconds,omitempty"`
 }
 
 // QueueStatus aggregates the unit ledger.

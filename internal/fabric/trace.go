@@ -1,0 +1,215 @@
+package fabric
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"power10sim/internal/telemetry"
+)
+
+// The merged fleet trace: one Chrome trace_event file reconstructing every
+// work unit's lifecycle across the whole fleet on the coordinator's clock.
+//
+// Each unit gets its own thread lane (tid) under a single "fleet" process.
+// The lane holds one enclosing "unit:<label>" span from submit to merge, and
+// inside it the lifecycle chain:
+//
+//	queued   — pending intervals (submit→lease, requeue→re-lease)
+//	leased:w — each lease hop, annotated with its attempt and outcome
+//	running  — the worker-reported execution bracket, mapped from the
+//	           worker's clock into the coordinator's via the NTP-style
+//	           offset estimated from register/heartbeat round-trips
+//	shipped  — worker-finish to coordinator-accept (delivery + merge)
+//	merged   — an instant marking the accept-once commit
+//
+// Worker-clock timestamps are clamped into their enclosing lease span after
+// offset correction: the offset estimate's error bound is the round-trip
+// time, so a corrected timestamp can land slightly outside the lease that
+// provably contained it, and an out-of-parent child would render as a broken
+// trace. Clamping trades sub-RTT accuracy for structural validity.
+
+// uview is a renderable copy of one unit's lifecycle, taken under c.mu so
+// trace building runs lock-free.
+type uview struct {
+	key      string
+	label    string
+	trace    telemetry.TraceContext
+	state    unitState
+	failed   bool
+	attempt  int
+	sub      time.Time
+	mergedAt time.Time
+	mergedBy string
+	hops     []hop
+}
+
+// WriteTrace renders the merged fleet trace as Chrome trace_event JSON. It
+// can be called at any point in the sweep (the obsserver /fleet/trace
+// endpoint serves it live); in-flight units render with their lifecycle so
+// far, open-ended at "now".
+func (c *Coordinator) WriteTrace(w io.Writer) error {
+	c.mu.Lock()
+	now := c.now()
+	start := c.start
+	offsets := make(map[string]int64, len(c.workers))
+	for id, ws := range c.workers {
+		if ws.rttMicros > 0 {
+			offsets[id] = ws.offsetMicros
+		}
+	}
+	views := make([]uview, 0, len(c.units))
+	for _, u := range c.units {
+		v := uview{
+			key: u.key, label: u.label, trace: u.trace,
+			state: u.state, failed: u.failed, attempt: u.attempt,
+			sub: u.submitted, mergedAt: u.mergedAt, mergedBy: u.mergedBy,
+			hops: make([]hop, 0, len(u.hops)),
+		}
+		for _, h := range u.hops {
+			v.hops = append(v.hops, *h)
+		}
+		views = append(views, v)
+	}
+	c.mu.Unlock()
+
+	sort.Slice(views, func(i, j int) bool {
+		if views[i].label != views[j].label {
+			return views[i].label < views[j].label
+		}
+		return views[i].key < views[j].key
+	})
+
+	rel := func(t time.Time) int64 {
+		us := t.Sub(start).Microseconds()
+		if us < 0 {
+			us = 0
+		}
+		return us
+	}
+	startMicro := start.UnixMicro()
+	// corr maps a worker-clock unix-µs timestamp onto the trace timeline:
+	// add the worker's (coordinator − worker) offset, then rebase to the
+	// trace epoch. An unknown worker (never reported an offset) maps with
+	// offset zero — same-host fleets, where clocks agree anyway.
+	corr := func(workerID string, us int64) int64 {
+		return us + offsets[workerID] - startMicro
+	}
+
+	var evs []telemetry.Event
+	for tid, v := range views {
+		evs = append(evs, telemetry.Event{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": v.label + " " + short(v.key)},
+		})
+		var children []telemetry.Event
+		span := func(name, cat string, ts, end int64, args map[string]any) int64 {
+			if end <= ts {
+				end = ts + 1
+			}
+			children = append(children, telemetry.Event{
+				Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: end - ts, Pid: 0, Tid: tid, Args: args,
+			})
+			return end
+		}
+
+		// Queued spans are the gaps the hop record leaves: submit (or the
+		// previous hop's end) up to the next lease, plus the live tail for a
+		// unit still pending at dump time.
+		qStart := v.sub
+		for i, h := range v.hops {
+			qEnd := h.leased
+			if qEnd.After(qStart) {
+				span("queued", "queue", rel(qStart), rel(qEnd), map[string]any{"interval": i + 1})
+			}
+			if h.ended.IsZero() {
+				qStart = now
+			} else {
+				qStart = h.ended
+			}
+		}
+		if v.state == statePending && qStart.Before(now) {
+			span("queued", "queue", rel(qStart), rel(now), map[string]any{"interval": len(v.hops) + 1})
+		}
+
+		lastEnd := rel(v.sub)
+		for i, h := range v.hops {
+			attempt := i + 1
+			hopEnd := h.ended
+			outcome := h.outcome
+			if hopEnd.IsZero() {
+				hopEnd = now
+				outcome = "open"
+			}
+			lts, lend := rel(h.leased), rel(hopEnd)
+			// The execution bracket, offset-corrected and clamped into its
+			// lease (see the package comment on why clamping is right).
+			var rts, rend int64 = -1, -1
+			if h.startedW > 0 && h.finishedW >= h.startedW {
+				rts = corr(h.workerID, h.startedW)
+				rend = corr(h.workerID, h.finishedW)
+				if rts < lts {
+					rts = lts
+				}
+				if rend > lend {
+					rend = lend
+				}
+				if rend <= rts {
+					rend = rts + 1
+				}
+				if rend > lend {
+					lend = rend // keep the lease span enclosing
+				}
+			}
+			end := span("leased:"+h.worker, "lease", lts, lend, map[string]any{
+				"attempt": attempt,
+				"outcome": outcome,
+				"span_id": telemetry.SpanID(v.trace.TraceID, "leased", attempt),
+			})
+			if end > lastEnd {
+				lastEnd = end
+			}
+			if rts >= 0 {
+				span("running", "exec", rts, rend, map[string]any{"worker": h.worker})
+				if outcome == "merged" || outcome == "failed" {
+					// Delivery lag: worker finished (corrected) → result
+					// accepted on the coordinator.
+					span("shipped", "ship", rend, rel(h.ended), map[string]any{"worker": h.worker})
+				}
+			}
+		}
+		if !v.mergedAt.IsZero() {
+			ts := rel(v.mergedAt)
+			evs = append(evs, telemetry.Event{
+				Name: "merged", Cat: "merge", Ph: "i", Ts: ts, Pid: 0, Tid: tid,
+			})
+			if ts+1 > lastEnd {
+				lastEnd = ts + 1
+			}
+		}
+		for _, ch := range children {
+			if ch.Ts+ch.Dur > lastEnd {
+				lastEnd = ch.Ts + ch.Dur
+			}
+		}
+		state := v.state.String()
+		if v.state == stateDone && v.failed {
+			state = "failed"
+		}
+		parent := telemetry.Event{
+			Name: "unit:" + v.label, Cat: "unit", Ph: "X",
+			Ts: rel(v.sub), Dur: lastEnd + 1 - rel(v.sub), Pid: 0, Tid: tid,
+			Args: map[string]any{
+				"trace_id": v.trace.TraceID,
+				"key":      v.key,
+				"attempts": v.attempt,
+				"state":    state,
+				"merged":   v.state == stateDone && !v.failed,
+				"worker":   v.mergedBy,
+			},
+		}
+		evs = append(evs, parent)
+		evs = append(evs, children...)
+	}
+	return telemetry.WriteChromeTrace(w, map[int]string{0: "fleet (coordinator clock)"}, evs)
+}

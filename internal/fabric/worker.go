@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"power10sim/internal/runner"
+	"power10sim/internal/telemetry"
 )
 
 // WorkerChaos injects fabric-level failures into a worker for robustness
@@ -70,6 +71,20 @@ type WorkerOptions struct {
 	Chaos *WorkerChaos
 	// Logf receives worker lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, is snapshotted and piggybacked on every result
+	// delivery (and the final deregister) so the coordinator can federate
+	// this worker's telemetry into the fleet-wide /metrics view.
+	Registry *telemetry.Registry
+	// OnLeaseExpired is invoked (from the heartbeat goroutine) with the unit
+	// keys the coordinator reports as no longer ours — the hook cmd/p10worker
+	// uses to flight-record a lost lease. Nil ignores the report, matching
+	// the previous behavior: the batch still finishes and its late results
+	// resolve under the accept-once rule.
+	OnLeaseExpired func(keys []string)
+	// Exit terminates the process for chaos "kill" (default os.Exit) — a seam
+	// so the CLI can dump its flight recorder before dying, and tests can
+	// observe the kill without losing the process.
+	Exit func(code int)
 }
 
 // Worker is the fleet's execution side: it leases content-keyed units from a
@@ -86,8 +101,16 @@ type Worker struct {
 	ttl      time.Duration
 	executed int // completed units, for chaos triggers
 
-	mu     sync.Mutex
-	inKeys []string // keys currently being executed (heartbeat set)
+	mu      sync.Mutex
+	inKeys  []string // keys currently being executed (heartbeat set)
+	inUnits []Unit   // the leased units behind inKeys (flight-recorder context)
+
+	// Clock-offset estimate against the coordinator, refreshed by every
+	// register/heartbeat exchange and kept at the minimum-RTT sample (the
+	// tightest error bound). offsetMicros is (coordinator − worker) µs.
+	clockMu      sync.Mutex
+	offsetMicros int64
+	rttMicros    int64
 }
 
 // NewWorker wires a worker to an already-configured runner pool. The caller
@@ -110,7 +133,56 @@ func NewWorker(pool *runner.Runner, opts WorkerOptions) *Worker {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Exit == nil {
+		opts.Exit = os.Exit
+	}
 	return &Worker{pool: pool, opts: opts, client: &http.Client{}}
+}
+
+// InFlight returns the units the worker is currently executing — the
+// flight-recorder context for a lost lease or a chaos kill.
+func (w *Worker) InFlight() []Unit {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Unit(nil), w.inUnits...)
+}
+
+// updateClock folds one NTP-style sample into the offset estimate: the
+// coordinator stamped its clock at coordMicro somewhere between our t0 (send)
+// and t3 (receive), so offset ≈ coordMicro − (t0+t3)/2 with error bound
+// rtt = t3 − t0. The minimum-RTT sample wins: it has the tightest bound.
+func (w *Worker) updateClock(t0, t3, coordMicro int64) {
+	if coordMicro == 0 || t3 < t0 {
+		return
+	}
+	rtt := t3 - t0
+	if rtt <= 0 {
+		rtt = 1
+	}
+	offset := coordMicro - (t0+t3)/2
+	w.clockMu.Lock()
+	if w.rttMicros == 0 || rtt <= w.rttMicros {
+		w.offsetMicros, w.rttMicros = offset, rtt
+	}
+	w.clockMu.Unlock()
+}
+
+// clockEstimate returns the current (offset, rtt) estimate in µs; rtt == 0
+// means no exchange has completed yet.
+func (w *Worker) clockEstimate() (offset, rtt int64) {
+	w.clockMu.Lock()
+	defer w.clockMu.Unlock()
+	return w.offsetMicros, w.rttMicros
+}
+
+// snapshot returns the worker's telemetry snapshot for piggybacking, nil when
+// no registry is configured.
+func (w *Worker) snapshot() *telemetry.Snapshot {
+	if w.opts.Registry == nil {
+		return nil
+	}
+	s := w.opts.Registry.Snapshot()
+	return &s
 }
 
 // Run is the worker's main loop: register (retrying until the coordinator
@@ -193,8 +265,13 @@ var errGone = errors.New("fabric: worker unknown to coordinator")
 func (w *Worker) register(ctx context.Context) error {
 	for {
 		var resp RegisterResponse
+		t0 := time.Now().UnixMicro()
 		err := w.post(ctx, PathRegister, RegisterRequest{Name: w.opts.Name, Workers: w.pool.Workers()}, &resp)
+		t3 := time.Now().UnixMicro()
 		if err == nil {
+			// First clock sample: even a worker whose whole batch finishes
+			// before its first heartbeat has an offset estimate to report.
+			w.updateClock(t0, t3, resp.CoordUnixMicro)
 			if resp.Protocol != ProtocolVersion {
 				return fmt.Errorf("fabric: protocol skew: coordinator %q, worker %q", resp.Protocol, ProtocolVersion)
 			}
@@ -214,10 +291,12 @@ func (w *Worker) register(ctx context.Context) error {
 }
 
 func (w *Worker) deregister() {
-	// Best-effort, short deadline: the coordinator may already be gone.
+	// Best-effort, short deadline: the coordinator may already be gone. The
+	// final telemetry snapshot rides along so the federated fleet view keeps
+	// this worker's counters after it drains.
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	_ = w.post(ctx, PathDeregister, DeregisterRequest{WorkerID: w.id}, &struct{}{})
+	_ = w.post(ctx, PathDeregister, DeregisterRequest{WorkerID: w.id, Snapshot: w.snapshot()}, &struct{}{})
 }
 
 func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
@@ -240,6 +319,7 @@ func (w *Worker) executeBatch(ctx context.Context, units []Unit) []WireResult {
 	}
 	w.mu.Lock()
 	w.inKeys = keys
+	w.inUnits = append([]Unit(nil), units...)
 	w.mu.Unlock()
 
 	hbStop := make(chan struct{})
@@ -255,7 +335,10 @@ func (w *Worker) executeBatch(ctx context.Context, units []Unit) []WireResult {
 		reqs[i], decodeErr[i] = DecodeRequest(u.Payload, u.Key)
 	}
 	// Execute through the pool: decode failures become error results below,
-	// valid requests run with full local caching and fault tolerance.
+	// valid requests run with full local caching and fault tolerance. Each
+	// unit is timed individually on the worker's wall clock (the pool bounds
+	// concurrency inside DoCtx, so the goroutine-per-unit fan-out below has
+	// the same scheduling RunAllCtx would give).
 	run := make([]runner.Request, 0, len(units))
 	runIdx := make([]int, 0, len(units))
 	for i := range reqs {
@@ -264,12 +347,37 @@ func (w *Worker) executeBatch(ctx context.Context, units []Unit) []WireResult {
 			runIdx = append(runIdx, i)
 		}
 	}
-	results := w.pool.RunAllCtx(ctx, run)
+	results := make([]runner.Result, len(run))
+	started := make([]int64, len(run))
+	finished := make([]int64, len(run))
+	timedRun := func(j int) {
+		started[j] = time.Now().UnixMicro()
+		results[j] = w.pool.DoCtx(ctx, run[j])
+		finished[j] = time.Now().UnixMicro()
+	}
+	if w.pool.Workers() == 1 {
+		// Serial fast path, mirroring RunAllCtx: no goroutines, identical
+		// observable behavior.
+		for j := range run {
+			timedRun(j)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for j := range run {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				timedRun(j)
+			}(j)
+		}
+		wg.Wait()
+	}
 
 	close(hbStop)
 	hbDone.Wait()
 	w.mu.Lock()
 	w.inKeys = nil
+	w.inUnits = nil
 	w.mu.Unlock()
 
 	out := make([]WireResult, len(units))
@@ -285,6 +393,8 @@ func (w *Worker) executeBatch(ctx context.Context, units []Unit) []WireResult {
 	for j, res := range results {
 		i := runIdx[j]
 		out[i] = EncodeResult(units[i].Key, res)
+		out[i].StartedUnixMicro = started[j]
+		out[i].FinishedUnixMicro = finished[j]
 		w.executed++
 		w.applyChaos(&out[i], units[i])
 	}
@@ -308,9 +418,11 @@ func (w *Worker) applyChaos(res *WireResult, u Unit) {
 	switch c.Mode {
 	case "kill":
 		// Die with the batch unreported: the coordinator recovers these
-		// units through lease expiry.
+		// units through lease expiry. The Exit seam lets the CLI flush its
+		// flight recorder first; the exit code stays 3 (fabric_check.sh and
+		// trace_check.sh assert it).
 		w.opts.Logf("worker %s: chaos kill after %d unit(s)", w.id, w.executed-1)
-		os.Exit(3)
+		w.opts.Exit(3)
 	case "stall":
 		// Heartbeats were suppressed for this batch (executeBatch); now
 		// outlive the lease before delivering, so the result arrives after
@@ -344,10 +456,23 @@ func (w *Worker) heartbeatLoop(stop <-chan struct{}, done *sync.WaitGroup) {
 			if len(keys) == 0 {
 				continue
 			}
+			offset, rtt := w.clockEstimate()
 			ctx, cancel := context.WithTimeout(context.Background(), w.ttl/2)
 			var resp HeartbeatResponse
-			_ = w.post(ctx, PathHeartbeat, HeartbeatRequest{WorkerID: w.id, Keys: keys}, &resp)
+			t0 := time.Now().UnixMicro()
+			err := w.post(ctx, PathHeartbeat, HeartbeatRequest{
+				WorkerID: w.id, Keys: keys,
+				ClockOffsetMicros: offset, ClockRTTMicros: rtt,
+			}, &resp)
+			t3 := time.Now().UnixMicro()
 			cancel()
+			if err != nil {
+				continue
+			}
+			w.updateClock(t0, t3, resp.CoordUnixMicro)
+			if len(resp.Expired) > 0 && w.opts.OnLeaseExpired != nil {
+				w.opts.OnLeaseExpired(append([]string(nil), resp.Expired...))
+			}
 		}
 	}
 }
@@ -357,9 +482,14 @@ func (w *Worker) complete(results []WireResult) error {
 	// TTL of re-execution elsewhere.
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
+		offset, rtt := w.clockEstimate()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		var resp CompleteResponse
-		err = w.post(ctx, PathComplete, CompleteRequest{WorkerID: w.id, Results: results}, &resp)
+		err = w.post(ctx, PathComplete, CompleteRequest{
+			WorkerID: w.id, Results: results,
+			Snapshot:          w.snapshot(),
+			ClockOffsetMicros: offset, ClockRTTMicros: rtt,
+		}, &resp)
 		cancel()
 		if err == nil {
 			if resp.Duplicates > 0 || resp.Rejected > 0 {

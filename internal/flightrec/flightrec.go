@@ -1,0 +1,322 @@
+// Package flightrec is the harness's crash-safe flight recorder: a bounded
+// in-memory ring of the most recent progress-bus events and operator notes,
+// paired with a baseline telemetry snapshot, that can be dumped atomically to
+// JSON at the moment something goes wrong — a panic, a SIGQUIT, a watchdog
+// kill, a lost lease, a chaos exit. The dump answers the post-mortem question
+// the live endpoints cannot: "what was this process doing in the seconds
+// before it died?", from a process that is already dying.
+//
+// The recorder follows the repository's observability conventions:
+//
+//   - Nil is off. Every method on a nil *Recorder does nothing, so CLIs arm
+//     it unconditionally behind a flag.
+//   - Bounded memory. The ring holds Capacity entries; older entries are
+//     dropped and counted, never reallocated at dump time.
+//   - Crash-safe output. Dumps go through the telemetry package's atomic
+//     write (temp file + rename), so a dump interrupted by the very crash it
+//     is recording leaves either the previous complete dump or nothing —
+//     never a truncated file. p10obscheck -flightrec validates the schema.
+//   - Counters dump as deltas. The dump reports each counter's change since
+//     the recorder was armed, not its absolute value, so "what happened this
+//     flight" is readable without a baseline scrape to diff against.
+package flightrec
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"encoding/json"
+
+	"power10sim/internal/progress"
+	"power10sim/internal/telemetry"
+)
+
+// Schema identifies the dump format; p10obscheck -flightrec verifies it.
+const Schema = "p10flightrec-v1"
+
+// DefaultCapacity is the ring size when Options.Capacity is unset: enough to
+// hold the tail of any realistic sweep's event stream without mattering to
+// the process footprint.
+const DefaultCapacity = 256
+
+// Options configures a Recorder.
+type Options struct {
+	// Command names the process in the dump ("p10bench", "p10worker", ...).
+	Command string
+	// Capacity bounds the event ring (default DefaultCapacity).
+	Capacity int
+	// Bus, when non-nil, is subscribed to and its events recorded into the
+	// ring as they are published.
+	Bus *progress.Bus
+	// Registry, when non-nil, is snapshotted at arm time (the delta baseline)
+	// and again at each dump.
+	Registry *telemetry.Registry
+	// DumpPath is the default destination for Dump/DumpOnPanic; empty makes
+	// those methods no-ops (WriteJSON and DumpFile still work).
+	DumpPath string
+	// AutoDump, when non-nil, is evaluated against every bus event; a true
+	// return dumps to DumpPath immediately. WatchdogAutoDump is the stock
+	// predicate (dump when a simulation dies by watchdog).
+	AutoDump func(progress.Event) bool
+}
+
+// WatchdogAutoDump is the stock AutoDump predicate: fire on simulation
+// failures and retries whose error mentions the watchdog — the hang-recovery
+// path, where the pre-kill event tail is exactly what a post-mortem needs.
+func WatchdogAutoDump(ev progress.Event) bool {
+	if ev.Kind != progress.KindSimFailed && ev.Kind != progress.KindSimRetried {
+		return false
+	}
+	return strings.Contains(ev.Err, "watchdog")
+}
+
+// Entry is one ring slot: a recorded bus event or an operator note.
+type Entry struct {
+	// Seq is the recorder-local sequence number, strictly increasing across
+	// both kinds, so a validator can prove the ring is ordered and gap-free
+	// modulo the counted drops.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind is "event" (Event is set) or "note" (Note is set).
+	Kind  string          `json:"kind"`
+	Event *progress.Event `json:"event,omitempty"`
+	Note  string          `json:"note,omitempty"`
+}
+
+// CounterDelta is one counter's change since the recorder was armed.
+type CounterDelta struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Delta  uint64            `json:"delta"`
+}
+
+// Dump is the serialized flight record.
+type Dump struct {
+	Schema  string `json:"schema"`
+	Command string `json:"command"`
+	// Reason says why the dump was taken ("panic: ...", "SIGQUIT",
+	// "lease lost", "chaos kill", ...).
+	Reason   string    `json:"reason"`
+	DumpedAt time.Time `json:"dumped_at"`
+	// Dropped counts ring entries lost to the capacity bound before this
+	// dump (the recorder's own overwrites plus bus-side subscription drops).
+	Dropped uint64  `json:"dropped,omitempty"`
+	Events  []Entry `json:"events"`
+	// Counters are deltas since arm time; Gauges are current values (a gauge
+	// delta is meaningless). Both follow snapshot sort order.
+	Counters []CounterDelta            `json:"counters,omitempty"`
+	Gauges   []telemetry.GaugeSnapshot `json:"gauges,omitempty"`
+}
+
+// Recorder is the in-memory flight recorder. Construct with New; a nil
+// *Recorder is a valid no-op.
+type Recorder struct {
+	opts     Options
+	baseline telemetry.Snapshot
+	sub      *progress.Subscription
+
+	mu      sync.Mutex
+	ring    []Entry
+	next    int // ring insertion point once full
+	seq     uint64
+	dropped uint64
+	done    chan struct{}
+}
+
+// New arms a recorder: takes the counter baseline and, when a bus is
+// configured, starts draining its events into the ring. Close it to detach.
+func New(opts Options) *Recorder {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	r := &Recorder{
+		opts:     opts,
+		baseline: opts.Registry.Snapshot(),
+		done:     make(chan struct{}),
+	}
+	if opts.Bus != nil {
+		// The subscription buffer matches the ring: a burst the ring would
+		// overwrite anyway may as well drop at the bus (it is counted there).
+		r.sub = opts.Bus.Subscribe(opts.Capacity)
+		go r.drain()
+	}
+	return r
+}
+
+// drain moves bus events into the ring until the subscription closes.
+func (r *Recorder) drain() {
+	defer close(r.done)
+	for ev := range r.sub.C() {
+		ev := ev
+		r.record(Entry{Kind: "event", Time: ev.Time, Event: &ev})
+		if r.opts.AutoDump != nil && r.opts.AutoDump(ev) {
+			_ = r.Dump(fmt.Sprintf("auto: %s", ev.String()))
+		}
+	}
+}
+
+// record appends one entry, overwriting the oldest once the ring is full.
+func (r *Recorder) record(e Entry) {
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if len(r.ring) < r.opts.Capacity {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[r.next] = e
+		r.next = (r.next + 1) % len(r.ring)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Note records an operator annotation ("draining on SIGTERM", "lease lost:
+// <keys>"). Safe on nil.
+func (r *Recorder) Note(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: "note", Note: fmt.Sprintf(format, args...)})
+}
+
+// snapshotLocked returns the ring in seq order plus the drop count.
+func (r *Recorder) snapshot() (events []Entry, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events = make([]Entry, 0, len(r.ring))
+	if len(r.ring) == r.opts.Capacity {
+		events = append(events, r.ring[r.next:]...)
+		events = append(events, r.ring[:r.next]...)
+	} else {
+		events = append(events, r.ring...)
+	}
+	dropped = r.dropped
+	if r.sub != nil {
+		dropped += r.sub.Dropped()
+	}
+	return events, dropped
+}
+
+// WriteJSON serializes the flight record. Safe on nil (writes nothing,
+// returns nil: there is no record to lose).
+func (r *Recorder) WriteJSON(w io.Writer, reason string) error {
+	if r == nil {
+		return nil
+	}
+	events, dropped := r.snapshot()
+	d := Dump{
+		Schema:   Schema,
+		Command:  r.opts.Command,
+		Reason:   reason,
+		DumpedAt: time.Now(),
+		Dropped:  dropped,
+		Events:   events,
+	}
+	if r.opts.Registry != nil {
+		cur := r.opts.Registry.Snapshot()
+		base := make(map[string]uint64, len(r.baseline.Counters))
+		for _, c := range r.baseline.Counters {
+			base[counterKey(c)] = c.Value
+		}
+		for _, c := range cur.Counters {
+			delta := c.Value - base[counterKey(c)]
+			if delta == 0 {
+				continue
+			}
+			d.Counters = append(d.Counters, CounterDelta{Name: c.Name, Labels: c.Labels, Delta: delta})
+		}
+		d.Gauges = cur.Gauges
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+func counterKey(c telemetry.CounterSnapshot) string {
+	// Snapshot order is already canonical; a cheap composite key suffices
+	// because label maps marshal with sorted keys.
+	b, _ := json.Marshal(c.Labels)
+	return c.Name + "\x00" + string(b)
+}
+
+// DumpFile writes the flight record to path atomically. Safe on nil.
+func (r *Recorder) DumpFile(path, reason string) error {
+	if r == nil {
+		return nil
+	}
+	return telemetry.WriteFileAtomic(path, func(w io.Writer) error {
+		return r.WriteJSON(w, reason)
+	})
+}
+
+// Dump writes to the configured DumpPath; a recorder without one (or nil)
+// silently succeeds. This is the method crash paths call — they have nowhere
+// to report an error anyway, but it is returned for the paths that do.
+func (r *Recorder) Dump(reason string) error {
+	if r == nil || r.opts.DumpPath == "" {
+		return nil
+	}
+	return r.DumpFile(r.opts.DumpPath, reason)
+}
+
+// DumpOnPanic is a deferred hook: if the goroutine is panicking, it dumps
+// with the panic value as the reason and re-panics, preserving the crash
+// (and its stack trace) while saving the flight record first. Safe on nil —
+// the panic still propagates. Usage: defer rec.DumpOnPanic().
+func (r *Recorder) DumpOnPanic() {
+	p := recover()
+	if p == nil {
+		return
+	}
+	r.Note("panic: %v", p)
+	_ = r.Dump(fmt.Sprintf("panic: %v", p))
+	panic(p)
+}
+
+// ArmSIGQUIT installs a SIGQUIT handler that dumps the flight record (reason
+// "SIGQUIT") and then exits through exit (default os.Exit) with code 2 —
+// trading the runtime's goroutine dump for the flight record, which is the
+// deliberate "post-mortem a live process" gesture. Safe on nil: no handler
+// is installed and the runtime's default SIGQUIT behavior stays in place.
+func (r *Recorder) ArmSIGQUIT(exit func(int)) {
+	if r == nil {
+		return
+	}
+	if exit == nil {
+		exit = os.Exit
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		<-ch
+		r.Note("SIGQUIT received")
+		_ = r.Dump("SIGQUIT")
+		exit(2)
+	}()
+}
+
+// Close detaches the bus subscription and stops the drain goroutine. It does
+// not dump — pair it with an explicit Dump/DumpFile where a final record is
+// wanted. Safe on nil and idempotent via the subscription's own guard.
+func (r *Recorder) Close() {
+	if r == nil {
+		return
+	}
+	if r.sub != nil {
+		r.sub.Close()
+		<-r.done
+	}
+}

@@ -1,0 +1,159 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"power10sim/internal/progress"
+	"power10sim/internal/telemetry"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Note("ignored %d", 1)
+	if err := r.WriteJSON(os.Stderr, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Dump("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DumpFile(filepath.Join(t.TempDir(), "f.json"), "x"); err != nil {
+		t.Fatal(err)
+	}
+	r.ArmSIGQUIT(nil)
+	r.Close()
+}
+
+func TestRingBoundAndOrder(t *testing.T) {
+	r := New(Options{Command: "test", Capacity: 4})
+	defer r.Close()
+	for i := 0; i < 10; i++ {
+		r.Note("note %d", i)
+	}
+	events, dropped := r.snapshot()
+	if len(events) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(events))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	// The surviving tail is the most recent entries, in seq order.
+	for i, e := range events {
+		if want := fmt.Sprintf("note %d", 6+i); e.Note != want {
+			t.Errorf("entry %d = %q, want %q", i, e.Note, want)
+		}
+		if i > 0 && e.Seq != events[i-1].Seq+1 {
+			t.Errorf("seq gap at %d: %d after %d", i, e.Seq, events[i-1].Seq)
+		}
+	}
+}
+
+func TestBusEventsAndAutoDump(t *testing.T) {
+	bus := progress.NewBus()
+	defer bus.Close()
+	path := filepath.Join(t.TempDir(), "auto.json")
+	r := New(Options{
+		Command:  "test",
+		Bus:      bus,
+		DumpPath: path,
+		AutoDump: WatchdogAutoDump,
+	})
+	defer r.Close()
+
+	bus.Publish(progress.Event{Kind: progress.KindSimStarted, Sim: "a"})
+	bus.Publish(progress.Event{Kind: progress.KindSimFailed, Sim: "a", Err: "watchdog: killed after 1s"})
+	// The auto-dump fires on the drain goroutine; poll for the file.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog event never auto-dumped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema != Schema || d.Command != "test" {
+		t.Fatalf("dump header = %q/%q", d.Schema, d.Command)
+	}
+	if len(d.Reason) < len("auto: ") || d.Reason[:6] != "auto: " {
+		t.Fatalf("reason = %q, want auto: prefix", d.Reason)
+	}
+	found := false
+	for _, e := range d.Events {
+		if e.Kind == "event" && e.Event != nil && e.Event.Kind == progress.KindSimFailed {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dump does not contain the triggering failure event")
+	}
+}
+
+func TestCounterDeltasAgainstBaseline(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("pre_existing").Add(10)
+	reg.Counter("untouched").Add(3)
+	r := New(Options{Command: "test", Registry: reg})
+	defer r.Close()
+	reg.Counter("pre_existing").Add(5)
+	reg.Counter("born_in_flight").Add(2)
+	reg.Gauge("depth").Set(7)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	deltas := map[string]uint64{}
+	for _, c := range d.Counters {
+		deltas[c.Name] = c.Delta
+	}
+	if deltas["pre_existing"] != 5 {
+		t.Errorf("pre_existing delta = %d, want 5", deltas["pre_existing"])
+	}
+	if deltas["born_in_flight"] != 2 {
+		t.Errorf("born_in_flight delta = %d, want 2", deltas["born_in_flight"])
+	}
+	if _, ok := deltas["untouched"]; ok {
+		t.Error("zero-delta counter appears in the dump")
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0].Value != 7 {
+		t.Errorf("gauges = %+v, want depth=7", d.Gauges)
+	}
+	if d.Reason != "unit test" || d.DumpedAt.IsZero() {
+		t.Errorf("dump header reason/time wrong: %q %v", d.Reason, d.DumpedAt)
+	}
+}
+
+func TestWatchdogAutoDumpPredicate(t *testing.T) {
+	for _, tc := range []struct {
+		ev   progress.Event
+		want bool
+	}{
+		{progress.Event{Kind: progress.KindSimFailed, Err: "watchdog: killed"}, true},
+		{progress.Event{Kind: progress.KindSimRetried, Err: "watchdog timeout"}, true},
+		{progress.Event{Kind: progress.KindSimFailed, Err: "bad input"}, false},
+		{progress.Event{Kind: progress.KindSimFinished, Err: "watchdog"}, false},
+	} {
+		if got := WatchdogAutoDump(tc.ev); got != tc.want {
+			t.Errorf("WatchdogAutoDump(%+v) = %v, want %v", tc.ev, got, tc.want)
+		}
+	}
+}

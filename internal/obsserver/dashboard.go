@@ -6,8 +6,8 @@ import "net/http"
 // HTML page (no external assets, no JS dependencies) that renders sweep
 // progress from the same three read-only endpoints any curl user sees —
 // /status polled for tiles and panels, /events streamed for the sparkline
-// tracks (the browser's EventSource auto-reconnects and presents
-// Last-Event-ID, exercising the bus replay ring), and /runs polled for the
+// tracks (reconnects run under jittered exponential backoff and resume with
+// ?last-event-id=, exercising the bus replay ring), and /runs polled for the
 // campaign-ledger table.
 func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -101,6 +101,7 @@ footer { color: var(--muted); font-size: 11px; margin-top: 10px; }
   <div class="tile"><div class="label">Failures</div><div class="value" id="t-fail">–</div><div class="note" id="t-fail-note"></div></div>
   <div class="tile"><div class="label">Ledger records</div><div class="value" id="t-led">–</div><div class="note" id="t-led-note"></div></div>
   <div class="tile" id="t-fab-tile" style="display:none"><div class="label">Fabric workers</div><div class="value" id="t-fab">–</div><div class="note" id="t-fab-note"></div></div>
+  <div class="tile" id="t-rec-tile" style="display:none"><div class="label">Fabric recovery</div><div class="value" id="t-rec">–</div><div class="note" id="t-rec-note"></div></div>
 </div>
 
 <div class="grid2">
@@ -211,35 +212,75 @@ function queueRedraw() {
   });
 }
 
-/* --- live events over SSE; the browser reconnects with Last-Event-ID and
-       the server backfills from its replay ring --- */
+/* --- live events over SSE with explicit reconnect management: the browser's
+       built-in EventSource retry is a fixed short interval and only its
+       automatic reconnects carry Last-Event-ID, so a server restart turns
+       into a hammering loop with a blind gap. Instead each error closes the
+       source and schedules a fresh one under jittered exponential backoff
+       (0.5s doubling to a 30s ceiling, ±50% jitter so parked dashboards
+       don't reconnect in lockstep), passing the last seen event id as
+       ?last-event-id= for the server's replay-ring backfill. The connection
+       badge shows a live countdown while down. --- */
 var failures = [];
-var es = new EventSource("/events");
 var conn = document.getElementById("conn");
-es.onopen = function () { conn.textContent = "live"; conn.className = "live"; };
-es.onerror = function () { conn.textContent = "reconnecting"; conn.className = "down"; };
-es.addEventListener("sim_finished", function (e) {
-  var ev = JSON.parse(e.data);
-  if (ev.ipc) {
-    ipcPts.push({ v: ev.ipc, label: ev.sim || "" });
-    if (ipcPts.length > MAXPTS) ipcPts.shift();
-  }
-  if (ev.power) {
-    powPts.push({ v: ev.power, label: ev.sim || "" });
-    if (powPts.length > MAXPTS) powPts.shift();
-  }
-  queueRedraw();
-});
-es.addEventListener("sim_failed", function (e) {
-  var ev = JSON.parse(e.data);
-  failures.unshift(ev);
-  if (failures.length > 8) failures.pop();
-  var h = "";
-  for (var i = 0; i < failures.length; i++) {
-    h += "<li>" + esc(failures[i].sim || "?") + ' <span class="err">' + esc(failures[i].error || "") + "</span></li>";
-  }
-  document.getElementById("fail-holder").innerHTML = '<ul class="faillist">' + h + "</ul>";
-});
+var es = null, lastEventId = 0, esAttempt = 0, esTimer = null;
+
+function connect() {
+  if (es) { es.close(); }
+  es = new EventSource("/events" + (lastEventId ? "?last-event-id=" + lastEventId : ""));
+  es.onopen = function () {
+    esAttempt = 0;
+    conn.textContent = "live"; conn.className = "live";
+  };
+  es.onerror = function () { scheduleReconnect(); };
+  es.addEventListener("sim_finished", function (e) {
+    lastEventId = +e.lastEventId || lastEventId;
+    var ev = JSON.parse(e.data);
+    if (ev.ipc) {
+      ipcPts.push({ v: ev.ipc, label: ev.sim || "" });
+      if (ipcPts.length > MAXPTS) ipcPts.shift();
+    }
+    if (ev.power) {
+      powPts.push({ v: ev.power, label: ev.sim || "" });
+      if (powPts.length > MAXPTS) powPts.shift();
+    }
+    queueRedraw();
+  });
+  es.addEventListener("sim_failed", function (e) {
+    lastEventId = +e.lastEventId || lastEventId;
+    var ev = JSON.parse(e.data);
+    failures.unshift(ev);
+    if (failures.length > 8) failures.pop();
+    var h = "";
+    for (var i = 0; i < failures.length; i++) {
+      h += "<li>" + esc(failures[i].sim || "?") + ' <span class="err">' + esc(failures[i].error || "") + "</span></li>";
+    }
+    document.getElementById("fail-holder").innerHTML = '<ul class="faillist">' + h + "</ul>";
+  });
+}
+
+function scheduleReconnect() {
+  if (es) { es.close(); es = null; }
+  if (esTimer) return; // one pending reconnect at a time
+  esAttempt++;
+  var base = Math.min(30000, 500 * Math.pow(2, esAttempt - 1));
+  var delay = base / 2 + Math.random() * base / 2;
+  var until = Date.now() + delay;
+  conn.className = "down";
+  var tick = setInterval(function () {
+    var left = Math.max(0, until - Date.now());
+    conn.textContent = "reconnecting in " + (left / 1000).toFixed(0) + "s (attempt " + esAttempt + ")";
+  }, 250);
+  conn.textContent = "reconnecting in " + (delay / 1000).toFixed(0) + "s (attempt " + esAttempt + ")";
+  esTimer = setTimeout(function () {
+    clearInterval(tick);
+    esTimer = null;
+    conn.textContent = "connecting…";
+    connect();
+  }, delay);
+}
+
+connect();
 
 /* --- /status poll: tiles, experiments, cache, build footer --- */
 function poll() {
@@ -279,6 +320,7 @@ function poll() {
     var fab = st.fabric;
     if (fab) {
       document.getElementById("t-fab-tile").style.display = "";
+      document.getElementById("t-rec-tile").style.display = "";
       document.getElementById("fab-card").style.display = "";
       var ws = fab.workers || [], live = 0;
       for (i = 0; i < ws.length; i++) if (ws[i].state === "live") live++;
@@ -286,6 +328,9 @@ function poll() {
       var q = fab.queue || {};
       document.getElementById("t-fab-note").textContent =
         (q.pending || 0) + " pending · " + (q.leased || 0) + " leased · " + (q.requeues || 0) + " requeued";
+      document.getElementById("t-rec").textContent = q.requeues || 0;
+      document.getElementById("t-rec-note").textContent =
+        (q.duplicates || 0) + " duplicate · " + (q.corrupt_results || 0) + " corrupt";
       if (ws.length) {
         var fh = "<table><tr><th>worker</th><th>state</th><th class=num>slots</th>" +
           "<th class=num>leased</th><th class=num>completed</th><th class=num>failed</th><th class=num>last seen</th></tr>";

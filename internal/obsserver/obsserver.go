@@ -28,9 +28,11 @@
 package obsserver
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -69,6 +71,15 @@ type Options struct {
 	// Fabric, when non-nil, is mounted under /fabric/ — the coordinator's
 	// worker protocol and submit/poll API share the observability listener.
 	Fabric http.Handler
+	// FleetTrace, when non-nil, backs /fleet/trace: it renders the merged,
+	// clock-corrected Chrome trace of every fleet work unit (the coordinator
+	// wires this to fabric.Coordinator.WriteTrace). Nil serves 404.
+	FleetTrace func(io.Writer) error
+	// FederatedSnapshot, when non-nil, replaces the Registry snapshot behind
+	// /metrics with a fleet-wide federated one (coordinator-local series
+	// unlabeled, per-worker series labeled worker=<name>, cross-worker
+	// aggregates labeled worker="fleet").
+	FederatedSnapshot func() telemetry.Snapshot
 	// SSEWriteTimeout bounds each /events write; a client that cannot accept
 	// an event frame within it is disconnected (and counted in
 	// obsserver_sse_dropped_clients_total) instead of pinning a handler
@@ -126,6 +137,7 @@ func Start(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/fleet/trace", s.handleFleetTrace)
 	mux.HandleFunc("/dashboard", s.handleDashboard)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -181,6 +193,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "/status         live sweep progress JSON")
 	fmt.Fprintln(w, "/events         SSE stream of progress events")
 	fmt.Fprintln(w, "/runs           recent campaign-ledger records (JSON)")
+	fmt.Fprintln(w, "/fleet/trace    merged fleet Chrome trace (coordinator only)")
 	fmt.Fprintln(w, "/dashboard      live HTML dashboard")
 	fmt.Fprintln(w, "/debug/pprof/   runtime profiles")
 }
@@ -188,8 +201,30 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	// Snapshot-then-render is race-safe against the live sweep; a nil
-	// registry renders an empty exposition.
+	// registry renders an empty exposition. A coordinator wires
+	// FederatedSnapshot so one scrape here shows the whole fleet.
+	if s.opts.FederatedSnapshot != nil {
+		telemetry.WritePrometheus(w, s.opts.FederatedSnapshot())
+		return
+	}
 	s.opts.Registry.WritePrometheus(w)
+}
+
+// handleFleetTrace serves the coordinator's merged fleet trace. The trace is
+// rendered into memory first so a build error can still answer with a clean
+// 500 instead of a half-written body.
+func (s *Server) handleFleetTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.FleetTrace == nil {
+		http.Error(w, "no fleet trace attached (not a coordinator)", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.opts.FleetTrace(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -376,9 +411,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 	// A reconnecting EventSource presents the last id it saw; backfill the
-	// gap from the bus replay ring before streaming live.
+	// gap from the bus replay ring before streaming live. Browsers only send
+	// the Last-Event-ID header on their *automatic* reconnects — a client
+	// that reconnects by constructing a fresh EventSource (the dashboard's
+	// backoff loop) passes the same value as ?last-event-id= instead.
 	var last uint64
-	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+	lid := r.Header.Get("Last-Event-ID")
+	if lid == "" {
+		lid = r.URL.Query().Get("last-event-id")
+	}
+	if lid != "" {
 		if seq, err := strconv.ParseUint(lid, 10, 64); err == nil {
 			for _, ev := range s.opts.Bus.ReplaySince(seq) {
 				if !write(ev) {

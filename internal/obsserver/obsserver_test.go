@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"power10sim/internal/fabric"
 	"power10sim/internal/progress"
 	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
@@ -546,5 +548,123 @@ func TestEventsDropsStalledReader(t *testing.T) {
 			bus.Publish(progress.Event{Kind: progress.KindSimFinished, Sim: big})
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatusAndFleetUnderWorkerChurn hammers the coordinator-backed status,
+// metrics, and fleet-trace endpoints while workers register, heartbeat,
+// complete work, and deregister concurrently. Every response must stay
+// well-formed at every interleaving; after the churn settles, the federated
+// scrape must carry the departed workers' series. Run under -race this is
+// the aggregation-safety proof for the fleet observability surface.
+func TestStatusAndFleetUnderWorkerChurn(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			coord := fabric.NewCoordinator(fabric.CoordinatorOptions{
+				LeaseTTL: time.Hour, Registry: reg,
+			})
+			defer coord.Close()
+			s := startTestServer(t, Options{
+				Command:           "p10coord",
+				Registry:          reg,
+				Fleet:             coord.Fleet,
+				Fabric:            coord.Handler(),
+				FleetTrace:        coord.WriteTrace,
+				FederatedSnapshot: coord.FederatedSnapshot,
+			})
+			s.SetReady(true)
+
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					name := fmt.Sprintf("churn-%d", i)
+					for round := 0; round < 3; round++ {
+						r, err := coord.Register(fabric.RegisterRequest{Name: name})
+						if err != nil {
+							t.Errorf("register %s: %v", name, err)
+							return
+						}
+						if hb := coord.Heartbeat(fabric.HeartbeatRequest{
+							WorkerID:          r.WorkerID,
+							ClockOffsetMicros: int64(i) * 1000,
+							ClockRTTMicros:    100,
+						}); hb.CoordUnixMicro == 0 {
+							t.Errorf("heartbeat %s: no coordinator clock sample", name)
+							return
+						}
+						wreg := telemetry.NewRegistry()
+						wreg.Counter("churn_rounds_total").Add(1)
+						snap := wreg.Snapshot()
+						coord.Deregister(fabric.DeregisterRequest{WorkerID: r.WorkerID, Snapshot: &snap})
+					}
+				}(i)
+			}
+			// Concurrent readers: every observation endpoint stays valid at
+			// every churn interleaving.
+			scrapeDone := make(chan struct{})
+			go func() {
+				defer close(scrapeDone)
+				for n := 0; n < 10; n++ {
+					code, body, _ := get(t, s.URL()+"/status")
+					if code != 200 {
+						t.Errorf("status = %d", code)
+						return
+					}
+					var p struct {
+						Fabric *fabric.FleetStatus `json:"fabric"`
+					}
+					if err := json.Unmarshal([]byte(body), &p); err != nil {
+						t.Errorf("status not JSON under churn: %v", err)
+						return
+					}
+					if p.Fabric == nil {
+						t.Error("status missing fabric block")
+						return
+					}
+					if len(p.Fabric.Workers) > 3*workers {
+						t.Errorf("fleet reports %d workers, max possible %d", len(p.Fabric.Workers), 3*workers)
+					}
+					if code, _, _ := get(t, s.URL()+"/metrics"); code != 200 {
+						t.Errorf("metrics = %d", code)
+						return
+					}
+					if code, body, _ := get(t, s.URL()+"/fleet/trace"); code != 200 ||
+						!strings.Contains(body, "traceEvents") {
+						t.Errorf("fleet trace = %d", code)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			<-scrapeDone
+
+			// Churn has settled: the federated scrape must remember every
+			// departed worker and aggregate their pushed counters.
+			_, body, _ := get(t, s.URL()+"/metrics")
+			for i := 0; i < workers; i++ {
+				label := fmt.Sprintf(`worker="churn-%d"`, i)
+				if !strings.Contains(body, label) {
+					t.Errorf("federated metrics missing %s:\n%.400s", label, body)
+				}
+			}
+			if !strings.Contains(body, `worker="fleet"`) {
+				t.Error("federated metrics missing the fleet aggregate")
+			}
+			var fleetTotal string
+			for _, line := range strings.Split(body, "\n") {
+				if strings.HasPrefix(line, `churn_rounds_total{worker="fleet"}`) {
+					fleetTotal = strings.TrimSpace(strings.TrimPrefix(line, `churn_rounds_total{worker="fleet"}`))
+				}
+			}
+			// Every registration round is a distinct fleet member (fresh
+			// worker ID) whose drained snapshot is retained, so the fleet
+			// aggregate sums all 3 rounds from every worker.
+			if want := fmt.Sprintf("%d", 3*workers); fleetTotal != want {
+				t.Errorf("fleet churn_rounds_total = %q, want %q", fleetTotal, want)
+			}
+		})
 	}
 }

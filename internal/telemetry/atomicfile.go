@@ -6,6 +6,14 @@ import (
 	"path/filepath"
 )
 
+// WriteFileAtomic is the exported form of the registry/tracer atomic-write
+// primitive, for callers (the fabric's merged fleet trace, the flight
+// recorder's post-mortem dump) that produce observability artifacts outside
+// this package but need the same never-truncated guarantee.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return writeFileAtomic(path, write)
+}
+
 // writeFileAtomic writes a file by streaming into a temp file in the target's
 // directory and renaming it over path, so readers (and post-mortem
 // inspection after SIGINT or a watchdog-degraded run) only ever observe the

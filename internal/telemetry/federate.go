@@ -1,0 +1,167 @@
+package telemetry
+
+import "sort"
+
+// Metrics federation: the coordinator of a distributed sweep merges the
+// telemetry snapshots its workers push over the fabric protocol into its own
+// registry snapshot, so one /metrics scrape shows the whole fleet.
+//
+// The merge happens at the snapshot level on purpose: worker counters are
+// monotonic only within that worker's process, so folding them into live
+// coordinator series would break monotonicity whenever a worker restarts.
+// A snapshot merge is a pure function of its inputs and re-derives the fleet
+// aggregates from scratch every time.
+
+const (
+	// WorkerLabelKey is the label added to every federated worker series.
+	WorkerLabelKey = "worker"
+	// FleetLabelValue marks the cross-worker aggregate series.
+	FleetLabelValue = "fleet"
+)
+
+// Federate merges per-worker registry snapshots into the local one:
+//
+//   - Local series pass through unchanged (the coordinator's own telemetry
+//     stays unlabeled, exactly as a single-process run would render it).
+//   - Every worker series is re-emitted with a worker=<name> label, so
+//     per-worker behavior stays distinguishable after the merge.
+//   - Cross-worker aggregates are emitted with worker="fleet": counters sum,
+//     histograms merge bucket-wise (only across workers whose bucket bounds
+//     agree — mismatched series are skipped rather than mis-merged). Gauges
+//     get no fleet aggregate: summing a last-seen value is rarely meaningful.
+//
+// The result obeys the Snapshot ordering contract (sorted by name then
+// canonical labels within each kind), so federated output passes the same
+// structural validation as a plain snapshot. With no workers the local
+// snapshot is returned unchanged.
+func Federate(local Snapshot, workers map[string]Snapshot) Snapshot {
+	if len(workers) == 0 {
+		return local
+	}
+	out := Snapshot{
+		Counters:   append([]CounterSnapshot{}, local.Counters...),
+		Gauges:     append([]GaugeSnapshot{}, local.Gauges...),
+		Histograms: append([]HistogramSnapshot{}, local.Histograms...),
+	}
+	names := make([]string, 0, len(workers))
+	for name := range workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	ctrSum := map[string]*CounterSnapshot{}
+	var ctrOrder []string
+	histSum := map[string]*HistogramSnapshot{}
+	var histOrder []string
+	for _, name := range names {
+		ws := workers[name]
+		for _, c := range ws.Counters {
+			out.Counters = append(out.Counters, CounterSnapshot{
+				Name: c.Name, Labels: withLabel(c.Labels, WorkerLabelKey, name), Value: c.Value,
+			})
+			k := mergeKey(c.Name, c.Labels)
+			if agg, ok := ctrSum[k]; ok {
+				agg.Value += c.Value
+			} else {
+				ctrSum[k] = &CounterSnapshot{
+					Name: c.Name, Labels: withLabel(c.Labels, WorkerLabelKey, FleetLabelValue), Value: c.Value,
+				}
+				ctrOrder = append(ctrOrder, k)
+			}
+		}
+		for _, g := range ws.Gauges {
+			out.Gauges = append(out.Gauges, GaugeSnapshot{
+				Name: g.Name, Labels: withLabel(g.Labels, WorkerLabelKey, name), Value: g.Value,
+			})
+		}
+		for _, h := range ws.Histograms {
+			hc := HistogramSnapshot{
+				Name: h.Name, Labels: withLabel(h.Labels, WorkerLabelKey, name),
+				Count: h.Count, Sum: h.Sum,
+				Buckets: append([]BucketSnapshot{}, h.Buckets...),
+			}
+			out.Histograms = append(out.Histograms, hc)
+			k := mergeKey(h.Name, h.Labels)
+			if agg, ok := histSum[k]; ok {
+				if sameBounds(agg.Buckets, h.Buckets) {
+					agg.Count += h.Count
+					agg.Sum += h.Sum
+					for i := range agg.Buckets {
+						agg.Buckets[i].Count += h.Buckets[i].Count
+					}
+				}
+				// Mismatched bounds: leave the aggregate as-is; the per-worker
+				// series above still carries the data.
+			} else {
+				histSum[k] = &HistogramSnapshot{
+					Name: h.Name, Labels: withLabel(h.Labels, WorkerLabelKey, FleetLabelValue),
+					Count: h.Count, Sum: h.Sum,
+					Buckets: append([]BucketSnapshot{}, h.Buckets...),
+				}
+				histOrder = append(histOrder, k)
+			}
+		}
+	}
+	for _, k := range ctrOrder {
+		out.Counters = append(out.Counters, *ctrSum[k])
+	}
+	for _, k := range histOrder {
+		out.Histograms = append(out.Histograms, *histSum[k])
+	}
+
+	sortKey := func(name string, labels map[string]string) string {
+		ls := make([]Label, 0, len(labels))
+		for k, v := range labels {
+			ls = append(ls, Label{k, v})
+		}
+		return name + "\x00" + canonical(ls)
+	}
+	sort.SliceStable(out.Counters, func(i, j int) bool {
+		return sortKey(out.Counters[i].Name, out.Counters[i].Labels) < sortKey(out.Counters[j].Name, out.Counters[j].Labels)
+	})
+	sort.SliceStable(out.Gauges, func(i, j int) bool {
+		return sortKey(out.Gauges[i].Name, out.Gauges[i].Labels) < sortKey(out.Gauges[j].Name, out.Gauges[j].Labels)
+	})
+	sort.SliceStable(out.Histograms, func(i, j int) bool {
+		return sortKey(out.Histograms[i].Name, out.Histograms[i].Labels) < sortKey(out.Histograms[j].Name, out.Histograms[j].Labels)
+	})
+	return out
+}
+
+// mergeKey identifies a series across workers by name + labels (ignoring the
+// worker label the merge itself adds).
+func mergeKey(name string, labels map[string]string) string {
+	ls := make([]Label, 0, len(labels))
+	for k, v := range labels {
+		if k == WorkerLabelKey {
+			continue
+		}
+		ls = append(ls, Label{k, v})
+	}
+	return name + "\x00" + canonical(ls)
+}
+
+// withLabel copies a label map with one key set (the input map is never
+// mutated: snapshots are shared read-only values).
+func withLabel(labels map[string]string, key, value string) map[string]string {
+	m := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		m[k] = v
+	}
+	m[key] = value
+	return m
+}
+
+// sameBounds reports whether two bucket layouts are mergeable: equal length
+// with pairwise-equal upper bounds (+Inf compares equal to +Inf).
+func sameBounds(a, b []BucketSnapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].UpperBound != b[i].UpperBound {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func snapOf(fill func(*Registry)) Snapshot {
+	r := NewRegistry()
+	fill(r)
+	return r.Snapshot()
+}
+
+// TestFederateNoWorkersIsIdentity pins the byte-identical contract: a
+// coordinator with no worker snapshots must scrape exactly like a
+// single-process run.
+func TestFederateNoWorkersIsIdentity(t *testing.T) {
+	local := snapOf(func(r *Registry) {
+		r.Counter("sims_total").Add(3)
+		r.Gauge("queue_depth").Set(2)
+	})
+	got := Federate(local, nil)
+	if !reflect.DeepEqual(got, local) {
+		t.Fatalf("Federate with no workers altered the snapshot:\n got %+v\nwant %+v", got, local)
+	}
+}
+
+func TestFederateLabelsAndAggregates(t *testing.T) {
+	local := snapOf(func(r *Registry) {
+		r.Counter("fabric_units_completed_total").Add(4)
+	})
+	wa := snapOf(func(r *Registry) {
+		r.Counter("sims_total", L("config", "POWER10")).Add(2)
+		r.Gauge("pool_busy").Set(1)
+		r.Histogram("run_seconds", []float64{1, 10}).Observe(0.5)
+	})
+	wb := snapOf(func(r *Registry) {
+		r.Counter("sims_total", L("config", "POWER10")).Add(5)
+		r.Histogram("run_seconds", []float64{1, 10}).Observe(3)
+	})
+	out := Federate(local, map[string]Snapshot{"alpha": wa, "beta": wb})
+
+	counter := func(name, worker string) (uint64, bool) {
+		for _, c := range out.Counters {
+			if c.Name == name && c.Labels[WorkerLabelKey] == worker {
+				return c.Value, true
+			}
+		}
+		return 0, false
+	}
+	// Local series pass through unlabeled.
+	if v, ok := counter("fabric_units_completed_total", ""); !ok || v != 4 {
+		t.Errorf("local counter = %d, %v; want 4 unlabeled", v, ok)
+	}
+	// Per-worker series keep their values under worker=<name>.
+	if v, ok := counter("sims_total", "alpha"); !ok || v != 2 {
+		t.Errorf("alpha sims_total = %d, %v; want 2", v, ok)
+	}
+	if v, ok := counter("sims_total", "beta"); !ok || v != 5 {
+		t.Errorf("beta sims_total = %d, %v; want 5", v, ok)
+	}
+	// The fleet aggregate sums across workers.
+	if v, ok := counter("sims_total", FleetLabelValue); !ok || v != 7 {
+		t.Errorf("fleet sims_total = %d, %v; want 7", v, ok)
+	}
+	// Gauges get per-worker series but no fleet sum.
+	var gaugeWorkers []string
+	for _, g := range out.Gauges {
+		if g.Name == "pool_busy" {
+			gaugeWorkers = append(gaugeWorkers, g.Labels[WorkerLabelKey])
+		}
+	}
+	if !reflect.DeepEqual(gaugeWorkers, []string{"alpha"}) {
+		t.Errorf("pool_busy worker labels = %v, want [alpha] only (no fleet gauge)", gaugeWorkers)
+	}
+	// Same-bounds histograms merge bucket-wise into the fleet series.
+	for _, h := range out.Histograms {
+		if h.Name != "run_seconds" || h.Labels[WorkerLabelKey] != FleetLabelValue {
+			continue
+		}
+		if h.Count != 2 || h.Sum != 3.5 {
+			t.Errorf("fleet run_seconds count/sum = %d/%v, want 2/3.5", h.Count, h.Sum)
+		}
+		var counts []uint64
+		for _, b := range h.Buckets {
+			counts = append(counts, b.Count)
+		}
+		if !reflect.DeepEqual(counts, []uint64{1, 1, 0}) {
+			t.Errorf("fleet run_seconds buckets = %v, want [1 1 0]", counts)
+		}
+		return
+	}
+	t.Fatal("no worker=fleet aggregate for run_seconds")
+}
+
+// TestFederateMismatchedHistogramBounds: workers that disagree on bucket
+// layout keep their per-worker series but must not be mis-merged into one
+// aggregate.
+func TestFederateMismatchedHistogramBounds(t *testing.T) {
+	wa := snapOf(func(r *Registry) { r.Histogram("h", []float64{1}).Observe(0.5) })
+	wb := snapOf(func(r *Registry) { r.Histogram("h", []float64{1, 2}).Observe(0.5) })
+	out := Federate(Snapshot{}, map[string]Snapshot{"a": wa, "b": wb})
+	for _, h := range out.Histograms {
+		if h.Labels[WorkerLabelKey] == FleetLabelValue && h.Count != 1 {
+			t.Errorf("fleet aggregate absorbed mismatched bounds: count = %d, want 1 (first worker only)", h.Count)
+		}
+	}
+}
+
+// TestFederateOutputSorted: federated output must satisfy the same ordering
+// contract as a plain snapshot, or p10obscheck -metrics rejects it.
+func TestFederateOutputSorted(t *testing.T) {
+	wa := snapOf(func(r *Registry) {
+		r.Counter("zzz").Add(1)
+		r.Counter("aaa").Add(1)
+	})
+	wb := snapOf(func(r *Registry) { r.Counter("mmm").Add(1) })
+	local := snapOf(func(r *Registry) { r.Counter("nnn").Add(1) })
+	out := Federate(local, map[string]Snapshot{"w2": wb, "w1": wa})
+	key := func(c CounterSnapshot) string {
+		ls := make([]Label, 0, len(c.Labels))
+		for k, v := range c.Labels {
+			ls = append(ls, Label{k, v})
+		}
+		return c.Name + "\x00" + canonical(ls)
+	}
+	for i := 1; i < len(out.Counters); i++ {
+		if key(out.Counters[i]) < key(out.Counters[i-1]) {
+			t.Fatalf("counters out of order: %q after %q", key(out.Counters[i]), key(out.Counters[i-1]))
+		}
+	}
+	// The +Inf overflow bucket must still compare equal across snapshots.
+	if !sameBounds(
+		[]BucketSnapshot{{UpperBound: math.Inf(1)}},
+		[]BucketSnapshot{{UpperBound: math.Inf(1)}}) {
+		t.Error("+Inf bounds do not compare equal")
+	}
+}

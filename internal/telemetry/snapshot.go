@@ -136,17 +136,30 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// WriteJSON writes the registry snapshot as indented JSON with stable key
-// order (struct fields are fixed; label maps marshal with sorted keys).
-// Safe on nil: writes an empty snapshot.
-func (r *Registry) WriteJSON(w io.Writer) error {
-	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+// WriteJSON writes the snapshot as indented JSON with stable key order
+// (struct fields are fixed; label maps marshal with sorted keys).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// WriteFile dumps the snapshot JSON to path atomically, the same guarantee
+// Registry.WriteFile gives; callers use it for derived snapshots (the
+// coordinator's federated fleet view) that never lived in one registry.
+func (s Snapshot) WriteFile(path string) error {
+	return writeFileAtomic(path, s.WriteJSON)
+}
+
+// WriteJSON writes the registry snapshot as indented JSON with stable key
+// order (struct fields are fixed; label maps marshal with sorted keys).
+// Safe on nil: writes an empty snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
 }
 
 // WriteFile dumps the snapshot JSON to path atomically (temp file in the

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// TraceContext is the lightweight distributed-tracing identity that rides a
+// work unit across process boundaries: a stable trace ID naming the unit's
+// whole lifecycle plus the span ID of the hop that handed the unit over.
+// The fabric coordinator mints one per work unit and propagates it through
+// lease grants, so every process touching the unit — coordinator queue,
+// worker execution, result merge — tags its telemetry and flight-recorder
+// entries with the same trace ID.
+//
+// Trace IDs are deterministic where the unit is: a content-keyed simulation
+// derives its trace ID from runner.ContentKey, so re-running the same sweep
+// yields the same trace IDs and traces from separate runs of one point can
+// be correlated offline.
+type TraceContext struct {
+	// TraceID is the 16-hex-digit identity shared by every span of the
+	// unit's lifecycle.
+	TraceID string `json:"trace_id"`
+	// Parent is the span ID of the hop that propagated this context (the
+	// lease span, for a unit handed to a worker). Empty at the trace root.
+	Parent string `json:"parent_span,omitempty"`
+}
+
+// NewTraceContext mints a root trace context from a unit's stable identity.
+// A 64-hex content key contributes its leading 16 digits directly (so the
+// trace ID is a visible prefix of the content key); any other identity is
+// hashed first. An empty identity yields an invalid (zero) context.
+func NewTraceContext(identity string) TraceContext {
+	if identity == "" {
+		return TraceContext{}
+	}
+	if len(identity) >= 16 && isHex(identity[:16]) {
+		return TraceContext{TraceID: identity[:16]}
+	}
+	sum := sha256.Sum256([]byte(identity))
+	return TraceContext{TraceID: hex.EncodeToString(sum[:8])}
+}
+
+// Valid reports whether the context carries a trace ID.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+// Child derives the context a hop hands downstream: same trace ID, with
+// Parent set to the hop's own span ID.
+func (tc TraceContext) Child(span string, n int) TraceContext {
+	if !tc.Valid() {
+		return tc
+	}
+	return TraceContext{TraceID: tc.TraceID, Parent: SpanID(tc.TraceID, span, n)}
+}
+
+// SpanID derives a deterministic 16-hex span ID from (trace, span name, n):
+// the same lifecycle hop of the same unit always gets the same span ID, so
+// independently-emitted trace fragments agree without coordination.
+func SpanID(traceID, name string, n int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d", traceID, name, n)))
+	return hex.EncodeToString(sum[:8])
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

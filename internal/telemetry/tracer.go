@@ -194,3 +194,39 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 func (t *Tracer) WriteFile(path string) error {
 	return writeFileAtomic(path, t.WriteJSON)
 }
+
+// WriteChromeTrace writes a caller-assembled event set as a Chrome
+// trace_event file: process-name metadata for each pid in procNames
+// (emitted in pid order), then the events sorted stably by timestamp. It is
+// the serialization half of Tracer.WriteJSON factored out for producers —
+// the fabric coordinator's merged fleet trace — that build their event set
+// from cross-process lifecycle records rather than live spans.
+func WriteChromeTrace(w io.Writer, procNames map[int]string, evs []Event) error {
+	pids := make([]int, 0, len(procNames))
+	for pid := range procNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	out := make([]Event, 0, len(pids)+len(evs))
+	for _, pid := range pids {
+		out = append(out, Event{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": procNames[pid]}})
+	}
+	body := append([]Event(nil), evs...)
+	sort.SliceStable(body, func(i, j int) bool {
+		// Metadata records (thread names) sort ahead of same-timestamp spans
+		// so viewers resolve lane names before drawing into them.
+		if body[i].Ts != body[j].Ts {
+			return body[i].Ts < body[j].Ts
+		}
+		return body[i].Ph == "M" && body[j].Ph != "M"
+	})
+	out = append(out, body...)
+	b, err := json.MarshalIndent(traceFile{DisplayTimeUnit: "ms", TraceEvents: out}, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
