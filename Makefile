@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-obs chaos serve-check sample-check ledger-check fabric-check trace-check perf verify bench bench-core sweep profile
+.PHONY: build test vet race race-obs chaos serve-check sample-check ledger-check fabric-check trace-check explore-check perf verify bench bench-core sweep profile
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,15 @@ ledger-check:
 fabric-check:
 	bash scripts/fabric_check.sh
 
+# explore-check is the end-to-end gate for the surrogate cache tier and the
+# p10explore design-space explorer: seed a ledger with the quick Fig. 4
+# sweep, run three active-learning enrichment rounds, then require held-out
+# served CPI/power MAPE within 5% (with a served-coverage floor, so an
+# over-cautious model cannot pass vacuously) and a byte-stable 5,000-point
+# pure-prediction sweep.
+explore-check:
+	bash scripts/explore_check.sh
+
 # trace-check is the end-to-end gate for fleet observability: a chaos run
 # whose killed worker must leave a valid flight-recorder dump, whose
 # coordinator must emit a structurally valid merged fleet trace (full
@@ -89,7 +98,7 @@ perf:
 # passes. The race pass matters because the experiment harness fans
 # simulations across a worker pool; race-obs fails fast on the telemetry
 # packages before the full-tree race run.
-verify: vet build test race-obs race chaos serve-check sample-check ledger-check fabric-check trace-check
+verify: vet build test race-obs race chaos serve-check sample-check ledger-check fabric-check trace-check explore-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'

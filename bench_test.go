@@ -12,6 +12,7 @@ import (
 	"power10sim/internal/runner"
 	"power10sim/internal/sampling"
 	"power10sim/internal/simobs"
+	"power10sim/internal/surrogate"
 	"power10sim/internal/telemetry"
 	"power10sim/internal/trace"
 	"power10sim/internal/uarch"
@@ -133,6 +134,31 @@ func BenchmarkCoreP10Sampled(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(est.Meta.Speedup(), "speedup-x")
 	b.ReportMetric(float64(est.Meta.Windows), "windows")
+}
+
+// BenchmarkSurrogatePredict times the surrogate cache tier's steady-state
+// prediction path — the per-request cost a runner pays before deciding to
+// serve a prediction or fall through to real simulation. The model is
+// trained once on a synthetic corpus (all cost in the surrogate, none in
+// the simulator); the timed loop is a single warmed Predict call, which
+// must stay allocation-free like the core hot loop.
+func BenchmarkSurrogatePredict(b *testing.B) {
+	c := surrogate.SyntheticCorpus(480, 1)
+	m, err := surrogate.Train(c, surrogate.TrainOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &c.Rows[0]
+	var buf surrogate.PredictBuf
+	// Warmup sizes the buffer's scratch slices.
+	p := m.Predict(&buf, r.Cfg, r.Workload, r.Profile, r.SMT, r.Budget, r.Warmup)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = m.Predict(&buf, r.Cfg, r.Workload, r.Profile, r.SMT, r.Budget, r.Warmup)
+	}
+	b.StopTimer()
+	b.ReportMetric(p.RelStd*100, "relstd-%")
 }
 
 func BenchmarkTableI(b *testing.B) {

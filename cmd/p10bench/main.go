@@ -15,6 +15,8 @@
 //	p10bench -runlog dir     # append a campaign-ledger record per completed
 //	                         # simulation (query with p10query)
 //	p10bench -runlog dir -runlog-series 64   # plus downsampled time series
+//	p10bench -surrogate m.json               # serve low-uncertainty points
+//	                                         # from a trained surrogate model
 //	p10bench -list
 //
 // Simulations fan out across a bounded worker pool with a memoization cache,
@@ -51,6 +53,7 @@ import (
 	"power10sim/internal/runlog"
 	"power10sim/internal/runner"
 	"power10sim/internal/sampling"
+	"power10sim/internal/surrogate"
 	"power10sim/internal/sweep"
 	"power10sim/internal/telemetry"
 )
@@ -69,6 +72,8 @@ func main() {
 		cacheDir   = flag.String("cachedir", "", "persist simulation results under this directory (shared across runs)")
 		runlogDir  = flag.String("runlog", "", "append one campaign-ledger record per completed simulation under this directory")
 		runlogSer  = flag.Int("runlog-series", 0, "with -runlog, also record a downsampled time series per executed sim, decimated to at most N frames (0 = off)")
+		surModel   = flag.String("surrogate", "", "serve low-uncertainty points from this trained surrogate model (see p10explore -op train) instead of simulating them")
+		surThresh  = flag.Float64("surrogate-threshold", 0, "with -surrogate, the relative-error confidence gate (0 = the 5% default)")
 		sampleMode = flag.String("sample-mode", "full", "full | sampled | validate: time every instruction, estimate every point with the SimPoint-style sampling engine, or run the sampled-vs-full error-bound sweep")
 		sampleWl   = flag.String("sample-workloads", "", "comma-separated workload families for -sample-mode=validate (default: all families)")
 	)
@@ -164,6 +169,19 @@ func main() {
 		}
 		led.Instrument(reg)
 		pool.SetRunLog(led)
+	}
+	// The surrogate tier changes what the numbers ARE (model estimates with
+	// error bars instead of simulation), so it is strictly opt-in: with the
+	// flag unset, stdout is byte-identical to a surrogate-free build.
+	if *surModel != "" {
+		m, err := surrogate.Load(*surModel)
+		if err != nil {
+			cliutil.Usagef("%v", err)
+		}
+		tier := surrogate.NewTier(m, *surThresh)
+		pool.SetPredictor(tier.Predict)
+		fmt.Fprintf(os.Stderr, "surrogate: %s (%d training rows, gate %.1f%%)\n",
+			*surModel, m.TrainRows, 100*tier.Threshold())
 	}
 	closeRunLog := func() {
 		if led == nil {

@@ -44,7 +44,7 @@ func checkRunlog(dir string, minRecords int) {
 			fail("runlog: %s: smt %d", where, r.SMT)
 		}
 		switch r.Tier {
-		case runlog.TierRun, runlog.TierDisk, runlog.TierMemo, runlog.TierFabric:
+		case runlog.TierRun, runlog.TierDisk, runlog.TierMemo, runlog.TierFabric, runlog.TierSurrogate:
 		default:
 			fail("runlog: %s: unknown tier %q", where, r.Tier)
 		}
@@ -60,6 +60,13 @@ func checkRunlog(dir string, minRecords int) {
 			}
 		} else if r.Cycles == 0 || r.Instructions == 0 {
 			fail("runlog: %s: successful record missing measurements", where)
+		}
+		// A surrogate-served record must carry the predicted mark (memo
+		// restatements of a prediction keep the mark at their own tier, which
+		// is fine — but a surrogate record without it would let model output
+		// masquerade as ground truth to a later training pass).
+		if r.Tier == runlog.TierSurrogate && !r.Predicted {
+			fail("runlog: %s: surrogate record without the predicted mark", where)
 		}
 	}
 	msg := fmt.Sprintf("p10obscheck: runlog ok (%d records", len(recs))

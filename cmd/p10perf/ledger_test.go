@@ -99,6 +99,42 @@ func TestCompareFlagsSweepSlowdown(t *testing.T) {
 	}
 }
 
+func TestBestOf(t *testing.T) {
+	samples := []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 300, AllocsPerOp: 0},
+		{Name: "BenchmarkB", NsPerOp: 50},
+		{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 2, BytesPerOp: 64},
+		{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 0},
+	}
+	got := bestOf(samples)
+	if len(got) != 2 || got[0].Name != "BenchmarkA" || got[1].Name != "BenchmarkB" {
+		t.Fatalf("bestOf order/len = %+v", got)
+	}
+	// Minimum timing, worst-case allocation stats.
+	if got[0].NsPerOp != 150 || got[0].AllocsPerOp != 2 || got[0].BytesPerOp != 64 {
+		t.Errorf("bestOf merged A = %+v, want min ns 150, max allocs 2, max bytes 64", got[0])
+	}
+}
+
+func TestCompareSurrogateRows(t *testing.T) {
+	// Pre-surrogate ledgers carry a nil pointer; comparing against one must
+	// neither crash nor emit surrogate rows.
+	old := ledgerFixture(1000, 1.0)
+	cur := ledgerFixture(1000, 1.0)
+	cur.Surrogate = &SurrogateResult{TrainSeconds: 2.0, Points: 5000, SweepSeconds: 0.010}
+	report, n := compare("BENCH_0.json", old, cur, 0.30)
+	if n != 0 || strings.Contains(report, "surrogate") {
+		t.Fatalf("nil-vs-set surrogate: regressions = %d, report:\n%s", n, report)
+	}
+	// With both sides set, a sweep slowdown beyond the threshold is flagged.
+	old.Surrogate = &SurrogateResult{TrainSeconds: 2.0, Points: 5000, SweepSeconds: 0.010}
+	cur.Surrogate = &SurrogateResult{TrainSeconds: 2.1, Points: 5000, SweepSeconds: 0.020}
+	report, n = compare("BENCH_0.json", old, cur, 0.30)
+	if n != 1 || !strings.Contains(report, "surrogate 5000-pt sweep ms") {
+		t.Fatalf("regressions = %d, want 1 surrogate sweep regression\n%s", n, report)
+	}
+}
+
 func TestZeroAllocGuard(t *testing.T) {
 	clean := []BenchResult{
 		{Name: "BenchmarkCoreP10", NsPerOp: 6.4e7, AllocsPerOp: 0},

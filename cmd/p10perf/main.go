@@ -32,20 +32,38 @@ import (
 	"power10sim/internal/cliutil"
 	"power10sim/internal/experiments"
 	"power10sim/internal/runner"
+	"power10sim/internal/surrogate"
 )
 
-// benchTier is the fixed -bench regex: the telemetry/progress zero-cost
-// guards plus the raw core simulation they are measured against, and the
-// end-to-end interval-sampling estimator whose wall time bounds every
-// sampled sweep.
-const benchTier = "^(BenchmarkCoreP10|BenchmarkCoreP10Sampled|BenchmarkCoreTelemetryOff|BenchmarkCoreTelemetryOn|BenchmarkCoreInjectionOff|BenchmarkPublishNoSubscribers|BenchmarkPublishOneSubscriber)$"
+// The benchmark tier is split by op cost, because one -benchtime cannot
+// measure both ends honestly: the heavy tier (whole-core simulations,
+// 50ms-14s per op) runs a fixed few iterations, while the fast tier
+// (nanosecond-to-microsecond ops) needs real iteration counts — at 3
+// iterations a 100ns op is timer noise, and noise was tripping the
+// regression gate on code that had not changed.
+const heavyBenchTier = "^(BenchmarkCoreP10|BenchmarkCoreP10Sampled|BenchmarkCoreTelemetryOff|BenchmarkCoreTelemetryOn|BenchmarkCoreInjectionOff)$"
+
+// fastBenchTier runs at fastBenchTime iterations, -count fastBenchCount,
+// and the ledger keeps each benchmark's minimum ns/op (best-of-N is the
+// standard de-noising for scheduler-sensitive microbenchmarks on a loaded
+// box) with its worst-case alloc stats. 1000 iterations is deliberate for
+// the one-subscriber publish bench: it stays within the subscriber's buffer,
+// so the number is the buffered fast path, not saturation drain.
+const (
+	fastBenchTier  = "^(BenchmarkPublishNoSubscribers|BenchmarkPublishOneSubscriber|BenchmarkSurrogatePredict)$"
+	fastBenchTime  = "1000x"
+	fastBenchCount = 3
+)
 
 // zeroAllocBenches must report 0 allocs/op: the steady-state core loop is
 // allocation-free by construction (cycle maps, ring buffers, pooled cores),
 // and any new per-cycle allocation is a regression regardless of how the
 // timings move. Checked before the ns/op comparison so the failure names the
 // allocation count, not a noisy ratio.
-var zeroAllocBenches = map[string]bool{"BenchmarkCoreP10": true}
+var zeroAllocBenches = map[string]bool{
+	"BenchmarkCoreP10":          true,
+	"BenchmarkSurrogatePredict": true,
+}
 
 // checkZeroAlloc returns the number of tracked benchmarks that allocated.
 func checkZeroAlloc(benches []BenchResult) int {
@@ -68,8 +86,24 @@ func goBin() string {
 }
 
 func runGoBench(benchtime string) ([]BenchResult, error) {
-	args := []string{"test", "-run", "^$", "-bench", benchTier,
-		"-benchtime", benchtime, "-benchmem", ".", "./internal/progress"}
+	heavy, err := goBench(heavyBenchTier, benchtime, 1, ".")
+	if err != nil {
+		return nil, err
+	}
+	fast, err := goBench(fastBenchTier, fastBenchTime, fastBenchCount, ".", "./internal/progress")
+	if err != nil {
+		return nil, err
+	}
+	return append(heavy, bestOf(fast)...), nil
+}
+
+func goBench(tier, benchtime string, count int, pkgs ...string) ([]BenchResult, error) {
+	args := []string{"test", "-run", "^$", "-bench", tier,
+		"-benchtime", benchtime, "-benchmem"}
+	if count > 1 {
+		args = append(args, "-count", fmt.Sprint(count))
+	}
+	args = append(args, pkgs...)
 	fmt.Fprintf(os.Stderr, "p10perf: %s %s\n", goBin(), strings.Join(args, " "))
 	cmd := exec.Command(goBin(), args...)
 	var out bytes.Buffer
@@ -105,6 +139,45 @@ func runSweep() (SweepResult, error) {
 		s.SimsPerSecond = float64(st.Misses) / wall
 	}
 	return s, nil
+}
+
+// runSurrogate wall-clocks the surrogate cache tier end to end: one training
+// fit (ridge + forward selection + per-workload residuals + the k-fold
+// conformal calibration pass) on a synthetic corpus, then repeated full
+// passes over a 5,000-point generated design space — the pure-prediction
+// sweep p10explore runs per invocation. The per-call cost is already gated
+// by BenchmarkSurrogatePredict; these numbers catch regressions in the batch
+// path (feature rendering, space generation, training itself).
+func runSurrogate() (*SurrogateResult, error) {
+	fmt.Fprintf(os.Stderr, "p10perf: wall-clocking surrogate train + 5000-point sweeps\n")
+	c := surrogate.SyntheticCorpus(480, 1)
+	start := time.Now()
+	m, err := surrogate.Train(c, surrogate.TrainOptions{})
+	if err != nil {
+		return nil, err
+	}
+	train := time.Since(start).Seconds()
+	r := &c.Rows[0]
+	pts := surrogate.Space(5000, 7)
+	var buf surrogate.PredictBuf
+	const reps = 20
+	start = time.Now()
+	for rep := 0; rep < reps; rep++ {
+		for _, p := range pts {
+			m.Predict(&buf, p.Cfg, r.Workload, r.Profile, p.SMT, r.Budget, r.Warmup)
+		}
+	}
+	total := time.Since(start).Seconds()
+	res := &SurrogateResult{
+		TrainRows:    len(c.Rows),
+		TrainSeconds: train,
+		Points:       len(pts),
+		SweepSeconds: total / reps,
+	}
+	if total > 0 {
+		res.PredictionsPerSec = float64(reps*len(pts)) / total
+	}
+	return res, nil
 }
 
 func gitCommit() string {
@@ -145,6 +218,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p10perf: sweep: %v\n", err)
 		os.Exit(1)
 	}
+	sur, err := runSurrogate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p10perf: surrogate: %v\n", err)
+		os.Exit(1)
+	}
 
 	cur := &Ledger{
 		Schema:  1,
@@ -158,6 +236,7 @@ func main() {
 		},
 		Benchmarks: benches,
 		Sweep:      sweep,
+		Surrogate:  sur,
 	}
 	// The slow-factor hook scales every timing after measurement, so the
 	// regression path is testable without actually slowing the code.
@@ -174,6 +253,13 @@ func main() {
 	cur.Sweep.WallSeconds *= *slowFactor
 	if cur.Sweep.WallSeconds > 0 {
 		cur.Sweep.SimsPerSecond = float64(cur.Sweep.UniqueRuns) / cur.Sweep.WallSeconds
+	}
+	if cur.Surrogate != nil {
+		cur.Surrogate.TrainSeconds *= *slowFactor
+		cur.Surrogate.SweepSeconds *= *slowFactor
+		if cur.Surrogate.SweepSeconds > 0 {
+			cur.Surrogate.PredictionsPerSec = float64(cur.Surrogate.Points) / cur.Surrogate.SweepSeconds
+		}
 	}
 	if off > 0 {
 		cur.TelemetryOverhead = on / off

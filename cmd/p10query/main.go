@@ -10,6 +10,10 @@
 //	top       the -k records ranked by -by (energy-per-instruction by
 //	          default), worst first; -asc ranks best first
 //	trend     compare the mean metrics of two seq ranges (-a lo-hi, -b lo-hi)
+//	export    flat feature/target CSV for offline analysis and surrogate
+//	          training: one row per unique content key (first occurrence
+//	          wins, file order), failed records excluded, floats rendered
+//	          exactly (strconv 'g'/-1, round-trips float64). Always CSV.
 //
 // Filters (-config, -workload, -tier, -smt, -since, -until) restrict every
 // operation. Output (-format table|csv|json) is byte-stable for a given
@@ -57,11 +61,11 @@ func run(args []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	var o options
 	fs.StringVar(&o.dir, "runlog", "", "campaign ledger directory (required)")
-	fs.StringVar(&o.op, "op", "summary", "operation: count, list, summary, top, trend")
+	fs.StringVar(&o.op, "op", "summary", "operation: count, list, summary, top, trend, export")
 	fs.StringVar(&o.format, "format", "table", "output format: table, csv, json")
 	fs.StringVar(&o.config, "config", "", "filter: config name")
 	fs.StringVar(&o.workload, "workload", "", "filter: workload name")
-	fs.StringVar(&o.tier, "tier", "", "filter: service tier (run, disk, memo)")
+	fs.StringVar(&o.tier, "tier", "", "filter: service tier (run, disk, memo, fabric, surrogate)")
 	fs.IntVar(&o.smt, "smt", 0, "filter: SMT level (0 = any)")
 	fs.Uint64Var(&o.since, "since", 0, "filter: sequence number >= since (0 = start)")
 	fs.Uint64Var(&o.until, "until", 0, "filter: sequence number <= until (0 = end)")
@@ -98,6 +102,8 @@ func run(args []string, out, errw io.Writer) int {
 		return emitTop(out, errw, recs, o)
 	case "trend":
 		return emitTrend(out, errw, recs, o)
+	case "export":
+		return emitExport(out, recs)
 	}
 	return 0
 }
@@ -107,7 +113,7 @@ func validate(o options) (int, error) {
 		return 2, fmt.Errorf("-runlog is required")
 	}
 	switch o.op {
-	case "count", "list", "summary", "top", "trend":
+	case "count", "list", "summary", "top", "trend", "export":
 	default:
 		return 2, fmt.Errorf("-op %q: unknown operation", o.op)
 	}
@@ -116,8 +122,10 @@ func validate(o options) (int, error) {
 	default:
 		return 2, fmt.Errorf("-format %q: unknown format", o.format)
 	}
-	if o.tier != "" && o.tier != runlog.TierRun && o.tier != runlog.TierDisk && o.tier != runlog.TierMemo {
-		return 2, fmt.Errorf("-tier %q: want run, disk or memo", o.tier)
+	switch o.tier {
+	case "", runlog.TierRun, runlog.TierDisk, runlog.TierMemo, runlog.TierFabric, runlog.TierSurrogate:
+	default:
+		return 2, fmt.Errorf("-tier %q: want run, disk, memo, fabric or surrogate", o.tier)
 	}
 	if o.smt < 0 {
 		return 2, fmt.Errorf("-smt %d: must be >= 0", o.smt)
@@ -390,6 +398,53 @@ func emitSummary(out, errw io.Writer, recs []runlog.Record, format string) int {
 			fmt.Fprintf(out, "%-36s %4d %8.4f %8.4f %10.4f %8.4f\n",
 				a.Sim, a.N, a.MeanIPC, a.MeanPower, a.MeanEPI, a.MeanWall)
 		}
+	}
+	return 0
+}
+
+// exportColumns is the export CSV header: simulation identity, service
+// provenance, then targets — the flat layout surrogate training and external
+// fitting tools consume.
+var exportColumns = []string{
+	"key", "seq", "config", "workload", "smt", "budget", "warmup",
+	"tier", "predicted", "cycles", "instructions",
+	"cpi", "ipc", "power_total",
+	"energy_total", "energy_clock", "energy_switching", "energy_array", "energy_leakage",
+	"energy_per_inst", "cpi_rel_std", "power_rel_std",
+}
+
+// emitExport writes the training-grade CSV: one row per unique content key in
+// file order (cache-tier restatements restate the same measurements, so the
+// first occurrence wins), failed records excluded, every float rendered with
+// strconv 'g'/-1 so the text round-trips the exact float64. Byte-stable for a
+// given ledger.
+func emitExport(out io.Writer, recs []runlog.Record) int {
+	fmt.Fprintln(out, strings.Join(exportColumns, ","))
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if r.Err != "" || seen[r.Key] {
+			continue
+		}
+		seen[r.Key] = true
+		fields := []string{
+			r.Key,
+			strconv.FormatUint(r.Seq, 10),
+			csvField(r.Config),
+			csvField(r.Workload),
+			strconv.Itoa(r.SMT),
+			strconv.FormatUint(r.Budget, 10),
+			strconv.FormatUint(r.Warmup, 10),
+			r.Tier,
+			strconv.FormatBool(r.Predicted),
+			strconv.FormatUint(r.Cycles, 10),
+			strconv.FormatUint(r.Instructions, 10),
+			g(r.CPI), g(r.IPC), g(r.PowerTotal),
+			g(r.EnergyTotal), g(r.EnergyClock), g(r.EnergySwitching),
+			g(r.EnergyArray), g(r.EnergyLeakage),
+			g(r.EPI), g(r.CPIRelStd), g(r.PowerRelStd),
+		}
+		fmt.Fprintln(out, strings.Join(fields, ","))
 	}
 	return 0
 }

@@ -46,6 +46,8 @@ func TestGoldens(t *testing.T) {
 		{"top_best_csv", []string{"-op", "top", "-k", "2", "-by", "epi", "-asc", "-format", "csv"}},
 		{"trend", []string{"-op", "trend", "-a", "1-5", "-b", "6-9"}},
 		{"trend_json", []string{"-op", "trend", "-a", "1-5", "-b", "6-9", "-format", "json"}},
+		{"export", []string{"-op", "export"}},
+		{"export_filtered", []string{"-op", "export", "-workload", "compress"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -91,14 +93,46 @@ func TestSummaryHitRateLine(t *testing.T) {
 	}
 }
 
+// TestExportSurrogateRow checks the export contract on a surrogate-served
+// record: the predicted flag and relative errors surface, floats render
+// exactly, and restatements of an already-exported key are dropped.
+func TestExportSurrogateRow(t *testing.T) {
+	dir := fixtureDir(t)
+	f, err := os.OpenFile(filepath.Join(dir, "ledger.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surKey := strings.Repeat("f", 64)
+	lines := `{"schema":"p10runlog-v1","seq":10,"time":"2026-08-01T10:00:10Z","key":"` + surKey + `","config":"POWER10","workload":"matmul","smt":4,"budget":6000,"tier":"surrogate","wall_seconds":0.001,"cycles":21000,"instructions":24000,"cpi":0.875,"ipc":1.1428571428571428,"power_total":3.3,"predicted":true,"cpi_rel_std":0.021,"power_rel_std":0.013}
+{"schema":"p10runlog-v1","seq":11,"time":"2026-08-01T10:00:11Z","key":"` + surKey + `","config":"POWER10","workload":"matmul","smt":4,"budget":6000,"tier":"memo","wall_seconds":0,"cycles":21000,"instructions":24000,"cpi":0.875,"ipc":1.1428571428571428,"power_total":3.3,"predicted":true,"cpi_rel_std":0.021,"power_rel_std":0.013}
+`
+	if _, err := f.WriteString(lines); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errw bytes.Buffer
+	if code := run([]string{"-runlog", dir, "-op", "export", "-tier", "surrogate"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	got := out.String()
+	want := surKey + ",10,POWER10,matmul,4,6000,0,surrogate,true,21000,24000," +
+		"0.875,1.1428571428571428,3.3,0,0,0,0,0,0,0.021,0.013\n"
+	if !strings.HasSuffix(got, want) {
+		t.Errorf("surrogate export row drifted:\n got: %q", got)
+	}
+	if strings.Count(got, surKey) != 1 {
+		t.Errorf("duplicate key exported more than once:\n%s", got)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	dir := fixtureDir(t)
 	for _, args := range [][]string{
-		{"-op", "summary"},                           // no -runlog
-		{"-runlog", dir, "-op", "teleport"},          // unknown op
-		{"-runlog", dir, "-format", "yaml"},          // unknown format
-		{"-runlog", dir, "-tier", "l3"},              // unknown tier
-		{"-runlog", dir, "-op", "top", "-by", "vibe"} /* unknown metric */,
+		{"-op", "summary"},                            // no -runlog
+		{"-runlog", dir, "-op", "teleport"},           // unknown op
+		{"-runlog", dir, "-format", "yaml"},           // unknown format
+		{"-runlog", dir, "-tier", "l3"},               // unknown tier
+		{"-runlog", dir, "-op", "top", "-by", "vibe"}, /* unknown metric */
 		{"-runlog", dir, "-op", "top", "-k", "0"},
 		{"-runlog", dir, "-op", "trend"},                             // missing ranges
 		{"-runlog", dir, "-op", "trend", "-a", "9-1", "-b", "1-2"},   // inverted range

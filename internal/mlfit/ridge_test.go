@@ -1,0 +1,220 @@
+package mlfit
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// testRNG is a deterministic splitmix64 generator so fits are reproducible.
+type testRNG struct{ state uint64 }
+
+func (r *testRNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// float returns a uniform in [0, 1).
+func (r *testRNG) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// TestQRNearCollinearFeatures is the numerical-robustness regression test:
+// two config features that are almost exact copies of each other (the kind of
+// correlation cache-size and associativity features have). The old
+// normal-equations path squared the condition number and silently degraded;
+// the QR path must keep the *predictions* accurate even though the individual
+// coefficients are ill-determined.
+func TestQRNearCollinearFeatures(t *testing.T) {
+	rng := &testRNG{state: 7}
+	const n = 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x1 := rng.float() * 10
+		x2 := x1 + 1e-9*rng.float() // nearly collinear
+		x3 := rng.float()
+		X[i] = []float64{x1, x2, x3}
+		y[i] = 2*x1 + 3*x2 - 1.5*x3 + 4
+	}
+	m, err := FitRidgeCV(X, y, []int{0, 1, 2}, []string{"x1", "x2", "x3"}, []float64{0})
+	if err != nil {
+		t.Fatalf("fit on near-collinear features: %v", err)
+	}
+	for i, row := range X {
+		if d := math.Abs(m.Predict(row) - y[i]); d > 1e-4 {
+			t.Fatalf("sample %d: |pred-y| = %g, want < 1e-4", i, d)
+		}
+	}
+	// An exactly duplicated column must also stay solvable (jitter floor).
+	for i := range X {
+		X[i][1] = X[i][0]
+	}
+	if _, err := FitRidgeCV(X, y, []int{0, 1, 2}, []string{"x1", "x2", "x3"}, []float64{0}); err != nil {
+		t.Fatalf("fit on exactly collinear features: %v", err)
+	}
+}
+
+// TestRidgeLOOMatchesBruteForce checks the hat-diagonal LOO shortcut against
+// literally refitting with each sample held out.
+func TestRidgeLOOMatchesBruteForce(t *testing.T) {
+	rng := &testRNG{state: 42}
+	const (
+		n      = 14
+		dim    = 3 // 2 features + intercept column
+		lambda = 0.1
+	)
+	Z := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range Z {
+		Z[i] = []float64{rng.float()*2 - 1, rng.float()*2 - 1, 1}
+		y[i] = 1.5*Z[i][0] - 0.7*Z[i][1] + 0.3 + 0.05*(rng.float()-0.5)
+	}
+	_, _, fast, err := ridgeLOO(Z, y, lambda, false)
+	if err != nil {
+		t.Fatalf("ridgeLOO: %v", err)
+	}
+	// Brute force: refit on n-1 samples, predict the held-out one.
+	var sse float64
+	for hold := 0; hold < n; hold++ {
+		a := make([][]float64, 0, n-1+dim)
+		b := make([]float64, 0, n-1+dim)
+		for i := range Z {
+			if i == hold {
+				continue
+			}
+			a = append(a, append([]float64(nil), Z[i]...))
+			b = append(b, y[i])
+		}
+		for j := 0; j < dim; j++ {
+			row := make([]float64, dim)
+			l := lambda
+			if j == dim-1 {
+				l = 0
+			}
+			row[j] = math.Sqrt(l + ridgeJitter)
+			a = append(a, row)
+			b = append(b, 0)
+		}
+		coef, _, err := qrLS(a, b, dim)
+		if err != nil {
+			t.Fatalf("hold-out %d: %v", hold, err)
+		}
+		var pred float64
+		for p, c := range coef {
+			pred += c * Z[hold][p]
+		}
+		e := y[hold] - pred
+		sse += e * e
+	}
+	brute := math.Sqrt(sse / n)
+	if d := math.Abs(fast - brute); d > 1e-9 {
+		t.Fatalf("LOO shortcut %.12f vs brute force %.12f (|d|=%g)", fast, brute, d)
+	}
+}
+
+// TestRidgeModelJSONRoundTrip asserts bit-identical predictions after a
+// marshal/unmarshal cycle — the property the surrogate's byte-stable output
+// contract rests on.
+func TestRidgeModelJSONRoundTrip(t *testing.T) {
+	rng := &testRNG{state: 3}
+	const n = 60
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.float() * 7, rng.float(), rng.float() * 100}
+		y[i] = 0.4*X[i][0] - 2*X[i][1] + 0.01*X[i][2] + 1 + 0.01*(rng.float()-0.5)
+	}
+	m, err := FitRidgeCV(X, y, []int{0, 1, 2}, []string{"a", "b", "c"}, nil)
+	if err != nil {
+		t.Fatalf("FitRidgeCV: %v", err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back RidgeModel
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := back.Valid(); err != nil {
+		t.Fatalf("reloaded model invalid: %v", err)
+	}
+	scratch := make([]float64, m.ScratchLen())
+	for i := 0; i < n; i++ {
+		m1, s1 := m.PredictStd(X[i], scratch)
+		m2, s2 := back.PredictStd(X[i], scratch)
+		if m1 != m2 || s1 != s2 {
+			t.Fatalf("row %d: prediction drifted across JSON round-trip: (%v,%v) vs (%v,%v)", i, m1, s1, m2, s2)
+		}
+	}
+}
+
+// TestForwardSelectRidgeCV checks that CV-scored selection finds the
+// informative features, ignores noise columns, and that the resulting
+// uncertainty estimate widens away from the training cloud.
+func TestForwardSelectRidgeCV(t *testing.T) {
+	rng := &testRNG{state: 11}
+	const n, nf = 150, 8
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, nf)
+		for j := range row {
+			row[j] = rng.float()*2 - 1
+		}
+		X[i] = row
+		y[i] = 3*row[2] - 2*row[5] + 0.5 + 0.01*(rng.float()-0.5)
+	}
+	m, err := ForwardSelectRidgeCV(X, y, nil, 4, nil)
+	if err != nil {
+		t.Fatalf("ForwardSelectRidgeCV: %v", err)
+	}
+	got := map[int]bool{}
+	for _, f := range m.Features {
+		got[f] = true
+	}
+	if !got[2] || !got[5] {
+		t.Fatalf("selection missed informative features: chose %v", m.Features)
+	}
+	if m.LOORMSE > 0.05 {
+		t.Fatalf("LOO RMSE %.4f, want <= 0.05", m.LOORMSE)
+	}
+	scratch := make([]float64, m.ScratchLen())
+	inRow := X[0]
+	farRow := make([]float64, nf)
+	for j := range farRow {
+		farRow[j] = 25 // far outside the [-1,1] training cloud
+	}
+	_, sIn := m.PredictStd(inRow, scratch)
+	_, sFar := m.PredictStd(farRow, scratch)
+	if sFar <= sIn*2 {
+		t.Fatalf("extrapolation std %.6f not meaningfully wider than interpolation std %.6f", sFar, sIn)
+	}
+}
+
+// TestPredictStdZeroAllocScratch guards the steady-state allocation contract
+// the surrogate tier depends on.
+func TestPredictStdZeroAllocScratch(t *testing.T) {
+	rng := &testRNG{state: 5}
+	const n = 40
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.float(), rng.float()}
+		y[i] = X[i][0] + 2*X[i][1]
+	}
+	m, err := FitRidgeCV(X, y, []int{0, 1}, nil, nil)
+	if err != nil {
+		t.Fatalf("FitRidgeCV: %v", err)
+	}
+	scratch := make([]float64, m.ScratchLen())
+	row := X[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		m.PredictStd(row, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictStd allocates %v allocs/op with scratch, want 0", allocs)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"power10sim/internal/telemetry"
+	"power10sim/internal/uarch"
 )
 
 // Schema is the ledger record schema generation. It is embedded in every
@@ -55,13 +56,17 @@ const LedgerFile = "ledger.jsonl"
 const SeriesFile = "series.jsonl"
 
 // Cache tiers a record can carry: an actually executed simulation, a
-// persistent disk-cache load, an in-process memoization hit, or an execution
-// served remotely by the distributed sweep fabric (internal/fabric).
+// persistent disk-cache load, an in-process memoization hit, an execution
+// served remotely by the distributed sweep fabric (internal/fabric), or a
+// learned-surrogate prediction (internal/surrogate) — the only tier whose
+// records are estimates rather than ground truth (Predicted is set and the
+// rel-std fields carry the model's error bars).
 const (
-	TierRun    = "run"
-	TierDisk   = "disk"
-	TierMemo   = "memo"
-	TierFabric = "fabric"
+	TierRun       = "run"
+	TierDisk      = "disk"
+	TierMemo      = "memo"
+	TierFabric    = "fabric"
+	TierSurrogate = "surrogate"
 )
 
 // Record is one ledger line: the full provenance and outcome of one
@@ -131,6 +136,22 @@ type Record struct {
 	// EPI is energy per retired instruction, the ledger's headline
 	// efficiency metric (what p10query's top-k and trend modes rank by).
 	EPI float64 `json:"energy_per_inst,omitempty"`
+
+	// Predicted marks a surrogate-served record (tier "surrogate"): its
+	// measurements are model estimates, not simulation output, and must be
+	// excluded from any training corpus. CPIRelStd / PowerRelStd are the
+	// model's relative standard errors for the estimate.
+	Predicted   bool    `json:"predicted,omitempty"`
+	CPIRelStd   float64 `json:"cpi_rel_std,omitempty"`
+	PowerRelStd float64 `json:"power_rel_std,omitempty"`
+
+	// Spec carries the full machine configuration when Config is not a
+	// catalog name (design-space points like "dse7-00123"). Catalog-named
+	// records omit it — the name alone reconstructs the geometry — so
+	// standard-sweep ledgers stay compact, while explorer ledgers remain
+	// self-describing and their ground-truth rows can rejoin a training
+	// corpus.
+	Spec *uarch.Config `json:"spec,omitempty"`
 }
 
 // SimLabel renders the record's simulation identity the way the progress

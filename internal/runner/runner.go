@@ -86,6 +86,18 @@ type Result struct {
 	// confidence intervals, effective speedup) for sampled runs; nil for
 	// full simulations.
 	Sampling *sampling.Meta
+	// Predicted carries the surrogate's uncertainty estimate when the result
+	// was served by an installed Predictor instead of simulated; nil for real
+	// (executed or cache-served) results.
+	Predicted *PredictionMeta
+}
+
+// PredictionMeta is the error-bar metadata attached to a surrogate-served
+// result: the model's relative standard errors for the headline metrics
+// (log-space std, which for small values is the relative error).
+type PredictionMeta struct {
+	CPIRelStd   float64
+	PowerRelStd float64
 }
 
 // clone returns a caller-owned copy of the result so cached values can never
@@ -108,6 +120,10 @@ func (r Result) clone() Result {
 	if r.Sampling != nil {
 		m := *r.Sampling
 		out.Sampling = &m
+	}
+	if r.Predicted != nil {
+		p := *r.Predicted
+		out.Predicted = &p
 	}
 	return out
 }
@@ -216,6 +232,12 @@ type Stats struct {
 	// DiskReadBytes / DiskWrittenBytes account persistent-cache I/O.
 	DiskReadBytes    uint64
 	DiskWrittenBytes uint64
+	// Predicted counts requests served by the installed surrogate Predictor
+	// (see SetPredictor); PredictDeclined counts requests the predictor was
+	// offered but passed on (unsupported shape or uncertainty above the
+	// confidence gate), which then fell through to real execution.
+	Predicted       uint64
+	PredictDeclined uint64
 }
 
 // obs holds the runner's telemetry handles. All fields are nil until
@@ -237,6 +259,8 @@ type obs struct {
 	samplingIntervals       *telemetry.Counter
 	samplingSimulated       *telemetry.Counter
 	samplingSpeedup         *telemetry.Gauge
+	predicted               *telemetry.Counter
+	predictDeclined         *telemetry.Counter
 	tracer                  *telemetry.Tracer
 }
 
@@ -283,6 +307,10 @@ type Runner struct {
 	// completed request (see SetRunLog in runlog.go).
 	runlog *runlog.Ledger
 
+	// pred, when non-nil, offers disk-miss requests to a learned surrogate
+	// before any real execution (see SetPredictor).
+	pred Predictor
+
 	obs obs
 	bus *progress.Bus
 }
@@ -325,6 +353,24 @@ type Executor func(ctx context.Context, req Request) (res Result, handled bool)
 // SetExecutor is not synchronized with Do.
 func (r *Runner) SetExecutor(e Executor) { r.exec = e }
 
+// Predictor is a learned surrogate for simulation requests: it either serves
+// a predicted Result with error-bar metadata (ok true) or declines (ok false)
+// — an unsupported request shape, or predicted uncertainty above its
+// confidence gate — in which case the request falls through to real
+// execution. A predictor must be deterministic and safe for concurrent use.
+type Predictor func(req Request) (res Result, ok bool)
+
+// SetPredictor installs a learned surrogate as a cache tier; nil detaches it
+// (the default). The tier sits after the exact tiers and before any real
+// execution: memo -> disk -> surrogate -> fabric/local pool, so a prediction
+// is only consulted for simulations nothing has ever actually run. Predicted
+// results are memoized in-process (identical requests predict once) but are
+// never written to the persistent disk cache and are ledger-tagged with the
+// "surrogate" tier plus their error bars — a prediction must never be
+// mistaken for, or retrain on, ground truth. Chaos self-tests stay real.
+// Call before submitting requests; SetPredictor is not synchronized with Do.
+func (r *Runner) SetPredictor(p Predictor) { r.pred = p }
+
 // SetContext sets the base context Do and RunAll derive executions from,
 // threading external cancellation (SIGINT) through every simulation. Call
 // before submitting requests; SetContext is not synchronized with Do.
@@ -357,6 +403,9 @@ func (r *Runner) SetContext(ctx context.Context) {
 //	sampling_intervals_total          intervals phase-classified by sampled runs
 //	sampling_simulated_total          instructions actually timed by sampled runs
 //	sampling_speedup                  gauge: last sampled run's effective speedup
+//	surrogate_predictions_total       requests served by the surrogate Predictor
+//	surrogate_fallthrough_total       requests the predictor declined (shape or
+//	                                  uncertainty gate) that ran for real
 //
 // With a tracer attached, every executed (cache-miss) simulation also emits
 // a span named sim:<workload>@<config>/smt<N>. Call before submitting
@@ -384,6 +433,8 @@ func (r *Runner) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		samplingIntervals: reg.Counter("sampling_intervals_total"),
 		samplingSimulated: reg.Counter("sampling_simulated_total"),
 		samplingSpeedup:   reg.Gauge("sampling_speedup"),
+		predicted:         reg.Counter("surrogate_predictions_total"),
+		predictDeclined:   reg.Counter("surrogate_fallthrough_total"),
 		tracer:            tr,
 	}
 }
@@ -475,6 +526,32 @@ func (r *Runner) DoCtx(ctx context.Context, req Request) Result {
 			close(e.ready)
 			return e.res.clone()
 		}
+	}
+
+	// Learned surrogate tier: a request no exact tier has a real result for
+	// may be served by prediction when the installed predictor is confident
+	// enough. Predictions stay in the memo cache (identical requests predict
+	// once) but are never persisted to disk — the exact tiers must keep
+	// winning for anything that has actually run. A decline falls through to
+	// real execution, which is precisely the active-learning signal: the
+	// points the model is unsure about are the ones worth simulating.
+	if r.pred != nil && req.Chaos == nil {
+		predStart := time.Now()
+		if res, ok := r.pred(req); ok {
+			e.res = res
+			r.mu.Lock()
+			r.stats.Predicted++
+			r.mu.Unlock()
+			r.obs.predicted.Inc()
+			r.publish(progress.KindCacheHit, req, nil)
+			r.logRecord(k, req, e.res, runlog.TierSurrogate, time.Since(predStart))
+			close(e.ready)
+			return e.res.clone()
+		}
+		r.mu.Lock()
+		r.stats.PredictDeclined++
+		r.mu.Unlock()
+		r.obs.predictDeclined.Inc()
 	}
 
 	// External executor (the distributed sweep fabric): a cache-miss request

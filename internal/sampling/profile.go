@@ -1,0 +1,63 @@
+package sampling
+
+import (
+	"fmt"
+
+	"power10sim/internal/isa"
+	"power10sim/internal/trace"
+)
+
+// ProfileLen is the length of the vector Profile returns: the instruction
+// class mix plus the line and page first-touch rates.
+const ProfileLen = isa.NumClasses + 2
+
+// Profile functionally executes prog for up to budget instructions (the same
+// cheap untimed pass BuildPlan's featurizer makes) and renders one
+// whole-trace behavior vector: the instruction-class mix (isa.NumClasses
+// fractions summing to 1) followed by the per-instruction first-touch rates
+// for 64B cache lines and 4KiB pages. This is the workload half of the
+// surrogate's feature row — a pure, deterministic function of the program,
+// independent of any core configuration, so one profile is shared by every
+// (config, SMT) point that runs the workload.
+func Profile(prog *isa.Program, budget uint64) ([]float64, error) {
+	stream := trace.NewVMStream(prog, budget)
+	var (
+		byClass  [isa.NumClasses]uint64
+		newLines uint64
+		newPages uint64
+		insts    uint64
+	)
+	seenLines := make(map[uint64]struct{})
+	seenPages := make(map[uint64]struct{})
+	for {
+		d, ok := stream.Next()
+		if !ok {
+			break
+		}
+		cls := prog.Code[d.Idx].Class()
+		byClass[cls]++
+		if cls.IsMem() {
+			if line := d.EA / lineBytes; !member(seenLines, line) {
+				newLines++
+			}
+			if page := d.EA / pageBytes; !member(seenPages, page) {
+				newPages++
+			}
+		}
+		insts++
+	}
+	if err := stream.Err(); err != nil {
+		return nil, fmt.Errorf("sampling: profile pass: %w", err)
+	}
+	if insts == 0 {
+		return nil, fmt.Errorf("sampling: empty dynamic trace")
+	}
+	out := make([]float64, ProfileLen)
+	inv := 1 / float64(insts)
+	for i, v := range byClass {
+		out[i] = float64(v) * inv
+	}
+	out[isa.NumClasses] = float64(newLines) * inv
+	out[isa.NumClasses+1] = float64(newPages) * inv
+	return out, nil
+}

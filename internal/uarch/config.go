@@ -11,7 +11,11 @@
 // for the power model) against the configured resources.
 package uarch
 
-import "power10sim/internal/isa"
+import (
+	"sync"
+
+	"power10sim/internal/isa"
+)
 
 // CacheParams describes one cache level.
 type CacheParams struct {
@@ -286,6 +290,40 @@ func ConfigByName(name string) *Config {
 		return POWER10NoMMA()
 	}
 	return nil
+}
+
+// catalogConfigs lazily indexes every named configuration the experiment
+// harness sweeps — the paper baselines, the Fig. 4 ablation ladder, and the
+// infinite-L2 "core model" variants — for ResolveConfigName.
+var catalogConfigs = sync.OnceValue(func() map[string]*Config {
+	known := map[string]*Config{}
+	add := func(c *Config) {
+		if _, dup := known[c.Name]; !dup {
+			known[c.Name] = c
+		}
+	}
+	for _, c := range []*Config{POWER9(), POWER10(), POWER10NoMMA(), POWER10Next()} {
+		add(c)
+		add(InfiniteL2(c))
+	}
+	for _, c := range AblationLadder() {
+		add(c)
+	}
+	return known
+})
+
+// ResolveConfigName resolves any catalog configuration name — the CLI
+// aliases plus every named configuration the experiment harness sweeps — to
+// a fresh copy, or nil for an unknown name. Callers that persist records
+// keyed by config name use this to decide whether the name alone
+// reconstructs the geometry (a nil here means it does not, and the full spec
+// must travel with the record).
+func ResolveConfigName(name string) *Config {
+	if c, ok := catalogConfigs()[name]; ok {
+		cp := *c
+		return &cp
+	}
+	return ConfigByName(name)
 }
 
 // Ablation identifies one Fig. 4 design-change group.
